@@ -1,0 +1,80 @@
+"""Ablation: the overlap blend weights w1/w2 of Eqs. 4-5.
+
+The paper introduces ``w1``/``w2`` as hyperparameters weighting the
+highly-repeated (overlap) region versus the rest when setting the
+quantization range, and refers to an ablation validating the technique.
+This bench sweeps ``w1`` and measures the repetition-weighted quantization
+error — the quantity the weighted range is designed to minimise (errors on
+an epitome element are multiplied by how often the sampler repeats it).
+
+Expected shape: error at ``w1 = 0`` equals the plain per-crossbar range
+(w2 = 1 recovers min/max over everything via the blend's other extreme is
+not exactly min/max, so we compare against mode="crossbar" separately);
+moderate ``w1`` minimises the weighted error; ``w1 = 1`` over-clips.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.epitome import EpitomeShape
+from repro.core.equant import EpitomeQuantConfig, make_epitome_quant_hook
+from repro.core.layers import EpitomeConv2d
+
+
+def weighted_error(layer, mode, w1, bits=3):
+    hook = make_epitome_quant_hook(
+        layer, EpitomeQuantConfig(bits=bits, mode=mode,
+                                  w1=w1, w2=1.0 - w1))
+    out = hook(layer.epitome).data
+    counts = layer.repetition_counts().astype(np.float64)
+    return float((counts * (out - layer.epitome.data) ** 2).sum())
+
+
+def test_w1_sweep(benchmark):
+    shape = EpitomeShape.from_rows_cols(1024, 256, (3, 3), 512)
+    layer = EpitomeConv2d(512, 512, 3, padding=1, epitome_shape=shape,
+                          rng=np.random.default_rng(0))
+
+    def sweep():
+        errors = {}
+        errors["crossbar (no overlap)"] = weighted_error(layer, "crossbar", 0.7)
+        for w1 in (0.3, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0):
+            errors[f"w1={w1}"] = weighted_error(layer, "crossbar_overlap", w1)
+        return errors
+
+    errors = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    for label, err in errors.items():
+        print(f"  {label:<22s} weighted MSE = {err:10.4f}")
+
+    reference = errors["crossbar (no overlap)"]
+    best = min(v for k, v in errors.items() if k.startswith("w1"))
+    # some blend beats the unweighted range on the weighted metric
+    assert best < reference
+    # the default (0.7) is within 10% of the swept optimum
+    assert errors["w1=0.7"] <= best * 1.10
+
+
+def test_overlap_quantile_sweep(benchmark):
+    """Sensitivity to how the 'highly repeated' region is thresholded."""
+    shape = EpitomeShape.from_rows_cols(1024, 256, (3, 3), 512)
+    layer = EpitomeConv2d(512, 512, 3, padding=1, epitome_shape=shape,
+                          rng=np.random.default_rng(1))
+
+    def sweep():
+        errors = {}
+        for quantile in (0.25, 0.5, 0.75):
+            hook = make_epitome_quant_hook(
+                layer, EpitomeQuantConfig(bits=3, mode="crossbar_overlap",
+                                          overlap_quantile=quantile))
+            out = hook(layer.epitome).data
+            counts = layer.repetition_counts().astype(np.float64)
+            errors[quantile] = float(
+                (counts * (out - layer.epitome.data) ** 2).sum())
+        return errors
+
+    errors = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    for quantile, err in errors.items():
+        print(f"  overlap quantile {quantile:4.2f}: weighted MSE = {err:.4f}")
+    assert all(np.isfinite(v) for v in errors.values())

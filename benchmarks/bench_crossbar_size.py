@@ -1,0 +1,76 @@
+"""Ablation: crossbar array size sensitivity (hardware design choice).
+
+The paper fixes 256x256 arrays with 2-bit cells.  A natural co-design
+question is how the epitome advantage shifts with array size: smaller
+arrays fragment less (higher utilization) but need more peripherals; larger
+arrays amortise ADCs but waste cells on layers that do not fill them.  This
+bench sweeps the array size for both the baseline and the uniform-epitome
+ResNet-50 deployment at W9A9.
+"""
+
+import pytest
+
+from repro.core.designer import build_deployments, uniform_assignment
+from repro.models.specs import resnet50_spec
+from repro.pim.config import HardwareConfig
+from repro.pim.simulator import baseline_deployment, simulate_network
+
+
+def deploy(spec, config, epitome: bool):
+    if epitome:
+        deps = build_deployments(spec, uniform_assignment(spec),
+                                 weight_bits=9, activation_bits=9,
+                                 use_wrapping=True, config=config)
+    else:
+        deps = [baseline_deployment(l, 9, 9, config=config) for l in spec]
+    return simulate_network(deps, config)
+
+
+def test_crossbar_size_sweep(benchmark):
+    spec = resnet50_spec()
+
+    def sweep():
+        rows = {}
+        for size in (128, 256, 512):
+            config = HardwareConfig(xbar_rows=size, xbar_cols=size)
+            base = deploy(spec, config, epitome=False)
+            epim = deploy(spec, config, epitome=True)
+            rows[size] = (base, epim)
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    for size, (base, epim) in rows.items():
+        print(f"  {size}x{size}: baseline XBs={base.num_crossbars:6d} "
+              f"util={base.utilization*100:5.1f}% | "
+              f"EPIM XBs={epim.num_crossbars:5d} "
+              f"CR={base.num_crossbars / epim.num_crossbars:5.2f} "
+              f"util={epim.utilization*100:5.1f}% "
+              f"lat={epim.latency_ms:6.1f}ms")
+
+    # epitome compresses crossbars at every array size
+    for size, (base, epim) in rows.items():
+        assert epim.num_crossbars < base.num_crossbars
+    # smaller arrays fragment less -> utilization no worse
+    assert rows[128][0].utilization >= rows[512][0].utilization - 1e-9
+
+
+def test_cell_bits_sweep(benchmark):
+    """1-bit vs 2-bit vs 4-bit cells at W9A9 (paper uses 2-bit)."""
+    spec = resnet50_spec()
+
+    def sweep():
+        out = {}
+        for cell_bits in (1, 2, 4):
+            config = HardwareConfig(cell_bits=cell_bits)
+            out[cell_bits] = deploy(spec, config, epitome=True)
+        return out
+
+    reports = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    for cell_bits, report in reports.items():
+        print(f"  {cell_bits}-bit cells: XBs={report.num_crossbars:5d} "
+              f"lat={report.latency_ms:6.1f}ms E={report.energy_mj:6.1f}mJ")
+    # denser cells need fewer column slices -> fewer crossbars
+    assert (reports[4].num_crossbars <= reports[2].num_crossbars
+            <= reports[1].num_crossbars)

@@ -1,0 +1,69 @@
+"""Ablation: IR-drop / sense saturation (extension study).
+
+First-order wire-resistance model: large column currents read low
+(``measured = ideal * (1 - beta * ideal / full_scale)``).  Because the
+degradation grows with the column current, rounds that drive *fewer* word
+lines are relatively more accurate — and EPIM's IFRT-gated patch rounds
+drive exactly the patch's rows.  This bench measures that structural
+robustness: the same layer mapped with a small epitome (few active rows per
+round) versus a large one (many active rows per round) under increasing
+IR drop.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.epitome import EpitomeShape, build_plan
+from repro.pim.config import DEFAULT_CONFIG
+from repro.pim.datapath import execute_epitome_conv
+
+
+def run_case(rows, cols, ci, co, beta, rng_seed=0):
+    rng = np.random.default_rng(rng_seed)
+    shape = EpitomeShape.from_rows_cols(rows, cols, (3, 3), ci)
+    plan = build_plan((co, ci, 3, 3), shape)
+    epitome = rng.integers(0, 8, size=shape.as_tuple())   # non-negative
+    x = rng.integers(0, 64, size=(1, ci, 8, 8))
+    exact = execute_epitome_conv(x, epitome, plan, 1, 1, DEFAULT_CONFIG,
+                                 6, 4)
+    dropped = execute_epitome_conv(x, epitome, plan, 1, 1, DEFAULT_CONFIG,
+                                   6, 4, ir_drop_beta=beta)
+    scale = np.abs(exact).max() + 1e-9
+    rel = float(np.abs(dropped - exact).mean() / scale)
+    avg_rows = int(np.mean([p.ci_size * 9 for p in plan.patches]))
+    return rel, avg_rows
+
+
+def test_ir_drop_sweep(benchmark):
+    def sweep():
+        out = {}
+        for beta in (0.0, 0.1, 0.3, 0.6):
+            out[beta] = run_case(rows=256, cols=16, ci=64, co=16, beta=beta)
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    for beta, (rel, rows) in results.items():
+        print(f"  beta={beta:4.2f}: mean rel. error {rel:.5f} "
+              f"(~{rows} active rows/round)")
+    assert results[0.0][0] == 0.0
+    errors = [results[k][0] for k in sorted(results)]
+    assert all(b >= a for a, b in zip(errors, errors[1:]))
+
+
+def test_fewer_active_rows_less_drop(benchmark):
+    """Smaller patches drive fewer rows -> smaller column currents ->
+    relatively less IR-drop error."""
+    beta = 0.4
+
+    def compare():
+        small = run_case(rows=128, cols=16, ci=64, co=16, beta=beta)
+        large = run_case(rows=512, cols=16, ci=64, co=16, beta=beta)
+        return small, large
+
+    (small_err, small_rows), (large_err, large_rows) = benchmark.pedantic(
+        compare, rounds=1, iterations=1)
+    print(f"\n  small epitome: {small_rows} rows/round, err {small_err:.5f}")
+    print(f"  large epitome: {large_rows} rows/round, err {large_err:.5f}")
+    assert small_rows < large_rows
+    assert small_err < large_err

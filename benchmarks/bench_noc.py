@@ -1,0 +1,50 @@
+"""Benchmark: network-on-chip communication analysis (extension study).
+
+The paper's evaluation prices the crossbar arithmetic; MNSIM-class
+simulators also price moving feature maps between the tiles of consecutive
+layers.  This bench quantifies a second-order benefit of epitomes the paper
+leaves implicit: a compressed deployment occupies fewer tiles, shrinking
+the mesh and the average hop distance — so communication energy falls even
+though the feature-map volume is unchanged.
+"""
+
+import pytest
+
+from repro.core.designer import build_deployments, uniform_assignment
+from repro.models.specs import resnet50_spec
+from repro.pim.noc import analyze_noc
+from repro.pim.simulator import baseline_deployment, simulate_network
+
+
+def test_noc_traffic_baseline_vs_epim(benchmark):
+    spec = resnet50_spec()
+
+    def analyze_both():
+        base = simulate_network([baseline_deployment(l, 9, 9) for l in spec])
+        epim = simulate_network(build_deployments(
+            spec, uniform_assignment(spec), weight_bits=9,
+            activation_bits=9))
+        return analyze_noc(base), analyze_noc(epim)
+
+    base_noc, epim_noc = benchmark.pedantic(analyze_both, rounds=1,
+                                            iterations=1)
+    print()
+    print("  baseline:", base_noc.summary().replace("\n", " | "))
+    print("  EPIM:    ", epim_noc.summary().replace("\n", " | "))
+
+    # identical feature-map volume, smaller mesh, cheaper movement
+    assert epim_noc.total_values == base_noc.total_values
+    assert epim_noc.total_tiles < base_noc.total_tiles
+    assert epim_noc.energy_mj < base_noc.energy_mj
+
+
+def test_noc_energy_secondary_to_compute(benchmark):
+    """Sanity on magnitudes: NoC energy is a small fraction of the compute
+    energy at this design point (as MNSIM reports for CNNs)."""
+    spec = resnet50_spec()
+    report = simulate_network([baseline_deployment(l, 9, 9) for l in spec])
+    noc = benchmark.pedantic(lambda: analyze_noc(report), rounds=1,
+                             iterations=1)
+    ratio = noc.energy_mj / report.energy_mj
+    print(f"\n  NoC / compute energy = {ratio * 100:.2f}%")
+    assert ratio < 0.25

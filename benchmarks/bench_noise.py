@@ -1,0 +1,68 @@
+"""Benchmark: device non-ideality ablation (extension study).
+
+The paper simulates ideal 2-bit cells; a natural robustness question for
+any PIM deployment is conductance variation and ADC saturation.  This bench
+sweeps device noise through the *functional* crossbar model and measures
+output degradation of an epitome layer — the kind of extension study the
+EPIM framework enables for free.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core.epitome import EpitomeShape, build_plan
+from repro.nn import functional as F
+from repro.pim.config import DEFAULT_CONFIG
+from repro.pim.datapath import execute_epitome_conv
+
+
+def relative_error(a, b):
+    scale = np.abs(b).max() + 1e-9
+    return float(np.abs(a - b).mean() / scale)
+
+
+def test_noise_sweep_degrades_gracefully(benchmark):
+    rng = np.random.default_rng(0)
+    shape = EpitomeShape.from_rows_cols(160, 16, (3, 3), 32)
+    plan = build_plan((32, 32, 3, 3), shape)
+    epitome = rng.integers(-16, 16, size=shape.as_tuple())
+    x = rng.integers(0, 256, size=(2, 32, 10, 10))
+    exact = execute_epitome_conv(x, epitome, plan, 1, 1, DEFAULT_CONFIG,
+                                 8, 6)
+
+    def sweep():
+        errors = {}
+        for noise in (0.0, 0.01, 0.03, 0.1):
+            out = execute_epitome_conv(
+                x, epitome, plan, 1, 1, DEFAULT_CONFIG, 8, 6,
+                noise_std=noise, rng=np.random.default_rng(1))
+            errors[noise] = relative_error(out, exact)
+        return errors
+
+    errors = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    for noise, err in errors.items():
+        print(f"  conductance noise {noise:5.2f} -> mean rel. error {err:.5f}")
+    assert errors[0.0] == 0.0
+    values = [errors[k] for k in sorted(errors)]
+    assert all(b >= a for a, b in zip(values, values[1:]))
+    assert errors[0.1] < 0.2    # graceful, not catastrophic
+
+
+def test_adc_saturation_effect(benchmark):
+    """Non-ideal (clipping) ADC vs ideal: bounded one-sided error."""
+    rng = np.random.default_rng(2)
+    shape = EpitomeShape.from_rows_cols(160, 16, (3, 3), 32)
+    plan = build_plan((32, 32, 3, 3), shape)
+    epitome = rng.integers(-16, 16, size=shape.as_tuple())
+    x = rng.integers(0, 256, size=(1, 32, 8, 8))
+
+    exact = execute_epitome_conv(x, epitome, plan, 1, 1, DEFAULT_CONFIG, 8, 6)
+    clipped = benchmark.pedantic(
+        lambda: execute_epitome_conv(x, epitome, plan, 1, 1, DEFAULT_CONFIG,
+                                     8, 6, ideal_adc=False),
+        rounds=1, iterations=1)
+    err = relative_error(clipped, exact)
+    print(f"\n  8-bit saturating ADC mean rel. error: {err:.4f}")
+    assert err < 0.5

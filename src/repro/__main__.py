@@ -1,0 +1,7 @@
+"""Entry point: ``python -m repro <table1|table2|table3|figure3|figure4|summary>``."""
+
+import sys
+
+from .analysis.cli import main
+
+sys.exit(main())

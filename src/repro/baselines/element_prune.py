@@ -1,0 +1,170 @@
+"""Magnitude-based element pruning.
+
+Used two ways in the paper's ablation (Table 3):
+
+- on its own inside PIM-Prune's pipeline (see
+  :mod:`repro.baselines.pim_prune`), and
+- combined with epitomes ("Epitome + Pruning"): the *epitome tensors*
+  themselves are element-pruned, stacking the two compression mechanisms.
+
+Pruned-parameter accounting follows the sparse-storage convention the
+paper's Table 3 numbers imply: the surviving weights plus a bitmap index
+overhead of 1/16 parameter-equivalent per original weight — which is why
+50% pruning yields a ~1.8x (not 2.0x) parameter compression rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .. import nn
+from ..core.layers import EpitomeConv2d
+
+__all__ = [
+    "INDEX_OVERHEAD",
+    "magnitude_mask",
+    "sparse_param_cost",
+    "pruned_compression",
+    "Pruner",
+]
+
+# Parameter-equivalent bookkeeping cost per original weight (bitmap index).
+INDEX_OVERHEAD = 1.0 / 16.0
+
+
+def magnitude_mask(weights: np.ndarray, ratio: float) -> np.ndarray:
+    """Boolean keep-mask removing the ``ratio`` smallest-magnitude weights."""
+    if not 0.0 <= ratio < 1.0:
+        raise ValueError("prune ratio must be in [0, 1)")
+    if ratio == 0.0:
+        return np.ones(weights.shape, dtype=bool)
+    flat = np.abs(weights).ravel()
+    k = int(round(ratio * flat.size))
+    if k == 0:
+        return np.ones(weights.shape, dtype=bool)
+    threshold = np.partition(flat, k - 1)[k - 1]
+    mask = (np.abs(weights) > threshold).ravel()
+    # Break ties deterministically so exactly ``size - k`` survive.
+    deficit = (flat.size - k) - int(mask.sum())
+    if deficit > 0:
+        ties = np.flatnonzero(np.abs(weights).ravel() == threshold)
+        mask[ties[:deficit]] = True
+    return mask.reshape(weights.shape)
+
+
+def sparse_param_cost(num_weights: int, kept: int) -> float:
+    """Parameter-equivalent cost of a pruned tensor (survivors + bitmap)."""
+    return kept + num_weights * INDEX_OVERHEAD
+
+
+def pruned_compression(num_weights: int, kept: int) -> float:
+    """Parameter compression rate after pruning, Table 3's metric."""
+    return num_weights / sparse_param_cost(num_weights, kept)
+
+
+@dataclass
+class _Entry:
+    param: nn.Parameter
+    mask: np.ndarray
+
+
+class Pruner:
+    """Holds keep-masks for a model's weights and re-applies them.
+
+    Magnitude pruning + fine-tuning: build masks once, zero the pruned
+    weights, and call :meth:`apply` after every optimizer step (or epoch)
+    so fine-tuning cannot resurrect pruned weights.
+
+    ``scope`` selects what gets pruned:
+
+    - ``"conv"`` — Conv2d weight tensors (the PIM-Prune regime),
+    - ``"epitome"`` — epitome tensors (the "Epitome + Pruning" regime).
+
+    ``structured`` switches conv pruning to PIM-Prune's crossbar-structured
+    row-segment masks (see :func:`repro.baselines.pim_prune
+    .structured_row_mask`) so the accuracy experiments prune the same
+    patterns the hardware compaction rewards; ``block_cols`` is the
+    crossbar column-block width used for the segments.
+    """
+
+    def __init__(self, model: nn.Module, ratio: float, scope: str = "conv",
+                 structured: bool = False, block_cols: int = 64):
+        if scope not in ("conv", "epitome"):
+            raise ValueError("scope must be 'conv' or 'epitome'")
+        if structured and scope != "conv":
+            raise ValueError("structured pruning applies to conv scope only")
+        self.ratio = ratio
+        self.scope = scope
+        self.structured = structured
+        self._entries: List[_Entry] = []
+        self._totals: Tuple[int, int] = (0, 0)
+
+        total = 0
+        kept = 0
+        for _, module in model.named_modules():
+            if scope == "conv" and type(module) is nn.Conv2d:
+                param = module.weight
+            elif scope == "epitome" and isinstance(module, EpitomeConv2d):
+                param = module.epitome
+            else:
+                continue
+            if structured:
+                mask = self._structured_conv_mask(param.data, ratio,
+                                                  block_cols)
+            else:
+                mask = magnitude_mask(param.data, ratio)
+            self._entries.append(_Entry(param=param, mask=mask))
+            total += param.data.size
+            kept += int(mask.sum())
+        if not self._entries:
+            raise ValueError(f"model has no {scope!r} tensors to prune")
+        self._totals = (total, kept)
+        self.apply()
+
+    @staticmethod
+    def _structured_conv_mask(weight: np.ndarray, ratio: float,
+                              block_cols: int) -> np.ndarray:
+        """Crossbar-structured mask on a conv weight (co, ci, kh, kw).
+
+        The weight is viewed in its crossbar layout (rows = ci*kh*kw,
+        cols = co) and whole row segments are pruned per column block —
+        the pattern PIM-Prune's compaction exploits.
+        """
+        from .pim_prune import structured_row_mask
+        from ..pim.config import DEFAULT_CONFIG
+        co = weight.shape[0]
+        matrix = weight.reshape(co, -1).T          # (ci*kh*kw, co)
+        config = DEFAULT_CONFIG.with_(
+            xbar_rows=min(DEFAULT_CONFIG.xbar_rows, block_cols * 4),
+            xbar_cols=block_cols,
+            adc_share=min(DEFAULT_CONFIG.adc_share, block_cols))
+        mask = structured_row_mask(matrix, ratio, config)
+        return mask.T.reshape(weight.shape)
+
+    def apply(self) -> None:
+        """Zero every pruned weight (idempotent)."""
+        for entry in self._entries:
+            entry.param.data = entry.param.data * entry.mask
+
+    @property
+    def num_weights(self) -> int:
+        return self._totals[0]
+
+    @property
+    def num_kept(self) -> int:
+        return self._totals[1]
+
+    @property
+    def sparsity(self) -> float:
+        return 1.0 - self.num_kept / max(self.num_weights, 1)
+
+    @property
+    def compression(self) -> float:
+        """Parameter compression of the pruned tensors (with index cost)."""
+        return pruned_compression(self.num_weights, self.num_kept)
+
+    def masks(self) -> List[np.ndarray]:
+        return [entry.mask for entry in self._entries]

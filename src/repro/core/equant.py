@@ -1,0 +1,210 @@
+"""Epitome-aware quantization (paper section 4.2, Eqs. 4-5; Table 2).
+
+Two adjustments over naive per-layer quantization:
+
+1. **Per-crossbar scaling factors** — crossbars compute in parallel, so one
+   scaling factor per crossbar tile costs nothing at runtime (each tile's
+   ADC output is rescaled independently by the shift-add stage) while
+   shrinking every tile's dynamic range.  The epitome matrix
+   (rows = ``ei*eh*ew``, cols = ``eo``) is partitioned into
+   ``xbar_rows x xbar_cols`` tiles; elements get the scale of their tile.
+
+2. **Overlap-weighted ranges** — the sampler repeats *interior* epitome
+   elements more often than border ones (Fig. 2c); quantization error there
+   is amplified by the repetition count.  The clipping range is therefore a
+   weighted blend of the overlap region's min/max and the rest's (Eqs. 4-5):
+
+       alpha = w1 * min(overlap) + w2 * min(others)
+       beta  = w1 * max(overlap) + w2 * max(others)
+
+   With ``w1 > w2`` the range hugs the (usually narrower) high-repetition
+   region, spending resolution where errors are multiplied.
+
+Quantization modes match Table 2's columns:
+``naive`` -> ``crossbar`` (adjust with crossbars) -> ``crossbar_overlap``
+(additionally adjusted with overlap).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from .. import nn
+from ..pim.config import DEFAULT_CONFIG, HardwareConfig
+from ..quant.quantizer import compute_qparams, fake_quantize_per_group
+from .layers import EpitomeConv2d
+
+__all__ = [
+    "EpitomeQuantConfig",
+    "crossbar_group_ids",
+    "weighted_range",
+    "epitome_scales",
+    "make_epitome_quant_hook",
+    "apply_epitome_quantization",
+    "remove_epitome_quantization",
+]
+
+MODES = ("naive", "crossbar", "crossbar_overlap")
+
+
+@dataclass(frozen=True)
+class EpitomeQuantConfig:
+    """How to quantize a model's epitomes.
+
+    Attributes
+    ----------
+    bits:
+        Weight bit width (or per-layer override via
+        :func:`apply_epitome_quantization`'s ``bit_map``).
+    mode:
+        ``"naive"`` | ``"crossbar"`` | ``"crossbar_overlap"`` (Table 2).
+    w1 / w2:
+        The Eq. 4-5 blend weights for the overlap region vs the rest.
+    overlap_quantile:
+        Repetition-count quantile that defines the overlap region.
+    """
+
+    bits: int = 3
+    mode: str = "crossbar_overlap"
+    w1: float = 0.7
+    w2: float = 0.3
+    overlap_quantile: float = 0.5
+
+    def __post_init__(self):
+        if self.mode not in MODES:
+            raise ValueError(f"mode must be one of {MODES}, got {self.mode!r}")
+        if self.bits < 2:
+            raise ValueError("weight quantization below 2 bits is not supported")
+
+
+def crossbar_group_ids(epitome_shape, config: HardwareConfig = DEFAULT_CONFIG
+                       ) -> np.ndarray:
+    """Assign every epitome element to its crossbar tile.
+
+    The epitome maps to crossbars as rows = ``(ei, eh, ew)`` raster,
+    cols = ``eo`` (section 4.1); tiles are ``xbar_rows x xbar_cols`` blocks
+    of that matrix.  Returns an int array of the epitome's 4-D shape with
+    contiguous group ids.
+    """
+    eo, ei, eh, ew = epitome_shape.as_tuple()
+    rows = ei * eh * ew
+    row_group = np.arange(rows) // config.xbar_rows          # (rows,)
+    col_group = np.arange(eo) // config.xbar_cols            # (eo,)
+    n_col_groups = int(col_group.max()) + 1
+    grid = row_group[:, None] * n_col_groups + col_group[None, :]
+    # grid is (rows, eo) = matrix layout; transpose back to (eo, ei, eh, ew).
+    return grid.T.reshape(eo, ei, eh, ew)
+
+
+def weighted_range(values: np.ndarray, overlap_mask: np.ndarray,
+                   w1: float, w2: float) -> Tuple[float, float]:
+    """Eqs. 4-5: blend min/max of the overlap region and the rest.
+
+    Degenerates gracefully: if either region is empty the other's min/max
+    is used directly.
+    """
+    overlap = values[overlap_mask]
+    others = values[~overlap_mask]
+    if overlap.size == 0:
+        return float(others.min()), float(others.max())
+    if others.size == 0:
+        return float(overlap.min()), float(overlap.max())
+    alpha = w1 * float(overlap.min()) + w2 * float(others.min())
+    beta = w1 * float(overlap.max()) + w2 * float(others.max())
+    if beta < alpha:
+        alpha, beta = beta, alpha
+    return alpha, beta
+
+
+def epitome_scales(layer: EpitomeConv2d, quant: EpitomeQuantConfig,
+                   config: HardwareConfig = DEFAULT_CONFIG
+                   ) -> Tuple[np.ndarray, np.ndarray]:
+    """Compute per-group scales for one epitome layer.
+
+    Returns ``(scales, group_ids)`` where ``scales`` is indexed by the ids.
+    ``naive`` mode uses a single group covering the whole epitome; the
+    crossbar modes use one group per crossbar tile; ``crossbar_overlap``
+    additionally applies the Eq. 4-5 weighted range inside every tile.
+    """
+    values = layer.epitome.data
+    if quant.mode == "naive":
+        group_ids = np.zeros(values.shape, dtype=np.int64)
+        params = compute_qparams(float(values.min()), float(values.max()),
+                                 quant.bits, signed=True)
+        return np.array([params.scale]), group_ids
+
+    group_ids = crossbar_group_ids(layer.epitome_shape, config)
+    n_groups = int(group_ids.max()) + 1
+    overlap = layer.overlap_mask(quant.overlap_quantile) \
+        if quant.mode == "crossbar_overlap" else None
+
+    scales = np.empty(n_groups, dtype=np.float64)
+    for g in range(n_groups):
+        in_group = group_ids == g
+        group_values = values[in_group]
+        if quant.mode == "crossbar_overlap":
+            lo, hi = weighted_range(group_values, overlap[in_group],
+                                    quant.w1, quant.w2)
+        else:
+            lo, hi = float(group_values.min()), float(group_values.max())
+        scales[g] = compute_qparams(lo, hi, quant.bits, signed=True).scale
+    return scales, group_ids
+
+
+def make_epitome_quant_hook(layer: EpitomeConv2d, quant: EpitomeQuantConfig,
+                            config: HardwareConfig = DEFAULT_CONFIG):
+    """Build the fake-quant hook installed on ``layer.quantize_hook``.
+
+    Scales are frozen at installation time (recompute by re-applying after
+    large weight drift; the QAT recipes in :mod:`repro.core.pipeline` do).
+    """
+    scales, group_ids = epitome_scales(layer, quant, config)
+
+    def hook(epitome: nn.Tensor) -> nn.Tensor:
+        return fake_quantize_per_group(epitome, scales, group_ids,
+                                       quant.bits, signed=True)
+
+    return hook
+
+
+def apply_epitome_quantization(model: nn.Module, quant: EpitomeQuantConfig,
+                               bit_map: Optional[Dict[str, int]] = None,
+                               config: HardwareConfig = DEFAULT_CONFIG
+                               ) -> int:
+    """Install fake-quant hooks on every epitome layer of a model.
+
+    Parameters
+    ----------
+    bit_map:
+        Optional per-layer bit override (module path -> bits), e.g. the
+        HAWQ mixed-precision allocation behind the W3mp rows.
+
+    Returns the number of layers quantized.
+    """
+    count = 0
+    for name, module in model.named_modules():
+        if not isinstance(module, EpitomeConv2d):
+            continue
+        layer_quant = quant
+        if bit_map is not None and name in bit_map:
+            layer_quant = EpitomeQuantConfig(
+                bits=bit_map[name], mode=quant.mode,
+                w1=quant.w1, w2=quant.w2,
+                overlap_quantile=quant.overlap_quantile)
+        module.quantize_hook = make_epitome_quant_hook(module, layer_quant,
+                                                       config)
+        count += 1
+    return count
+
+
+def remove_epitome_quantization(model: nn.Module) -> int:
+    """Remove fake-quant hooks (back to full precision); returns count."""
+    count = 0
+    for _, module in model.named_modules():
+        if isinstance(module, EpitomeConv2d) and module.quantize_hook is not None:
+            module.quantize_hook = None
+            count += 1
+    return count

@@ -1,0 +1,142 @@
+"""Deployment manifest export: the artifact a PIM toolchain consumes.
+
+After the EPIM flow (design -> train -> quantize), a real deployment hands
+the accelerator a complete description of what to program: per layer, the
+stored tensor dimensions, crossbar allocation, precision, the quantization
+scales to configure the shift-add rescalers, the IFAT/IFRT/OFAT tables, and
+whether channel wrapping is enabled.  :func:`export_manifest` produces that
+description as a JSON-serialisable dict (and optionally writes it), tying
+together the software and hardware halves of the reproduction.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from .. import nn
+from ..pim.config import DEFAULT_CONFIG, HardwareConfig
+from ..pim.datapath import build_index_tables
+from ..pim.mapping import map_matrix
+from .designer import epitome_layers
+from .equant import EpitomeQuantConfig, epitome_scales
+from .layers import EpitomeConv2d
+
+__all__ = ["export_manifest", "write_manifest", "manifest_summary"]
+
+
+def _layer_entry(name: str, module: EpitomeConv2d,
+                 quant: Optional[EpitomeQuantConfig],
+                 config: HardwareConfig,
+                 include_tables: bool) -> Dict:
+    shape = module.epitome_shape
+    weight_bits = quant.bits if quant is not None else None
+    alloc = map_matrix(shape.rows, shape.cols,
+                       weight_bits if weight_bits is not None
+                       else config.fp_equivalent_bits, config)
+    entry = {
+        "name": name,
+        "type": "epitome_conv2d",
+        "virtual_shape": list(module.plan.virtual_shape),
+        "epitome_shape": list(shape.as_tuple()),
+        "rows": shape.rows,
+        "cols": shape.cols,
+        "stride": module.stride,
+        "padding": module.padding,
+        "compression": module.compression,
+        "weight_bits": weight_bits,
+        "crossbars": {
+            "row_groups": alloc.row_groups,
+            "col_groups": alloc.col_groups,
+            "count": alloc.num_crossbars,
+            "utilization": alloc.utilization,
+        },
+        "wrapping_factor": module.plan.n_co_blocks,
+        "activation_rounds": module.plan.rounds_per_position,
+    }
+    if quant is not None:
+        scales, group_ids = epitome_scales(module, quant, config)
+        entry["quantization"] = {
+            "mode": quant.mode,
+            "bits": quant.bits,
+            "num_scale_groups": int(scales.size),
+            "scales": [float(s) for s in scales],
+        }
+    if include_tables:
+        tables = build_index_tables(module.plan, (0, 0))
+        entry["index_tables"] = {
+            "n_patches": tables.n_patches,
+            "ifat": tables.ifat.tolist(),
+            "ifrt_rows_enabled": [int(row.sum()) for row in tables.ifrt],
+            "ofat": tables.ofat.tolist(),
+        }
+    return entry
+
+
+def export_manifest(model: nn.Module,
+                    quant: Optional[EpitomeQuantConfig] = None,
+                    config: HardwareConfig = DEFAULT_CONFIG,
+                    include_tables: bool = False) -> Dict:
+    """Build the deployment manifest for every epitome layer of a model.
+
+    Parameters
+    ----------
+    model:
+        A (converted, trained) network containing
+        :class:`~repro.core.layers.EpitomeConv2d` modules.
+    quant:
+        When given, per-layer quantization scales (the shift-add rescaler
+        configuration) are computed and embedded.
+    include_tables:
+        Embed the full IFAT/OFAT contents (IFRT as enabled-row counts);
+        large, so off by default.
+    """
+    layers = epitome_layers(model)
+    entries: List[Dict] = [
+        _layer_entry(name, module, quant, config, include_tables)
+        for name, module in layers]
+    total_xbars = sum(e["crossbars"]["count"] for e in entries)
+    return {
+        "format": "epim-deployment-manifest/1",
+        "hardware": {
+            "xbar_rows": config.xbar_rows,
+            "xbar_cols": config.xbar_cols,
+            "cell_bits": config.cell_bits,
+            "dac_bits": config.dac_bits,
+            "adc_bits": config.adc_bits,
+        },
+        "num_epitome_layers": len(entries),
+        "total_crossbars": total_xbars,
+        "layers": entries,
+    }
+
+
+def write_manifest(manifest: Dict, path: Union[str, Path]) -> None:
+    """Serialise a manifest to JSON on disk."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(manifest, indent=2))
+
+
+def manifest_summary(manifest: Dict) -> str:
+    """Human-readable one-screen summary of a manifest."""
+    lines = [
+        f"EPIM deployment manifest ({manifest['num_epitome_layers']} epitome "
+        f"layers, {manifest['total_crossbars']} crossbars)",
+        f"hardware: {manifest['hardware']['xbar_rows']}x"
+        f"{manifest['hardware']['xbar_cols']} arrays, "
+        f"{manifest['hardware']['cell_bits']}-bit cells",
+    ]
+    for entry in manifest["layers"]:
+        quant = entry.get("quantization")
+        quant_text = (f" W{quant['bits']} {quant['mode']} "
+                      f"({quant['num_scale_groups']} scales)" if quant else "")
+        lines.append(
+            f"  {entry['name']:<24s} {entry['rows']}x{entry['cols']} "
+            f"-> {entry['crossbars']['count']} XBs, "
+            f"{entry['activation_rounds']} rounds, "
+            f"r={entry['wrapping_factor']}{quant_text}")
+    return "\n".join(lines)

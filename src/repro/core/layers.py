@@ -1,0 +1,198 @@
+"""Trainable epitome layers for :mod:`repro.nn` networks.
+
+:class:`EpitomeConv2d` is the drop-in replacement for
+:class:`repro.nn.Conv2d` that the EPIM designer installs: it owns the small
+epitome parameter tensor, reconstructs the virtual convolution weight
+through the plan's index map on every forward pass (a pure gather, so the
+backward pass scatter-adds gradients into the shared epitome entries —
+PyTorch would do exactly the same through advanced indexing), and then runs
+the standard convolution.
+
+The layer also exposes the hooks the rest of the pipeline needs:
+
+- ``plan`` for the PIM datapath/index tables and performance model,
+- ``repetition_counts()`` / ``overlap_mask()`` for the overlap-weighted
+  quantization of Eqs. 4-5,
+- ``quantize_hooks`` — an optional fake-quant callable applied to the
+  *epitome* (not the reconstructed weight), matching the paper's "quantize
+  the epitome" formulation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+from .. import nn
+from ..nn import functional as F
+from ..nn import init as nn_init
+from ..nn.modules import Parameter
+from .epitome import EpitomePlan, EpitomeShape, build_plan
+
+__all__ = ["EpitomeConv2d", "EpitomeLinear"]
+
+
+class EpitomeConv2d(nn.Module):
+    """Convolution whose weight is reconstructed from an epitome.
+
+    Parameters
+    ----------
+    in_channels / out_channels / kernel_size / stride / padding / bias:
+        Same meaning as :class:`repro.nn.Conv2d` — the *virtual* convolution
+        the layer emulates.
+    epitome_shape:
+        The compact parameter tensor's shape.  Must be compatible with the
+        virtual weight (``eo <= out_channels``, ``ei <= in_channels``,
+        spatial map at least kernel-sized).
+    rng:
+        Initialisation generator.  The epitome is initialised so that the
+        *reconstructed* weight matches Kaiming statistics (fan-in of the
+        virtual convolution).
+    """
+
+    def __init__(self, in_channels: int, out_channels: int,
+                 kernel_size, stride: int = 1, padding: int = 0,
+                 bias: bool = True, *,
+                 epitome_shape: EpitomeShape,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        kh, kw = (kernel_size, kernel_size) if isinstance(kernel_size, int) \
+            else kernel_size
+        self.kernel_size = (kh, kw)
+        self.stride = stride
+        self.padding = padding
+        self.epitome_shape = epitome_shape
+        self.plan: EpitomePlan = build_plan(
+            (out_channels, in_channels, kh, kw), epitome_shape)
+
+        generator = rng if rng is not None else np.random.default_rng(0)
+        fan_in = in_channels * kh * kw
+        std = math.sqrt(2.0) / math.sqrt(fan_in)
+        self.epitome = Parameter(
+            (generator.standard_normal(epitome_shape.as_tuple()) * std
+             ).astype(np.float32),
+            name="epitome")
+        if bias:
+            bound = 1.0 / math.sqrt(fan_in)
+            self.bias = Parameter(
+                generator.uniform(-bound, bound, size=out_channels
+                                  ).astype(np.float32),
+                name="epitome.bias")
+        else:
+            self.bias = None
+        # Optional fake-quantization applied to the epitome before
+        # reconstruction (installed by the quantization pipeline).
+        self.quantize_hook: Optional[Callable[[nn.Tensor], nn.Tensor]] = None
+
+    # ------------------------------------------------------------------
+    def virtual_weight(self) -> nn.Tensor:
+        """Reconstruct the full convolution weight (differentiable gather)."""
+        epitome: nn.Tensor = self.epitome
+        if self.quantize_hook is not None:
+            epitome = self.quantize_hook(epitome)
+        return epitome.take_flat(self.plan.index_map)
+
+    def forward(self, x: nn.Tensor) -> nn.Tensor:
+        weight = self.virtual_weight()
+        return F.conv2d(x, weight, self.bias,
+                        stride=self.stride, padding=self.padding)
+
+    # ------------------------------------------------------------------
+    def repetition_counts(self) -> np.ndarray:
+        """Per-element repetition counts of the epitome (Fig. 2c)."""
+        return self.plan.repetition_counts()
+
+    def overlap_mask(self, quantile: float = 0.5) -> np.ndarray:
+        """Mask of the highly-repeated region used by Eqs. 4-5."""
+        return self.plan.overlap_mask(quantile)
+
+    @property
+    def compression(self) -> float:
+        """Parameter compression of this layer versus the virtual conv."""
+        return self.plan.compression
+
+    def num_epitome_params(self) -> int:
+        return self.epitome.data.size
+
+    def load_from_conv(self, conv: nn.Conv2d) -> None:
+        """Initialise the epitome from a trained convolution.
+
+        Every epitome element is set to the *mean* of the virtual-weight
+        positions it reconstructs (the least-squares solution of
+        ``E.flat[index_map] ~= W``), which preserves most of the trained
+        signal and is the standard warm start for weight-sharing operators.
+        """
+        if conv.weight.data.shape != self.plan.virtual_shape:
+            raise ValueError(
+                f"conv weight {conv.weight.data.shape} does not match plan "
+                f"{self.plan.virtual_shape}")
+        flat_idx = self.plan.index_map.ravel()
+        sums = np.bincount(flat_idx, weights=conv.weight.data.ravel(),
+                           minlength=self.epitome.data.size)
+        counts = np.bincount(flat_idx, minlength=self.epitome.data.size)
+        counts = np.maximum(counts, 1)
+        self.epitome.data = (sums / counts).reshape(
+            self.epitome.data.shape).astype(np.float32)
+        if self.bias is not None and conv.bias is not None:
+            self.bias.data = conv.bias.data.copy()
+
+    def __repr__(self) -> str:
+        return (f"EpitomeConv2d({self.in_channels}, {self.out_channels}, "
+                f"kernel_size={self.kernel_size}, stride={self.stride}, "
+                f"epitome={self.epitome_shape.rows}x{self.epitome_shape.cols}, "
+                f"compression={self.compression:.2f}x)")
+
+
+class EpitomeLinear(nn.Module):
+    """Linear layer whose weight matrix is reconstructed from an epitome.
+
+    Uses the same plan machinery with a 1x1 "kernel": the virtual weight is
+    ``(out_features, in_features, 1, 1)``.  Provided for completeness (the
+    paper keeps classifier heads dense; our experiments do too).
+    """
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True,
+                 *, epitome_shape: EpitomeShape,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.plan = build_plan((out_features, in_features, 1, 1), epitome_shape)
+        self.epitome_shape = epitome_shape
+
+        generator = rng if rng is not None else np.random.default_rng(0)
+        bound = 1.0 / math.sqrt(in_features)
+        self.epitome = Parameter(
+            generator.uniform(-bound, bound,
+                              size=epitome_shape.as_tuple()).astype(np.float32),
+            name="epitome_linear")
+        if bias:
+            self.bias = Parameter(
+                generator.uniform(-bound, bound, size=out_features
+                                  ).astype(np.float32),
+                name="epitome_linear.bias")
+        else:
+            self.bias = None
+        self.quantize_hook: Optional[Callable[[nn.Tensor], nn.Tensor]] = None
+
+    def virtual_weight(self) -> nn.Tensor:
+        epitome: nn.Tensor = self.epitome
+        if self.quantize_hook is not None:
+            epitome = self.quantize_hook(epitome)
+        gathered = epitome.take_flat(self.plan.index_map)
+        return gathered.reshape(self.out_features, self.in_features)
+
+    def forward(self, x: nn.Tensor) -> nn.Tensor:
+        return F.linear(x, self.virtual_weight(), self.bias)
+
+    @property
+    def compression(self) -> float:
+        return self.plan.compression
+
+    def __repr__(self) -> str:
+        return (f"EpitomeLinear({self.in_features}, {self.out_features}, "
+                f"epitome={self.epitome_shape.rows}x{self.epitome_shape.cols})")

@@ -1,0 +1,214 @@
+"""End-to-end EPIM flow (Fig. 2a): design -> train -> quantize -> deploy.
+
+``EPIM begins with any convolution-based neural network.  Subsequently,
+[the] epitome designer is used to replace the convolutions by epitomes ...
+After training, the epitome designer converts the floating point model to
+fixed-point.  Then, we modify the data path and design the feature map
+reuse strategy ... After these steps, a well-crafted epitome based neural
+network can be deployed on PIM accelerators.''
+
+:class:`EpimPipeline` wires those stages together for runnable models and
+returns both the trained/quantized network (accuracy side) and the PIM
+deployment report (hardware side).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .. import nn
+from ..nn.data import DataLoader
+from ..nn.training import TrainConfig, TrainResult, evaluate_accuracy, train_classifier
+from ..pim.config import DEFAULT_CONFIG, HardwareConfig
+from ..pim.lut import DEFAULT_LUT, ComponentLUT
+from ..pim.simulator import (
+    LayerDeployment,
+    NetworkReport,
+    baseline_deployment,
+    epitome_deployment_from_plan,
+    simulate_network,
+)
+from ..models.specs import LayerSpec
+from .designer import EpitomeAssignment, convert_model, epitome_layers, model_compression_summary
+from .equant import EpitomeQuantConfig, apply_epitome_quantization
+from .layers import EpitomeConv2d
+
+__all__ = ["EpimPipelineConfig", "EpimResult", "EpimPipeline"]
+
+
+@dataclass(frozen=True)
+class EpimPipelineConfig:
+    """Configuration of the full flow for a runnable model."""
+
+    epitome_rows: int = 128
+    epitome_cols: int = 32
+    assignment: Optional[EpitomeAssignment] = None
+    use_wrapping: bool = True
+    train: TrainConfig = field(default_factory=TrainConfig)
+    quant: Optional[EpitomeQuantConfig] = None
+    qat_epochs: int = 3
+    activation_bits: int = 9
+    seed: int = 0
+
+
+@dataclass
+class EpimResult:
+    """Everything the flow produces for one model."""
+
+    model: nn.Module
+    train_result: TrainResult
+    qat_result: Optional[TrainResult]
+    accuracy: float
+    compression: Dict[str, float]
+    report: Optional[NetworkReport]
+
+
+class EpimPipeline:
+    """Drives design -> train -> quantize -> deploy on a runnable model."""
+
+    def __init__(self, config: EpimPipelineConfig = EpimPipelineConfig(),
+                 hardware: HardwareConfig = DEFAULT_CONFIG,
+                 lut: ComponentLUT = DEFAULT_LUT):
+        self.config = config
+        self.hardware = hardware
+        self.lut = lut
+
+    # ------------------------------------------------------------------
+    def design(self, model: nn.Module) -> int:
+        """Stage 1: replace convolutions with epitomes (returns #converted)."""
+        return convert_model(
+            model,
+            rows=self.config.epitome_rows,
+            cols=self.config.epitome_cols,
+            assignment=self.config.assignment,
+            config=self.hardware,
+            seed=self.config.seed,
+        )
+
+    def train(self, model: nn.Module, train_loader: DataLoader,
+              val_loader: Optional[DataLoader]) -> TrainResult:
+        """Stage 2: train the epitome network in floating point."""
+        return train_classifier(model, train_loader, val_loader,
+                                config=self.config.train)
+
+    def quantize(self, model: nn.Module, train_loader: DataLoader,
+                 val_loader: Optional[DataLoader],
+                 bit_map: Optional[Dict[str, int]] = None
+                 ) -> Optional[TrainResult]:
+        """Stage 3: install epitome-aware fake quantization + QAT fine-tune.
+
+        Scales are refreshed at the start of each QAT epoch so they track
+        the fine-tuned weights.  No-op when the pipeline has no quant config.
+        """
+        quant = self.config.quant
+        if quant is None:
+            return None
+        apply_epitome_quantization(model, quant, bit_map=bit_map,
+                                   config=self.hardware)
+        if self.config.qat_epochs <= 0:
+            return None
+        qat_train = TrainConfig(
+            epochs=self.config.qat_epochs,
+            lr=self.config.train.lr * 0.1,
+            momentum=self.config.train.momentum,
+            weight_decay=self.config.train.weight_decay,
+            optimizer=self.config.train.optimizer,
+            cosine=True,
+        )
+
+        def refresh_scales(_epoch: int, _partial: TrainResult) -> None:
+            apply_epitome_quantization(model, quant, bit_map=bit_map,
+                                       config=self.hardware)
+
+        return train_classifier(model, train_loader, val_loader,
+                                config=qat_train,
+                                epoch_callback=refresh_scales)
+
+    def deploy(self, model: nn.Module, input_size: Tuple[int, int],
+               weight_bits: Optional[int] = None) -> NetworkReport:
+        """Stage 4: map the model onto the PIM fabric and simulate it.
+
+        Builds per-layer deployments by tracing spatial sizes through the
+        model's conv/epitome layers, then runs the performance model.
+        """
+        bits = weight_bits
+        if bits is None and self.config.quant is not None:
+            bits = self.config.quant.bits
+        deployments = self._deployments_from_model(model, input_size, bits)
+        return simulate_network(deployments, self.hardware, self.lut)
+
+    # ------------------------------------------------------------------
+    def run(self, model: nn.Module, train_loader: DataLoader,
+            val_loader: DataLoader, input_size: Tuple[int, int] = (32, 32),
+            bit_map: Optional[Dict[str, int]] = None) -> EpimResult:
+        """Run all four stages and collect the results."""
+        self.design(model)
+        train_result = self.train(model, train_loader, val_loader)
+        qat_result = self.quantize(model, train_loader, val_loader, bit_map)
+        accuracy = evaluate_accuracy(model, val_loader)
+        report = self.deploy(model, input_size)
+        return EpimResult(
+            model=model,
+            train_result=train_result,
+            qat_result=qat_result,
+            accuracy=accuracy,
+            compression=model_compression_summary(model),
+            report=report,
+        )
+
+    # ------------------------------------------------------------------
+    def _deployments_from_model(self, model: nn.Module,
+                                input_size: Tuple[int, int],
+                                weight_bits: Optional[int]
+                                ) -> List[LayerDeployment]:
+        """Trace conv layers in execution order and build deployments.
+
+        Spatial sizes are propagated through strides; residual topology does
+        not change conv input sizes, so module order (which matches
+        execution order in our ResNets) is sufficient.
+        """
+        deployments: List[LayerDeployment] = []
+        size = input_size
+        stage_sizes: Dict[int, Tuple[int, int]] = {}
+        for name, module in model.named_modules():
+            if isinstance(module, EpitomeConv2d) or type(module) is nn.Conv2d:
+                in_size = stage_sizes.get(module.in_channels, size)
+                kh, kw = module.kernel_size
+                pad = module.padding
+                stride = module.stride
+                oh = (in_size[0] + 2 * pad - kh) // stride + 1
+                ow = (in_size[1] + 2 * pad - kw) // stride + 1
+                spec = LayerSpec(
+                    name=name, kind="conv",
+                    in_channels=module.in_channels,
+                    out_channels=module.out_channels,
+                    kernel_size=module.kernel_size, stride=stride,
+                    in_size=in_size, out_size=(oh, ow))
+                stage_sizes[module.out_channels] = (oh, ow)
+                size = (oh, ow)
+                if isinstance(module, EpitomeConv2d):
+                    deployments.append(epitome_deployment_from_plan(
+                        spec, module.plan, weight_bits=weight_bits,
+                        activation_bits=self.config.activation_bits,
+                        use_wrapping=self.config.use_wrapping,
+                        config=self.hardware))
+                else:
+                    deployments.append(baseline_deployment(
+                        spec, weight_bits=weight_bits,
+                        activation_bits=self.config.activation_bits,
+                        config=self.hardware))
+            elif isinstance(module, nn.Linear):
+                spec = LayerSpec(
+                    name=name, kind="fc",
+                    in_channels=module.in_features,
+                    out_channels=module.out_features,
+                    kernel_size=(1, 1), stride=1,
+                    in_size=(1, 1), out_size=(1, 1))
+                deployments.append(baseline_deployment(
+                    spec, weight_bits=weight_bits,
+                    activation_bits=self.config.activation_bits,
+                    config=self.hardware))
+        return deployments

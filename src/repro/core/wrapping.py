@@ -1,0 +1,116 @@
+"""Output channel wrapping (paper section 5.3, Eqs. 8-9).
+
+The epitome's output-channel tiling makes the virtual weight — and hence
+the output feature map — translation-invariant along channels:
+
+    W[x, :, :, :]  == W[x + c, :, :, :]      (Eq. 8)
+    OFM[x, :, :, :] == OFM[x + c, :, :, :]   (Eq. 9)
+
+so only ``c`` of ``c * r`` channels need computing; the joint module
+replicates the rest by adjusting IFAT/OFAT start/stop indices, and output
+buffer writes drop by the replication factor ``r``.
+
+The *execution* of wrapping lives in the datapath
+(:func:`repro.pim.datapath.execute_epitome_conv` with ``use_wrapping=True``)
+and the performance model (:func:`~repro.pim.simulator.simulate_layer` via
+deployments built with ``use_wrapping=True``).  This module provides the
+analysis utilities: verifying the invariance on real tensors and accounting
+for the savings per layer — the numbers behind the EPIM-Channel-Wrapping
+series of Fig. 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .epitome import EpitomePlan
+
+__all__ = [
+    "wrapping_factor",
+    "verify_weight_invariance",
+    "verify_ofm_invariance",
+    "WrappingSavings",
+    "wrapping_savings",
+]
+
+
+def wrapping_factor(plan: EpitomePlan) -> int:
+    """Replication factor ``r = n_co_blocks`` of a layer's plan."""
+    return plan.n_co_blocks
+
+
+def verify_weight_invariance(plan: EpitomePlan, weight: np.ndarray,
+                             atol: float = 0.0) -> bool:
+    """Check Eq. 8 on a reconstructed virtual weight.
+
+    ``weight`` must have the plan's virtual shape.  Returns True when every
+    full output-channel tile equals the first one (partial trailing tiles
+    are compared over their prefix).
+    """
+    eo = plan.epitome_shape.out_channels
+    co = plan.virtual_shape[0]
+    first = weight[:eo]
+    for start in range(eo, co, eo):
+        size = min(eo, co - start)
+        if not np.allclose(weight[start:start + size], first[:size], atol=atol):
+            return False
+    return True
+
+
+def verify_ofm_invariance(plan: EpitomePlan, ofm: np.ndarray,
+                          atol: float = 1e-5) -> bool:
+    """Check Eq. 9 on an output feature map ``(n, co, oh, ow)``."""
+    eo = plan.epitome_shape.out_channels
+    co = ofm.shape[1]
+    first = ofm[:, :eo]
+    for start in range(eo, co, eo):
+        size = min(eo, co - start)
+        if not np.allclose(ofm[:, start:start + size], first[:, :size],
+                           atol=atol):
+            return False
+    return True
+
+
+@dataclass(frozen=True)
+class WrappingSavings:
+    """Per-layer savings from enabling output channel wrapping."""
+
+    replication_factor: int
+    rounds_without: int
+    rounds_with: int
+    buffer_writes_without: int
+    buffer_writes_with: int
+
+    @property
+    def round_reduction(self) -> float:
+        if self.rounds_with == 0:
+            return 1.0
+        return self.rounds_without / self.rounds_with
+
+    @property
+    def write_reduction(self) -> float:
+        if self.buffer_writes_with == 0:
+            return 1.0
+        return self.buffer_writes_without / self.buffer_writes_with
+
+
+def wrapping_savings(plan: EpitomePlan) -> WrappingSavings:
+    """Compute the activation-round and buffer-write savings for one layer.
+
+    Buffer writes are counted per output position: every executed patch
+    writes its ``co_size`` partial sums to the output buffer (the paper's
+    "output buffer has to be written four times more" effect); wrapping
+    executes only the first tile's patches.
+    """
+    all_patches = plan.patches
+    kept = [p for p in all_patches if p.co_block == 0]
+    return WrappingSavings(
+        replication_factor=plan.n_co_blocks,
+        rounds_without=len(all_patches),
+        rounds_with=len(kept),
+        buffer_writes_without=sum(p.co_size for p in all_patches),
+        buffer_writes_with=sum(p.co_size for p in kept),
+    )

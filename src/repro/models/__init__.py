@@ -1,0 +1,45 @@
+"""repro.models — network definitions.
+
+- :mod:`repro.models.specs`: exact layer-shape tables of ResNet-18/34/50/101
+  at 224x224 (feed the PIM simulator; no weights required);
+- :mod:`repro.models.resnet`: runnable, trainable scaled ResNets on
+  :mod:`repro.nn` for the accuracy experiments.
+"""
+
+from .resnet import (
+    BasicBlock,
+    Bottleneck,
+    CifarResNet,
+    conv_layer_names,
+    mini_resnet50,
+    resnet20,
+    resnet32,
+    resnet44,
+)
+from .specs import (
+    LayerSpec,
+    NetworkSpec,
+    get_network_spec,
+    resnet18_spec,
+    resnet34_spec,
+    resnet50_spec,
+    resnet101_spec,
+)
+
+__all__ = [
+    "LayerSpec",
+    "NetworkSpec",
+    "get_network_spec",
+    "resnet18_spec",
+    "resnet34_spec",
+    "resnet50_spec",
+    "resnet101_spec",
+    "BasicBlock",
+    "Bottleneck",
+    "CifarResNet",
+    "resnet20",
+    "resnet32",
+    "resnet44",
+    "mini_resnet50",
+    "conv_layer_names",
+]

@@ -1,0 +1,195 @@
+"""Runnable ResNets built on :mod:`repro.nn`.
+
+Two families are provided:
+
+- CIFAR-style basic-block ResNets (``resnet20/32/44``) — the classic
+  3-stage 16/32/64-channel networks from the original ResNet paper, sized so
+  quantization-aware training finishes in minutes on CPU;
+- a bottleneck ``mini_resnet50`` with the same 1x1/3x3/1x1 block structure as
+  ResNet-50 (expansion 4), scaled to 32x32 inputs, so every code path the
+  full ImageNet model would exercise (bottlenecks, downsample convs) is
+  trained and quantized for the accuracy experiments.
+
+All convolutions are plain :class:`repro.nn.Conv2d`; the EPIM designer swaps
+them for epitome layers after construction (see
+:class:`repro.core.designer.EpitomeDesigner`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .. import nn
+from ..nn import functional as F
+
+__all__ = [
+    "BasicBlock",
+    "Bottleneck",
+    "CifarResNet",
+    "resnet20",
+    "resnet32",
+    "resnet44",
+    "mini_resnet50",
+    "conv_layer_names",
+]
+
+
+def _conv3x3(cin: int, cout: int, stride: int, rng: np.random.Generator) -> nn.Conv2d:
+    return nn.Conv2d(cin, cout, 3, stride=stride, padding=1, bias=False, rng=rng)
+
+
+def _conv1x1(cin: int, cout: int, stride: int, rng: np.random.Generator) -> nn.Conv2d:
+    return nn.Conv2d(cin, cout, 1, stride=stride, padding=0, bias=False, rng=rng)
+
+
+class BasicBlock(nn.Module):
+    """Two 3x3 convolutions with an identity (or projection) shortcut."""
+
+    expansion = 1
+
+    def __init__(self, in_channels: int, channels: int, stride: int,
+                 rng: np.random.Generator):
+        super().__init__()
+        self.conv1 = _conv3x3(in_channels, channels, stride, rng)
+        self.bn1 = nn.BatchNorm2d(channels)
+        self.conv2 = _conv3x3(channels, channels, 1, rng)
+        self.bn2 = nn.BatchNorm2d(channels)
+        if stride != 1 or in_channels != channels:
+            self.downsample = nn.Sequential(
+                _conv1x1(in_channels, channels, stride, rng),
+                nn.BatchNorm2d(channels))
+        else:
+            self.downsample = nn.Identity()
+
+    def forward(self, x: nn.Tensor) -> nn.Tensor:
+        out = self.bn1(self.conv1(x)).relu()
+        out = self.bn2(self.conv2(out))
+        out = out + self.downsample(x)
+        return out.relu()
+
+
+class Bottleneck(nn.Module):
+    """1x1 reduce -> 3x3 -> 1x1 expand block, expansion 4 (ResNet-50 style)."""
+
+    expansion = 4
+
+    def __init__(self, in_channels: int, channels: int, stride: int,
+                 rng: np.random.Generator):
+        super().__init__()
+        out_channels = channels * self.expansion
+        self.conv1 = _conv1x1(in_channels, channels, 1, rng)
+        self.bn1 = nn.BatchNorm2d(channels)
+        self.conv2 = _conv3x3(channels, channels, stride, rng)
+        self.bn2 = nn.BatchNorm2d(channels)
+        self.conv3 = _conv1x1(channels, out_channels, 1, rng)
+        self.bn3 = nn.BatchNorm2d(out_channels)
+        if stride != 1 or in_channels != out_channels:
+            self.downsample = nn.Sequential(
+                _conv1x1(in_channels, out_channels, stride, rng),
+                nn.BatchNorm2d(out_channels))
+        else:
+            self.downsample = nn.Identity()
+
+    def forward(self, x: nn.Tensor) -> nn.Tensor:
+        out = self.bn1(self.conv1(x)).relu()
+        out = self.bn2(self.conv2(out)).relu()
+        out = self.bn3(self.conv3(out))
+        out = out + self.downsample(x)
+        return out.relu()
+
+
+class CifarResNet(nn.Module):
+    """Three-stage ResNet for 32x32 inputs.
+
+    Parameters
+    ----------
+    block:
+        :class:`BasicBlock` or :class:`Bottleneck`.
+    stage_blocks:
+        Number of blocks per stage (three stages).
+    widths:
+        Base channel count per stage, before block expansion.
+    num_classes:
+        Output classes of the final linear layer.
+    seed:
+        Seed for the weight-init generator (reproducible experiments).
+    """
+
+    def __init__(self, block, stage_blocks: Sequence[int],
+                 widths: Sequence[int] = (16, 32, 64), num_classes: int = 10,
+                 in_channels: int = 3, seed: int = 0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.block_type = block
+        self.stem = nn.Conv2d(in_channels, widths[0], 3, stride=1, padding=1,
+                              bias=False, rng=rng)
+        self.stem_bn = nn.BatchNorm2d(widths[0])
+
+        channels = widths[0]
+        stages: List[nn.Module] = []
+        for stage_idx, (blocks, width) in enumerate(zip(stage_blocks, widths)):
+            stride = 1 if stage_idx == 0 else 2
+            layers: List[nn.Module] = []
+            for block_idx in range(blocks):
+                layers.append(block(channels, width,
+                                    stride if block_idx == 0 else 1, rng))
+                channels = width * block.expansion
+            stages.append(nn.Sequential(*layers))
+        self.stage1, self.stage2, self.stage3 = stages
+        self.head = nn.Linear(channels, num_classes, rng=rng)
+
+    def forward(self, x: nn.Tensor) -> nn.Tensor:
+        out = self.stem_bn(self.stem(x)).relu()
+        out = self.stage1(out)
+        out = self.stage2(out)
+        out = self.stage3(out)
+        out = F.global_avg_pool2d(out)
+        return self.head(out)
+
+    def features(self, x: nn.Tensor) -> nn.Tensor:
+        """Penultimate (pooled) features, used by HAWQ sensitivity probes."""
+        out = self.stem_bn(self.stem(x)).relu()
+        out = self.stage1(out)
+        out = self.stage2(out)
+        out = self.stage3(out)
+        return F.global_avg_pool2d(out)
+
+
+def resnet20(num_classes: int = 10, seed: int = 0, **kwargs) -> CifarResNet:
+    """ResNet-20 (3 stages x 3 basic blocks), the workhorse accuracy model."""
+    return CifarResNet(BasicBlock, (3, 3, 3), num_classes=num_classes,
+                       seed=seed, **kwargs)
+
+
+def resnet32(num_classes: int = 10, seed: int = 0, **kwargs) -> CifarResNet:
+    """ResNet-32 (3 stages x 5 basic blocks)."""
+    return CifarResNet(BasicBlock, (5, 5, 5), num_classes=num_classes,
+                       seed=seed, **kwargs)
+
+
+def resnet44(num_classes: int = 10, seed: int = 0, **kwargs) -> CifarResNet:
+    """ResNet-44 (3 stages x 7 basic blocks)."""
+    return CifarResNet(BasicBlock, (7, 7, 7), num_classes=num_classes,
+                       seed=seed, **kwargs)
+
+
+def mini_resnet50(num_classes: int = 10, seed: int = 0, **kwargs) -> CifarResNet:
+    """Bottleneck ResNet with ResNet-50's block anatomy, scaled to 32x32.
+
+    Stands in for ResNet-50 in the *accuracy* experiments (Table 1/2/3
+    rankings); the *hardware* experiments use the exact full-size
+    :func:`repro.models.specs.resnet50_spec` shapes instead.
+    """
+    return CifarResNet(Bottleneck, (2, 2, 2), num_classes=num_classes,
+                       seed=seed, **kwargs)
+
+
+def conv_layer_names(model: nn.Module) -> List[str]:
+    """Names of every Conv2d (and subclasses) in traversal order."""
+    names = []
+    for name, module in model.named_modules():
+        if isinstance(module, nn.Conv2d):
+            names.append(name)
+    return names

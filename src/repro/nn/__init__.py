@@ -1,0 +1,74 @@
+"""repro.nn — from-scratch numpy deep-learning framework.
+
+This package substitutes for PyTorch in the EPIM reproduction: a
+reverse-mode autograd tensor (:mod:`repro.nn.tensor`), fused NN operators
+(:mod:`repro.nn.functional`), a module system (:mod:`repro.nn.modules`),
+optimizers (:mod:`repro.nn.optim`) and data loading (:mod:`repro.nn.data`).
+"""
+
+from . import functional
+from .data import ArrayDataset, DataLoader, Dataset
+from .serialization import load_checkpoint, load_state, save_checkpoint
+from .modules import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    GELU,
+    GlobalAvgPool2d,
+    GroupNorm,
+    Identity,
+    LayerNorm,
+    LeakyReLU,
+    Linear,
+    MaxPool2d,
+    Module,
+    ModuleList,
+    Parameter,
+    ReLU,
+    Sequential,
+    SiLU,
+)
+from .optim import SGD, Adam, CosineSchedule, Optimizer, StepSchedule
+from .tensor import Tensor, no_grad, ones, randn, tensor, zeros
+
+__all__ = [
+    "functional",
+    "Tensor",
+    "no_grad",
+    "tensor",
+    "zeros",
+    "ones",
+    "randn",
+    "Parameter",
+    "Module",
+    "Sequential",
+    "ModuleList",
+    "Identity",
+    "ReLU",
+    "LeakyReLU",
+    "GELU",
+    "SiLU",
+    "Conv2d",
+    "Linear",
+    "BatchNorm2d",
+    "LayerNorm",
+    "GroupNorm",
+    "MaxPool2d",
+    "AvgPool2d",
+    "GlobalAvgPool2d",
+    "Flatten",
+    "Dropout",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "CosineSchedule",
+    "StepSchedule",
+    "Dataset",
+    "ArrayDataset",
+    "DataLoader",
+    "save_checkpoint",
+    "load_checkpoint",
+    "load_state",
+]

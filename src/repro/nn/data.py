@@ -1,0 +1,80 @@
+"""Dataset and DataLoader abstractions (the torch.utils.data stand-in).
+
+Datasets yield ``(image, label)`` pairs as numpy arrays; the loader batches
+and (optionally) shuffles with an explicit RNG for reproducibility.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["Dataset", "ArrayDataset", "DataLoader"]
+
+
+class Dataset:
+    """Minimal map-style dataset interface."""
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def __getitem__(self, index: int) -> Tuple[np.ndarray, int]:
+        raise NotImplementedError
+
+
+class ArrayDataset(Dataset):
+    """Dataset backed by in-memory arrays ``images (N, C, H, W)``, ``labels (N,)``."""
+
+    def __init__(self, images: np.ndarray, labels: np.ndarray):
+        if len(images) != len(labels):
+            raise ValueError("images and labels must have the same length")
+        self.images = images
+        self.labels = labels
+
+    def __len__(self) -> int:
+        return len(self.images)
+
+    def __getitem__(self, index: int) -> Tuple[np.ndarray, int]:
+        return self.images[index], int(self.labels[index])
+
+
+class DataLoader:
+    """Batched iteration over a dataset.
+
+    Iterating yields ``(batch_images, batch_labels)`` numpy pairs.  Shuffling
+    uses the provided generator so runs are reproducible; ``drop_last``
+    matches PyTorch semantics.
+    """
+
+    def __init__(self, dataset: Dataset, batch_size: int = 32,
+                 shuffle: bool = False, drop_last: bool = False,
+                 rng: Optional[np.random.Generator] = None):
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        n = len(self.dataset)
+        order = np.arange(n)
+        if self.shuffle:
+            self._rng.shuffle(order)
+        limit = (n // self.batch_size) * self.batch_size if self.drop_last else n
+        for start in range(0, limit, self.batch_size):
+            indices = order[start:start + self.batch_size]
+            if isinstance(self.dataset, ArrayDataset):
+                images = self.dataset.images[indices]
+                labels = self.dataset.labels[indices]
+            else:
+                samples = [self.dataset[int(i)] for i in indices]
+                images = np.stack([s[0] for s in samples])
+                labels = np.asarray([s[1] for s in samples])
+            yield images, labels

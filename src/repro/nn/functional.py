@@ -1,0 +1,473 @@
+"""Neural-network operators built on :class:`repro.nn.tensor.Tensor`.
+
+These are the fused, performance-critical ops that would be cuDNN kernels in
+the paper's PyTorch setup: im2col convolution, pooling, batch normalisation
+and the classification loss.  Each op implements a custom backward closure
+rather than being composed from primitive autograd ops, both for speed (the
+experiments train real networks on CPU) and for numerical clarity.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .tensor import Tensor, unbroadcast
+
+__all__ = [
+    "im2col",
+    "col2im",
+    "conv2d",
+    "conv_output_size",
+    "linear",
+    "max_pool2d",
+    "avg_pool2d",
+    "global_avg_pool2d",
+    "batch_norm2d",
+    "layer_norm",
+    "group_norm",
+    "softmax",
+    "log_softmax",
+    "cross_entropy",
+    "nll_loss",
+    "mse_loss",
+    "dropout",
+    "concatenate",
+    "stack",
+    "leaky_relu",
+    "gelu",
+    "silu",
+]
+
+IntPair = Union[int, Tuple[int, int]]
+
+
+def _pair(value: IntPair) -> Tuple[int, int]:
+    if isinstance(value, tuple):
+        return value
+    return (value, value)
+
+
+def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Spatial output size of a convolution/pooling window sweep."""
+    return (size + 2 * padding - kernel) // stride + 1
+
+
+# ----------------------------------------------------------------------
+# im2col / col2im
+# ----------------------------------------------------------------------
+
+def im2col(x: np.ndarray, kernel: Tuple[int, int], stride: Tuple[int, int],
+           padding: Tuple[int, int]) -> np.ndarray:
+    """Unfold NCHW input into columns of shape ``(N, C*KH*KW, OH*OW)``.
+
+    Uses ``as_strided`` to build the patch view without copying, then a single
+    reshape-copy.  This is the standard lowering of convolution to matmul.
+    """
+    kh, kw = kernel
+    sh, sw = stride
+    ph, pw = padding
+    if ph or pw:
+        x = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+    n, c, h, w = x.shape
+    oh = (h - kh) // sh + 1
+    ow = (w - kw) // sw + 1
+    sn, sc, sh_, sw_ = x.strides
+    patches = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, c, kh, kw, oh, ow),
+        strides=(sn, sc, sh_, sw_, sh_ * sh, sw_ * sw),
+        writeable=False,
+    )
+    return patches.reshape(n, c * kh * kw, oh * ow)
+
+
+def col2im(cols: np.ndarray, input_shape: Tuple[int, int, int, int],
+           kernel: Tuple[int, int], stride: Tuple[int, int],
+           padding: Tuple[int, int]) -> np.ndarray:
+    """Fold columns back into an NCHW gradient (adjoint of :func:`im2col`)."""
+    n, c, h, w = input_shape
+    kh, kw = kernel
+    sh, sw = stride
+    ph, pw = padding
+    hp, wp = h + 2 * ph, w + 2 * pw
+    oh = (hp - kh) // sh + 1
+    ow = (wp - kw) // sw + 1
+    cols = cols.reshape(n, c, kh, kw, oh, ow)
+    out = np.zeros((n, c, hp, wp), dtype=cols.dtype)
+    for i in range(kh):
+        i_end = i + sh * oh
+        for j in range(kw):
+            j_end = j + sw * ow
+            out[:, :, i:i_end:sh, j:j_end:sw] += cols[:, :, i, j]
+    if ph or pw:
+        out = out[:, :, ph:hp - ph or None, pw:wp - pw or None]
+    return out
+
+
+# ----------------------------------------------------------------------
+# Convolution / linear
+# ----------------------------------------------------------------------
+
+def conv2d(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None,
+           stride: IntPair = 1, padding: IntPair = 0) -> Tensor:
+    """2-D convolution (cross-correlation) on NCHW input.
+
+    ``weight`` has shape ``(C_out, C_in, KH, KW)``.  Both the standard
+    :class:`~repro.nn.modules.Conv2d` and the epitome layer
+    (:class:`repro.core.layers.EpitomeConv2d`, which first *reconstructs*
+    its weight) route through this function, so their outputs are directly
+    comparable.
+    """
+    stride_p = _pair(stride)
+    padding_p = _pair(padding)
+    co, ci, kh, kw = weight.shape
+    n, c, h, w = x.shape
+    if c != ci:
+        raise ValueError(f"conv2d channel mismatch: input has {c}, weight expects {ci}")
+    oh = conv_output_size(h, kh, stride_p[0], padding_p[0])
+    ow = conv_output_size(w, kw, stride_p[1], padding_p[1])
+
+    cols = im2col(x.data, (kh, kw), stride_p, padding_p)      # (N, CI*KH*KW, OH*OW)
+    w_mat = weight.data.reshape(co, -1)                        # (CO, CI*KH*KW)
+    out = np.einsum("of,nfl->nol", w_mat, cols, optimize=True)
+    out = out.reshape(n, co, oh, ow)
+    if bias is not None:
+        out = out + bias.data.reshape(1, co, 1, 1)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(g: np.ndarray):
+        g_mat = g.reshape(n, co, oh * ow)
+        grad_w = np.einsum("nol,nfl->of", g_mat, cols, optimize=True).reshape(weight.shape)
+        grad_cols = np.einsum("of,nol->nfl", w_mat, g_mat, optimize=True)
+        grad_x = col2im(grad_cols, x.shape, (kh, kw), stride_p, padding_p)
+        if bias is None:
+            return grad_x, grad_w
+        grad_b = g.sum(axis=(0, 2, 3))
+        return grad_x, grad_w, grad_b
+
+    return Tensor._make(out, parents, backward)
+
+
+def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
+    """Affine map ``x @ weight.T + bias`` with weight shape ``(out, in)``."""
+    out = x @ weight.T
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+# ----------------------------------------------------------------------
+# Pooling
+# ----------------------------------------------------------------------
+
+def max_pool2d(x: Tensor, kernel: IntPair, stride: Optional[IntPair] = None,
+               padding: IntPair = 0) -> Tensor:
+    kernel_p = _pair(kernel)
+    stride_p = _pair(stride) if stride is not None else kernel_p
+    padding_p = _pair(padding)
+    n, c, h, w = x.shape
+    kh, kw = kernel_p
+    oh = conv_output_size(h, kh, stride_p[0], padding_p[0])
+    ow = conv_output_size(w, kw, stride_p[1], padding_p[1])
+
+    x_data = x.data
+    if padding_p != (0, 0):
+        x_data = np.pad(x_data, ((0, 0), (0, 0),
+                                 (padding_p[0], padding_p[0]),
+                                 (padding_p[1], padding_p[1])),
+                        constant_values=-np.inf)
+    merged = x_data.reshape(n * c, 1, *x_data.shape[2:])
+    cols = im2col(merged, kernel_p, stride_p, (0, 0))          # (N*C, KH*KW, OH*OW)
+    arg = cols.argmax(axis=1)                                   # (N*C, OH*OW)
+    out = np.take_along_axis(cols, arg[:, None, :], axis=1)[:, 0, :]
+    out = out.reshape(n, c, oh, ow)
+
+    def backward(g: np.ndarray):
+        g_flat = g.reshape(n * c, oh * ow)
+        grad_cols = np.zeros_like(cols)
+        np.put_along_axis(grad_cols, arg[:, None, :], g_flat[:, None, :], axis=1)
+        padded_shape = (n * c, 1, x_data.shape[2], x_data.shape[3])
+        grad_padded = col2im(grad_cols, padded_shape, kernel_p, stride_p, (0, 0))
+        grad_padded = grad_padded.reshape(n, c, *x_data.shape[2:])
+        ph, pw = padding_p
+        if ph or pw:
+            grad_padded = grad_padded[:, :, ph:x_data.shape[2] - ph or None,
+                                      pw:x_data.shape[3] - pw or None]
+        return (grad_padded,)
+
+    return Tensor._make(out, (x,), backward)
+
+
+def avg_pool2d(x: Tensor, kernel: IntPair, stride: Optional[IntPair] = None,
+               padding: IntPair = 0) -> Tensor:
+    kernel_p = _pair(kernel)
+    stride_p = _pair(stride) if stride is not None else kernel_p
+    padding_p = _pair(padding)
+    n, c, h, w = x.shape
+    kh, kw = kernel_p
+    oh = conv_output_size(h, kh, stride_p[0], padding_p[0])
+    ow = conv_output_size(w, kw, stride_p[1], padding_p[1])
+    window = kh * kw
+
+    merged = x.data.reshape(n * c, 1, h, w)
+    cols = im2col(merged, kernel_p, stride_p, padding_p)
+    out = cols.mean(axis=1).reshape(n, c, oh, ow)
+
+    def backward(g: np.ndarray):
+        g_flat = g.reshape(n * c, 1, oh * ow) / window
+        grad_cols = np.broadcast_to(g_flat, (n * c, window, oh * ow)).copy()
+        grad = col2im(grad_cols, (n * c, 1, h, w), kernel_p, stride_p, padding_p)
+        return (grad.reshape(n, c, h, w),)
+
+    return Tensor._make(out, (x,), backward)
+
+
+def global_avg_pool2d(x: Tensor) -> Tensor:
+    """Adaptive average pool to 1x1, returned as (N, C)."""
+    return x.mean(axis=(2, 3))
+
+
+# ----------------------------------------------------------------------
+# Batch normalisation
+# ----------------------------------------------------------------------
+
+def batch_norm2d(x: Tensor, gamma: Tensor, beta: Tensor,
+                 running_mean: np.ndarray, running_var: np.ndarray,
+                 training: bool, momentum: float = 0.1,
+                 eps: float = 1e-5) -> Tensor:
+    """Batch normalisation over (N, H, W) per channel, NCHW layout.
+
+    ``running_mean``/``running_var`` are plain numpy buffers mutated in place
+    during training (matching PyTorch's unbiased running-var update).
+    """
+    n, c, h, w = x.shape
+    if training:
+        axes = (0, 2, 3)
+        mean = x.data.mean(axis=axes)
+        var = x.data.var(axis=axes)
+        count = n * h * w
+        running_mean *= (1.0 - momentum)
+        running_mean += momentum * mean
+        unbiased = var * count / max(count - 1, 1)
+        running_var *= (1.0 - momentum)
+        running_var += momentum * unbiased
+    else:
+        mean = running_mean
+        var = running_var
+
+    inv_std = 1.0 / np.sqrt(var + eps)
+    x_hat = (x.data - mean[None, :, None, None]) * inv_std[None, :, None, None]
+    out = gamma.data[None, :, None, None] * x_hat + beta.data[None, :, None, None]
+
+    def backward(g: np.ndarray):
+        axes = (0, 2, 3)
+        grad_gamma = (g * x_hat).sum(axis=axes)
+        grad_beta = g.sum(axis=axes)
+        if training:
+            count = n * h * w
+            g_hat = g * gamma.data[None, :, None, None]
+            term1 = g_hat
+            term2 = g_hat.mean(axis=axes, keepdims=True)
+            term3 = x_hat * (g_hat * x_hat).mean(axis=axes, keepdims=True)
+            grad_x = inv_std[None, :, None, None] * (term1 - term2 - term3)
+            del count
+        else:
+            grad_x = g * (gamma.data * inv_std)[None, :, None, None]
+        return grad_x, grad_gamma, grad_beta
+
+    return Tensor._make(out, (x, gamma, beta), backward)
+
+
+# ----------------------------------------------------------------------
+# Losses and activations on logits
+# ----------------------------------------------------------------------
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    shifted = x - x.max(axis=axis, keepdims=True).detach()
+    exps = shifted.exp()
+    return exps / exps.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    shifted = x - x.max(axis=axis, keepdims=True).detach()
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray,
+                  label_smoothing: float = 0.0) -> Tensor:
+    """Mean cross-entropy between logits ``(N, K)`` and integer targets ``(N,)``.
+
+    Implemented as a fused op with the classic softmax-minus-onehot backward
+    for numerical stability.
+    """
+    targets = np.asarray(targets)
+    n, k = logits.shape
+    shifted = logits.data - logits.data.max(axis=1, keepdims=True)
+    exps = np.exp(shifted)
+    probs = exps / exps.sum(axis=1, keepdims=True)
+    log_probs = shifted - np.log(exps.sum(axis=1, keepdims=True))
+
+    if label_smoothing > 0.0:
+        smooth = label_smoothing / k
+        target_dist = np.full((n, k), smooth, dtype=logits.dtype)
+        target_dist[np.arange(n), targets] += 1.0 - label_smoothing
+    else:
+        target_dist = np.zeros((n, k), dtype=logits.dtype)
+        target_dist[np.arange(n), targets] = 1.0
+
+    loss_value = -(target_dist * log_probs).sum() / n
+
+    def backward(g: np.ndarray):
+        return ((probs - target_dist) * (g / n),)
+
+    return Tensor._make(np.asarray(loss_value, dtype=logits.dtype), (logits,), backward)
+
+
+def nll_loss(log_probs: Tensor, targets: np.ndarray) -> Tensor:
+    targets = np.asarray(targets)
+    n = log_probs.shape[0]
+    picked = log_probs[np.arange(n), targets]
+    return -(picked.sum() / n)
+
+
+def mse_loss(pred: Tensor, target: Tensor) -> Tensor:
+    diff = pred - target
+    return (diff * diff).mean()
+
+
+def dropout(x: Tensor, p: float, training: bool,
+            rng: Optional[np.random.Generator] = None) -> Tensor:
+    """Inverted dropout; identity when not training or ``p == 0``."""
+    if not training or p <= 0.0:
+        return x
+    generator = rng if rng is not None else np.random.default_rng()
+    mask = (generator.random(x.shape) >= p) / (1.0 - p)
+    mask = mask.astype(x.dtype)
+    return Tensor._make(x.data * mask, (x,), lambda g: (g * mask,))
+
+
+# ----------------------------------------------------------------------
+# Structural ops
+# ----------------------------------------------------------------------
+
+def concatenate(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Concatenate tensors along ``axis`` (gradient splits back)."""
+    tensors = list(tensors)
+    if not tensors:
+        raise ValueError("concatenate needs at least one tensor")
+    sizes = [t.shape[axis] for t in tensors]
+    boundaries = np.cumsum(sizes)[:-1]
+
+    def backward(g: np.ndarray):
+        return tuple(np.split(g, boundaries, axis=axis))
+
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    return Tensor._make(data, tuple(tensors), backward)
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new ``axis``."""
+    tensors = list(tensors)
+    if not tensors:
+        raise ValueError("stack needs at least one tensor")
+
+    def backward(g: np.ndarray):
+        moved = np.moveaxis(g, axis, 0)
+        return tuple(moved[i] for i in range(len(tensors)))
+
+    data = np.stack([t.data for t in tensors], axis=axis)
+    return Tensor._make(data, tuple(tensors), backward)
+
+
+# ----------------------------------------------------------------------
+# Extra activations
+# ----------------------------------------------------------------------
+
+def leaky_relu(x: Tensor, negative_slope: float = 0.01) -> Tensor:
+    mask = x.data > 0
+    scale = np.where(mask, 1.0, negative_slope)
+    return Tensor._make(x.data * scale, (x,), lambda g: (g * scale,))
+
+
+def gelu(x: Tensor) -> Tensor:
+    """Gaussian error linear unit (tanh approximation)."""
+    c = math.sqrt(2.0 / math.pi)
+    inner = c * (x.data + 0.044715 * x.data ** 3)
+    tanh_inner = np.tanh(inner)
+    out = 0.5 * x.data * (1.0 + tanh_inner)
+
+    def backward(g: np.ndarray):
+        d_inner = c * (1.0 + 3 * 0.044715 * x.data ** 2)
+        sech2 = 1.0 - tanh_inner ** 2
+        grad = 0.5 * (1.0 + tanh_inner) + 0.5 * x.data * sech2 * d_inner
+        return (g * grad,)
+
+    return Tensor._make(out, (x,), backward)
+
+
+def silu(x: Tensor) -> Tensor:
+    """SiLU / swish: ``x * sigmoid(x)``."""
+    sig = 1.0 / (1.0 + np.exp(-x.data))
+    out = x.data * sig
+
+    def backward(g: np.ndarray):
+        return (g * (sig * (1.0 + x.data * (1.0 - sig))),)
+
+    return Tensor._make(out, (x,), backward)
+
+
+# ----------------------------------------------------------------------
+# Extra normalisations
+# ----------------------------------------------------------------------
+
+def layer_norm(x: Tensor, gamma: Tensor, beta: Tensor,
+               eps: float = 1e-5) -> Tensor:
+    """Normalise over the last axis with learnable affine parameters."""
+    mean = x.data.mean(axis=-1, keepdims=True)
+    var = x.data.var(axis=-1, keepdims=True)
+    inv_std = 1.0 / np.sqrt(var + eps)
+    x_hat = (x.data - mean) * inv_std
+    out = gamma.data * x_hat + beta.data
+    n = x.data.shape[-1]
+
+    def backward(g: np.ndarray):
+        grad_gamma = (g * x_hat).reshape(-1, n).sum(axis=0).reshape(gamma.shape)
+        grad_beta = g.reshape(-1, n).sum(axis=0).reshape(beta.shape)
+        g_hat = g * gamma.data
+        term2 = g_hat.mean(axis=-1, keepdims=True)
+        term3 = x_hat * (g_hat * x_hat).mean(axis=-1, keepdims=True)
+        grad_x = inv_std * (g_hat - term2 - term3)
+        return grad_x, grad_gamma, grad_beta
+
+    return Tensor._make(out, (x, gamma, beta), backward)
+
+
+def group_norm(x: Tensor, gamma: Tensor, beta: Tensor, num_groups: int,
+               eps: float = 1e-5) -> Tensor:
+    """Group normalisation on NCHW input (per-sample, per-group stats)."""
+    n, c, h, w = x.shape
+    if c % num_groups:
+        raise ValueError(f"channels {c} not divisible by groups {num_groups}")
+    grouped = x.data.reshape(n, num_groups, -1)
+    mean = grouped.mean(axis=2, keepdims=True)
+    var = grouped.var(axis=2, keepdims=True)
+    inv_std = 1.0 / np.sqrt(var + eps)
+    x_hat = ((grouped - mean) * inv_std).reshape(n, c, h, w)
+    out = gamma.data[None, :, None, None] * x_hat \
+        + beta.data[None, :, None, None]
+
+    def backward(g: np.ndarray):
+        grad_gamma = (g * x_hat).sum(axis=(0, 2, 3))
+        grad_beta = g.sum(axis=(0, 2, 3))
+        g_hat = (g * gamma.data[None, :, None, None]).reshape(n, num_groups, -1)
+        x_hat_g = x_hat.reshape(n, num_groups, -1)
+        term2 = g_hat.mean(axis=2, keepdims=True)
+        term3 = x_hat_g * (g_hat * x_hat_g).mean(axis=2, keepdims=True)
+        grad_x = (inv_std * (g_hat - term2 - term3)).reshape(n, c, h, w)
+        return grad_x, grad_gamma, grad_beta
+
+    return Tensor._make(out, (x, gamma, beta), backward)

@@ -1,0 +1,402 @@
+"""Module system for :mod:`repro.nn` — the PyTorch-style layer containers.
+
+A :class:`Module` owns named :class:`Parameter` tensors and child modules,
+supports recursive iteration (``parameters()``, ``named_modules()``),
+train/eval mode switching, and a flat ``state_dict``.  The layers implemented
+here are exactly the ones the ResNet family and the EPIM pipeline require.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import OrderedDict
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from . import functional as F
+from . import init
+from .tensor import Tensor
+
+__all__ = [
+    "Parameter",
+    "Module",
+    "Sequential",
+    "ModuleList",
+    "Identity",
+    "ReLU",
+    "LeakyReLU",
+    "GELU",
+    "SiLU",
+    "Conv2d",
+    "Linear",
+    "BatchNorm2d",
+    "LayerNorm",
+    "GroupNorm",
+    "MaxPool2d",
+    "AvgPool2d",
+    "GlobalAvgPool2d",
+    "Flatten",
+    "Dropout",
+]
+
+
+class Parameter(Tensor):
+    """A Tensor that is registered as a learnable parameter of a Module."""
+
+    def __init__(self, data, name: Optional[str] = None):
+        super().__init__(np.asarray(data), requires_grad=True, name=name)
+
+
+class Module:
+    """Base class for all neural-network modules.
+
+    Subclasses assign :class:`Parameter` and :class:`Module` instances as
+    attributes; registration happens automatically via ``__setattr__``.
+    """
+
+    def __init__(self):
+        object.__setattr__(self, "_parameters", OrderedDict())
+        object.__setattr__(self, "_modules", OrderedDict())
+        object.__setattr__(self, "_buffers", OrderedDict())
+        object.__setattr__(self, "training", True)
+
+    # -- registration ---------------------------------------------------
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self._parameters[name] = value
+        elif isinstance(value, Module):
+            self._modules[name] = value
+        object.__setattr__(self, name, value)
+
+    def register_buffer(self, name: str, value: np.ndarray) -> None:
+        """Register a non-learnable numpy buffer (e.g. BN running stats)."""
+        self._buffers[name] = value
+        object.__setattr__(self, name, value)
+
+    # -- iteration --------------------------------------------------------
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        for name, param in self._parameters.items():
+            yield prefix + name, param
+        for mod_name, module in self._modules.items():
+            yield from module.named_parameters(prefix + mod_name + ".")
+
+    def parameters(self) -> List[Parameter]:
+        return [p for _, p in self.named_parameters()]
+
+    def named_modules(self, prefix: str = "") -> Iterator[Tuple[str, "Module"]]:
+        yield prefix.rstrip("."), self
+        for name, module in self._modules.items():
+            yield from module.named_modules(prefix + name + ".")
+
+    def modules(self) -> Iterator["Module"]:
+        for _, module in self.named_modules():
+            yield module
+
+    def children(self) -> Iterator["Module"]:
+        return iter(self._modules.values())
+
+    def named_buffers(self, prefix: str = "") -> Iterator[Tuple[str, np.ndarray]]:
+        for name in self._buffers:
+            yield prefix + name, self._buffers[name]
+        for mod_name, module in self._modules.items():
+            yield from module.named_buffers(prefix + mod_name + ".")
+
+    # -- mode -------------------------------------------------------------
+    def train(self, mode: bool = True) -> "Module":
+        object.__setattr__(self, "training", mode)
+        for module in self._modules.values():
+            module.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    # -- state ------------------------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        state: Dict[str, np.ndarray] = {}
+        for name, param in self.named_parameters():
+            state[name] = param.data.copy()
+        for name, buffer in self.named_buffers():
+            state[name] = np.asarray(buffer).copy()
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        params = dict(self.named_parameters())
+        for name, param in params.items():
+            if name not in state:
+                raise KeyError(f"missing parameter {name!r} in state dict")
+            if param.data.shape != state[name].shape:
+                raise ValueError(
+                    f"shape mismatch for {name!r}: {param.data.shape} vs {state[name].shape}")
+            param.data = state[name].astype(param.data.dtype).copy()
+        for name, buffer in list(self.named_buffers()):
+            if name in state:
+                np.copyto(buffer, state[name])
+
+    def num_parameters(self) -> int:
+        """Total learnable scalar count (the paper's "parameter size")."""
+        return sum(p.data.size for p in self.parameters())
+
+    # -- call -------------------------------------------------------------
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def __repr__(self) -> str:
+        children = ", ".join(self._modules)
+        return f"{type(self).__name__}({children})"
+
+
+class Sequential(Module):
+    """Chain of modules applied in order."""
+
+    def __init__(self, *layers: Module):
+        super().__init__()
+        self.layers = list(layers)
+        for index, layer in enumerate(layers):
+            self._modules[str(index)] = layer
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+    def __getitem__(self, index: int) -> Module:
+        return self.layers[index]
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+
+class ModuleList(Module):
+    """A list container whose entries are registered as child modules."""
+
+    def __init__(self, modules: Optional[Sequence[Module]] = None):
+        super().__init__()
+        self._items: List[Module] = []
+        for module in modules or []:
+            self.append(module)
+
+    def append(self, module: Module) -> None:
+        self._modules[str(len(self._items))] = module
+        self._items.append(module)
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._items)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._items[index]
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def forward(self, *args, **kwargs):
+        raise RuntimeError("ModuleList is a container and cannot be called")
+
+
+class Identity(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class LeakyReLU(Module):
+    def __init__(self, negative_slope: float = 0.01):
+        super().__init__()
+        self.negative_slope = negative_slope
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.leaky_relu(x, self.negative_slope)
+
+
+class GELU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return F.gelu(x)
+
+
+class SiLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return F.silu(x)
+
+
+class Conv2d(Module):
+    """Standard 2-D convolution layer (NCHW).
+
+    This is the layer that :class:`repro.core.designer.EpitomeDesigner`
+    replaces with :class:`repro.core.layers.EpitomeConv2d`; the two expose the
+    same ``(in_channels, out_channels, kernel_size, stride, padding, bias)``
+    interface so the swap is mechanical.
+    """
+
+    def __init__(self, in_channels: int, out_channels: int,
+                 kernel_size: Union[int, Tuple[int, int]], stride: int = 1,
+                 padding: int = 0, bias: bool = True,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        kh, kw = (kernel_size, kernel_size) if isinstance(kernel_size, int) else kernel_size
+        self.kernel_size = (kh, kw)
+        self.stride = stride
+        self.padding = padding
+        generator = rng if rng is not None else np.random.default_rng(0)
+        self.weight = Parameter(
+            init.kaiming_normal((out_channels, in_channels, kh, kw), generator),
+            name="conv.weight")
+        if bias:
+            bound = 1.0 / math.sqrt(in_channels * kh * kw)
+            self.bias = Parameter(
+                generator.uniform(-bound, bound, size=out_channels).astype(np.float32),
+                name="conv.bias")
+        else:
+            self.bias = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.conv2d(x, self.weight, self.bias,
+                        stride=self.stride, padding=self.padding)
+
+    def __repr__(self) -> str:
+        return (f"Conv2d({self.in_channels}, {self.out_channels}, "
+                f"kernel_size={self.kernel_size}, stride={self.stride}, "
+                f"padding={self.padding})")
+
+
+class Linear(Module):
+    def __init__(self, in_features: int, out_features: int, bias: bool = True,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        generator = rng if rng is not None else np.random.default_rng(0)
+        self.weight = Parameter(
+            init.kaiming_uniform((out_features, in_features), generator, gain=1.0),
+            name="linear.weight")
+        if bias:
+            bound = 1.0 / math.sqrt(in_features)
+            self.bias = Parameter(
+                generator.uniform(-bound, bound, size=out_features).astype(np.float32),
+                name="linear.bias")
+        else:
+            self.bias = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.linear(x, self.weight, self.bias)
+
+    def __repr__(self) -> str:
+        return f"Linear({self.in_features}, {self.out_features})"
+
+
+class BatchNorm2d(Module):
+    def __init__(self, num_features: int, eps: float = 1e-5, momentum: float = 0.1):
+        super().__init__()
+        self.num_features = num_features
+        self.eps = eps
+        self.momentum = momentum
+        self.gamma = Parameter(np.ones(num_features, dtype=np.float32), name="bn.gamma")
+        self.beta = Parameter(np.zeros(num_features, dtype=np.float32), name="bn.beta")
+        self.register_buffer("running_mean", np.zeros(num_features, dtype=np.float32))
+        self.register_buffer("running_var", np.ones(num_features, dtype=np.float32))
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.batch_norm2d(x, self.gamma, self.beta,
+                              self.running_mean, self.running_var,
+                              training=self.training, momentum=self.momentum,
+                              eps=self.eps)
+
+    def __repr__(self) -> str:
+        return f"BatchNorm2d({self.num_features})"
+
+
+class LayerNorm(Module):
+    """Normalisation over the last axis with learnable affine parameters."""
+
+    def __init__(self, normalized_size: int, eps: float = 1e-5):
+        super().__init__()
+        self.normalized_size = normalized_size
+        self.eps = eps
+        self.gamma = Parameter(np.ones(normalized_size, dtype=np.float32),
+                               name="ln.gamma")
+        self.beta = Parameter(np.zeros(normalized_size, dtype=np.float32),
+                              name="ln.beta")
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.layer_norm(x, self.gamma, self.beta, eps=self.eps)
+
+    def __repr__(self) -> str:
+        return f"LayerNorm({self.normalized_size})"
+
+
+class GroupNorm(Module):
+    """Group normalisation on NCHW input."""
+
+    def __init__(self, num_groups: int, num_channels: int, eps: float = 1e-5):
+        super().__init__()
+        if num_channels % num_groups:
+            raise ValueError("num_channels must be divisible by num_groups")
+        self.num_groups = num_groups
+        self.num_channels = num_channels
+        self.eps = eps
+        self.gamma = Parameter(np.ones(num_channels, dtype=np.float32),
+                               name="gn.gamma")
+        self.beta = Parameter(np.zeros(num_channels, dtype=np.float32),
+                              name="gn.beta")
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.group_norm(x, self.gamma, self.beta, self.num_groups,
+                            eps=self.eps)
+
+    def __repr__(self) -> str:
+        return f"GroupNorm({self.num_groups}, {self.num_channels})"
+
+
+class MaxPool2d(Module):
+    def __init__(self, kernel_size: int, stride: Optional[int] = None, padding: int = 0):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride if stride is not None else kernel_size
+        self.padding = padding
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.max_pool2d(x, self.kernel_size, self.stride, self.padding)
+
+
+class AvgPool2d(Module):
+    def __init__(self, kernel_size: int, stride: Optional[int] = None, padding: int = 0):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride if stride is not None else kernel_size
+        self.padding = padding
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.avg_pool2d(x, self.kernel_size, self.stride, self.padding)
+
+
+class GlobalAvgPool2d(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return F.global_avg_pool2d(x)
+
+
+class Flatten(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.flatten(start_dim=1)
+
+
+class Dropout(Module):
+    def __init__(self, p: float = 0.5, rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.p = p
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.dropout(x, self.p, self.training, rng=self._rng)

@@ -1,0 +1,139 @@
+"""Optimizers and learning-rate schedules for :mod:`repro.nn`.
+
+The EPIM training recipes (epitome training, quantization-aware fine-tuning,
+pruning fine-tuning) use SGD with momentum + cosine decay, matching the
+common ImageNet recipe the paper builds on; Adam is provided for the smaller
+ablation runs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from .modules import Parameter
+
+__all__ = ["Optimizer", "SGD", "Adam", "CosineSchedule", "StepSchedule"]
+
+
+class Optimizer:
+    """Base optimizer over a list of :class:`Parameter`."""
+
+    def __init__(self, params: Iterable[Parameter], lr: float):
+        self.params: List[Parameter] = list(params)
+        if not self.params:
+            raise ValueError("optimizer received no parameters")
+        self.lr = float(lr)
+
+    def zero_grad(self) -> None:
+        for param in self.params:
+            param.grad = None
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """SGD with momentum and decoupled weight decay.
+
+    ``weight_decay`` is applied as L2 on the gradient (classic SGD-WD), and
+    ``nesterov`` enables the look-ahead update.
+    """
+
+    def __init__(self, params: Iterable[Parameter], lr: float = 0.1,
+                 momentum: float = 0.9, weight_decay: float = 0.0,
+                 nesterov: bool = False):
+        super().__init__(params, lr)
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self.nesterov = nesterov
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        for param, velocity in zip(self.params, self._velocity):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            if self.momentum:
+                velocity *= self.momentum
+                velocity += grad
+                update = grad + self.momentum * velocity if self.nesterov else velocity
+            else:
+                update = grad
+            param.data = param.data - self.lr * update
+
+
+class Adam(Optimizer):
+    def __init__(self, params: Iterable[Parameter], lr: float = 1e-3,
+                 betas=(0.9, 0.999), eps: float = 1e-8,
+                 weight_decay: float = 0.0):
+        super().__init__(params, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        bias1 = 1.0 - self.beta1 ** self._t
+        bias2 = 1.0 - self.beta2 ** self._t
+        for param, m, v in zip(self.params, self._m, self._v):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad * grad
+            m_hat = m / bias1
+            v_hat = v / bias2
+            param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class CosineSchedule:
+    """Cosine learning-rate decay from ``base_lr`` to ``min_lr`` over ``total_steps``."""
+
+    def __init__(self, optimizer: Optimizer, total_steps: int,
+                 min_lr: float = 0.0, warmup_steps: int = 0):
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.total_steps = max(total_steps, 1)
+        self.min_lr = min_lr
+        self.warmup_steps = warmup_steps
+        self._step = 0
+
+    def step(self) -> float:
+        self._step += 1
+        if self.warmup_steps and self._step <= self.warmup_steps:
+            lr = self.base_lr * self._step / self.warmup_steps
+        else:
+            progress = min(1.0, (self._step - self.warmup_steps)
+                           / max(1, self.total_steps - self.warmup_steps))
+            lr = self.min_lr + 0.5 * (self.base_lr - self.min_lr) * (
+                1.0 + math.cos(math.pi * progress))
+        self.optimizer.lr = lr
+        return lr
+
+
+class StepSchedule:
+    """Multiply the LR by ``gamma`` every ``step_size`` calls."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1):
+        self.optimizer = optimizer
+        self.step_size = step_size
+        self.gamma = gamma
+        self._step = 0
+
+    def step(self) -> float:
+        self._step += 1
+        if self._step % self.step_size == 0:
+            self.optimizer.lr *= self.gamma
+        return self.optimizer.lr

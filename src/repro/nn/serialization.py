@@ -1,0 +1,59 @@
+"""Checkpoint save/load for :mod:`repro.nn` models.
+
+Stores a model's ``state_dict`` (parameters + buffers) in a single ``.npz``
+archive, with a manifest entry recording shapes so mismatches fail loudly
+at load time.  Used by the experiment workbench to persist trained
+checkpoints across processes and by downstream users to ship trained
+epitome models.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+import numpy as np
+
+from .modules import Module
+
+__all__ = ["save_checkpoint", "load_checkpoint", "load_state"]
+
+_MANIFEST_KEY = "__manifest__"
+
+
+def save_checkpoint(model: Module, path: Union[str, Path]) -> None:
+    """Write the model's parameters and buffers to ``path`` (.npz)."""
+    path = Path(path)
+    state = model.state_dict()
+    manifest = {name: list(array.shape) for name, array in state.items()}
+    arrays = dict(state)
+    arrays[_MANIFEST_KEY] = np.frombuffer(
+        json.dumps(manifest).encode("utf-8"), dtype=np.uint8)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(path, **arrays)
+
+
+def load_state(path: Union[str, Path]) -> Dict[str, np.ndarray]:
+    """Read a checkpoint back into a plain state dict."""
+    path = Path(path)
+    with np.load(path) as archive:
+        state = {name: archive[name] for name in archive.files
+                 if name != _MANIFEST_KEY}
+        if _MANIFEST_KEY in archive.files:
+            manifest = json.loads(bytes(archive[_MANIFEST_KEY]).decode("utf-8"))
+            for name, shape in manifest.items():
+                if name not in state:
+                    raise KeyError(
+                        f"checkpoint manifest lists {name!r} but the archive "
+                        "does not contain it")
+                if list(state[name].shape) != shape:
+                    raise ValueError(
+                        f"checkpoint entry {name!r} has shape "
+                        f"{state[name].shape}, manifest says {shape}")
+    return state
+
+
+def load_checkpoint(model: Module, path: Union[str, Path]) -> None:
+    """Load a checkpoint into ``model`` (strict: all parameters present)."""
+    model.load_state_dict(load_state(path))

@@ -1,0 +1,515 @@
+"""Reverse-mode automatic differentiation on numpy arrays.
+
+This module is the foundation of the :mod:`repro.nn` substrate.  The paper
+trains its epitome networks with PyTorch; this environment has no PyTorch, so
+we implement the minimal-but-complete tensor framework the experiments need:
+
+- a :class:`Tensor` wrapping a ``numpy.ndarray`` with a ``grad`` slot,
+- a dynamic computation graph recorded while ops execute (define-by-run),
+- :meth:`Tensor.backward` performing a topologically-ordered reverse sweep.
+
+Every differentiable op registers a backward closure that maps the output
+gradient to gradients of its parents.  Broadcasting is handled in one place
+(:func:`unbroadcast`) so individual ops can use numpy broadcasting freely.
+
+The op set is intentionally exactly what the EPIM reproduction needs: dense
+arithmetic, matmul, reductions, shape ops, gather/scatter (the epitome
+reconstruction primitive), and the fused NN ops in
+:mod:`repro.nn.functional`.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "tensor",
+    "zeros",
+    "ones",
+    "randn",
+    "unbroadcast",
+]
+
+Number = Union[int, float]
+TensorLike = Union["Tensor", np.ndarray, Number, Sequence]
+
+_GRAD_ENABLED = True
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager that disables graph recording (like ``torch.no_grad``)."""
+    global _GRAD_ENABLED
+    previous = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = previous
+
+
+def is_grad_enabled() -> bool:
+    """Return whether operations are currently recorded onto the graph."""
+    return _GRAD_ENABLED
+
+
+def unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` so that it has ``shape``.
+
+    numpy broadcasting expands the *inputs* of an op; the gradient flowing
+    back therefore has to be summed over the broadcast axes to recover the
+    gradient of the original (smaller) input.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum away leading axes added by broadcasting.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over axes that were size 1 in the original shape.
+    axes = tuple(i for i, dim in enumerate(shape) if dim == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+def _as_array(value: TensorLike, dtype=None) -> np.ndarray:
+    if isinstance(value, Tensor):
+        return value.data
+    array = np.asarray(value)
+    if dtype is not None:
+        array = array.astype(dtype, copy=False)
+    elif array.dtype == np.float16 or array.dtype.kind in "iub":
+        # Keep integers as-is; promote half precision.
+        if array.dtype == np.float16:
+            array = array.astype(np.float32)
+    return array
+
+
+class Tensor:
+    """A numpy-backed tensor that records a reverse-mode autograd graph.
+
+    Parameters
+    ----------
+    data:
+        Anything convertible to ``numpy.ndarray``.
+    requires_grad:
+        When True (and grad mode is enabled) ops consuming this tensor record
+        backward closures so :meth:`backward` can accumulate ``.grad``.
+    name:
+        Optional label used in ``repr`` and error messages.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward_fn", "name")
+
+    def __init__(self, data: TensorLike, requires_grad: bool = False,
+                 name: Optional[str] = None):
+        self.data = _as_array(data)
+        if requires_grad and self.data.dtype.kind not in "fc":
+            raise TypeError(
+                f"only floating tensors can require grad, got {self.data.dtype}")
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad = bool(requires_grad)
+        self._parents: Tuple[Tensor, ...] = ()
+        self._backward_fn: Optional[Callable[[np.ndarray], Iterable[Optional[np.ndarray]]]] = None
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        label = f" name={self.name!r}" if self.name else ""
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}, dtype={self.dtype}{grad_flag}{label})"
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (no copy)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else self.data.item()
+
+    # ------------------------------------------------------------------
+    # Graph plumbing
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _make(data: np.ndarray, parents: Tuple["Tensor", ...],
+              backward_fn: Callable[[np.ndarray], Iterable[Optional[np.ndarray]]]) -> "Tensor":
+        """Create an op output, wiring the graph only when needed."""
+        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=requires)
+        if requires:
+            out._parents = parents
+            out._backward_fn = backward_fn
+        return out
+
+    def detach(self) -> "Tensor":
+        """Return a view of this tensor cut off from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def clone(self) -> "Tensor":
+        out = Tensor._make(self.data.copy(), (self,), lambda g: (g,))
+        return out
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def backward(self, grad: Optional[TensorLike] = None) -> None:
+        """Accumulate gradients of a scalar (or supplied cotangent) into leaves."""
+        if not self.requires_grad:
+            raise RuntimeError("backward() called on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("backward() without an argument requires a scalar output")
+            grad = np.ones_like(self.data)
+        else:
+            grad = _as_array(grad).astype(self.data.dtype, copy=False)
+            if grad.shape != self.data.shape:
+                raise ValueError(
+                    f"gradient shape {grad.shape} does not match tensor shape {self.data.shape}")
+
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if parent.requires_grad and id(parent) not in visited:
+                    stack.append((parent, False))
+
+        grads: dict[int, np.ndarray] = {id(self): grad}
+        for node in reversed(topo):
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None:
+                continue
+            if node._backward_fn is None:
+                # Leaf: accumulate.
+                if node.grad is None:
+                    node.grad = node_grad.copy()
+                else:
+                    node.grad = node.grad + node_grad
+                continue
+            parent_grads = node._backward_fn(node_grad)
+            for parent, pgrad in zip(node._parents, parent_grads):
+                if pgrad is None or not parent.requires_grad:
+                    continue
+                key = id(parent)
+                if key in grads:
+                    grads[key] = grads[key] + pgrad
+                else:
+                    grads[key] = pgrad
+        # Any remaining entries are leaves reached only through this sweep.
+        for node in topo:
+            leftover = grads.pop(id(node), None)
+            if leftover is not None and node._backward_fn is None:
+                node.grad = leftover if node.grad is None else node.grad + leftover
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    def _coerce(self, other: TensorLike) -> "Tensor":
+        if isinstance(other, Tensor):
+            return other
+        return Tensor(np.asarray(other, dtype=self.data.dtype))
+
+    def __add__(self, other: TensorLike) -> "Tensor":
+        other = self._coerce(other)
+        a, b = self, other
+        out = Tensor._make(
+            a.data + b.data, (a, b),
+            lambda g: (unbroadcast(g, a.shape), unbroadcast(g, b.shape)))
+        return out
+
+    __radd__ = __add__
+
+    def __sub__(self, other: TensorLike) -> "Tensor":
+        other = self._coerce(other)
+        a, b = self, other
+        return Tensor._make(
+            a.data - b.data, (a, b),
+            lambda g: (unbroadcast(g, a.shape), unbroadcast(-g, b.shape)))
+
+    def __rsub__(self, other: TensorLike) -> "Tensor":
+        return self._coerce(other).__sub__(self)
+
+    def __mul__(self, other: TensorLike) -> "Tensor":
+        other = self._coerce(other)
+        a, b = self, other
+        return Tensor._make(
+            a.data * b.data, (a, b),
+            lambda g: (unbroadcast(g * b.data, a.shape), unbroadcast(g * a.data, b.shape)))
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: TensorLike) -> "Tensor":
+        other = self._coerce(other)
+        a, b = self, other
+        return Tensor._make(
+            a.data / b.data, (a, b),
+            lambda g: (unbroadcast(g / b.data, a.shape),
+                       unbroadcast(-g * a.data / (b.data ** 2), b.shape)))
+
+    def __rtruediv__(self, other: TensorLike) -> "Tensor":
+        return self._coerce(other).__truediv__(self)
+
+    def __neg__(self) -> "Tensor":
+        return Tensor._make(-self.data, (self,), lambda g: (-g,))
+
+    def __pow__(self, exponent: Number) -> "Tensor":
+        if not isinstance(exponent, (int, float)):
+            raise TypeError("only scalar exponents are supported")
+        a = self
+        out_data = a.data ** exponent
+        return Tensor._make(
+            out_data, (a,),
+            lambda g: (g * exponent * a.data ** (exponent - 1),))
+
+    def __matmul__(self, other: TensorLike) -> "Tensor":
+        other = self._coerce(other)
+        a, b = self, other
+
+        def backward(g: np.ndarray):
+            if a.data.ndim == 1 and b.data.ndim == 1:
+                return g * b.data, g * a.data
+            ga = g @ np.swapaxes(b.data, -1, -2) if b.data.ndim > 1 else np.outer(g, b.data)
+            gb = np.swapaxes(a.data, -1, -2) @ g if a.data.ndim > 1 else np.outer(a.data, g)
+            return unbroadcast(ga, a.shape), unbroadcast(gb, b.shape)
+
+        return Tensor._make(a.data @ b.data, (a, b), backward)
+
+    # ------------------------------------------------------------------
+    # Elementwise functions
+    # ------------------------------------------------------------------
+    def exp(self) -> "Tensor":
+        out_data = np.exp(self.data)
+        return Tensor._make(out_data, (self,), lambda g: (g * out_data,))
+
+    def log(self) -> "Tensor":
+        a = self
+        return Tensor._make(np.log(a.data), (a,), lambda g: (g / a.data,))
+
+    def sqrt(self) -> "Tensor":
+        out_data = np.sqrt(self.data)
+        return Tensor._make(out_data, (self,), lambda g: (g * 0.5 / out_data,))
+
+    def tanh(self) -> "Tensor":
+        out_data = np.tanh(self.data)
+        return Tensor._make(out_data, (self,), lambda g: (g * (1.0 - out_data ** 2),))
+
+    def sigmoid(self) -> "Tensor":
+        out_data = 1.0 / (1.0 + np.exp(-self.data))
+        return Tensor._make(out_data, (self,), lambda g: (g * out_data * (1.0 - out_data),))
+
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+        return Tensor._make(self.data * mask, (self,), lambda g: (g * mask,))
+
+    def abs(self) -> "Tensor":
+        a = self
+        return Tensor._make(np.abs(a.data), (a,), lambda g: (g * np.sign(a.data),))
+
+    def clamp(self, low: Optional[Number] = None, high: Optional[Number] = None) -> "Tensor":
+        """Clamp values; gradient is passed only inside the active range."""
+        a = self
+        out_data = np.clip(a.data, low, high)
+        mask = np.ones_like(a.data, dtype=bool)
+        if low is not None:
+            mask &= a.data >= low
+        if high is not None:
+            mask &= a.data <= high
+        return Tensor._make(out_data, (a,), lambda g: (g * mask,))
+
+    def maximum(self, other: TensorLike) -> "Tensor":
+        other = self._coerce(other)
+        a, b = self, other
+        a_wins = a.data >= b.data
+        return Tensor._make(
+            np.maximum(a.data, b.data), (a, b),
+            lambda g: (unbroadcast(g * a_wins, a.shape),
+                       unbroadcast(g * ~a_wins, b.shape)))
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        a = self
+
+        def backward(g: np.ndarray):
+            if axis is None:
+                return (np.broadcast_to(g, a.shape).copy(),)
+            g_exp = g if keepdims else np.expand_dims(g, axis)
+            return (np.broadcast_to(g_exp, a.shape).copy(),)
+
+        return Tensor._make(a.data.sum(axis=axis, keepdims=keepdims), (a,), backward)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        a = self
+        if axis is None:
+            count = a.data.size
+        else:
+            axes = (axis,) if isinstance(axis, int) else tuple(axis)
+            count = int(np.prod([a.data.shape[ax] for ax in axes]))
+
+        def backward(g: np.ndarray):
+            if axis is None:
+                return (np.broadcast_to(g / count, a.shape).copy(),)
+            g_exp = g if keepdims else np.expand_dims(g, axis)
+            return (np.broadcast_to(g_exp / count, a.shape).copy(),)
+
+        return Tensor._make(a.data.mean(axis=axis, keepdims=keepdims), (a,), backward)
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        a = self
+        out_data = a.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(g: np.ndarray):
+            if axis is None:
+                mask = a.data == out_data
+            else:
+                out_keep = a.data.max(axis=axis, keepdims=True)
+                mask = a.data == out_keep
+            counts = mask.sum(axis=axis, keepdims=True)
+            g_exp = g if (keepdims or axis is None) else np.expand_dims(g, axis)
+            return ((mask / counts) * g_exp,)
+
+        return Tensor._make(out_data, (a,), backward)
+
+    def var(self, axis=None, keepdims: bool = False) -> "Tensor":
+        mean = self.mean(axis=axis, keepdims=True)
+        centered = self - mean
+        out = (centered * centered).mean(axis=axis, keepdims=keepdims)
+        return out
+
+    # ------------------------------------------------------------------
+    # Shape ops
+    # ------------------------------------------------------------------
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        a = self
+        return Tensor._make(a.data.reshape(shape), (a,),
+                            lambda g: (g.reshape(a.shape),))
+
+    def flatten(self, start_dim: int = 0) -> "Tensor":
+        lead = self.shape[:start_dim]
+        return self.reshape(*lead, -1)
+
+    def transpose(self, *axes) -> "Tensor":
+        if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        if not axes:
+            axes = tuple(reversed(range(self.ndim)))
+        a = self
+        inverse = tuple(np.argsort(axes))
+        return Tensor._make(a.data.transpose(axes), (a,),
+                            lambda g: (g.transpose(inverse),))
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __getitem__(self, key) -> "Tensor":
+        a = self
+
+        def backward(g: np.ndarray):
+            full = np.zeros_like(a.data)
+            np.add.at(full, key, g)
+            return (full,)
+
+        return Tensor._make(a.data[key], (a,), backward)
+
+    def take_flat(self, index_map: np.ndarray) -> "Tensor":
+        """Gather elements by flat index: ``out = self.flat[index_map]``.
+
+        This is the epitome reconstruction primitive.  The backward pass is a
+        scatter-add, so repeated indices accumulate gradient — exactly the
+        weight-sharing semantics of the epitome sampler.
+        """
+        a = self
+        index_map = np.asarray(index_map)
+        if index_map.size and (index_map.min() < 0 or index_map.max() >= a.data.size):
+            raise IndexError("index_map out of range for take_flat")
+
+        def backward(g: np.ndarray):
+            flat_grad = np.zeros(a.data.size, dtype=g.dtype)
+            np.add.at(flat_grad, index_map.ravel(), g.ravel())
+            return (flat_grad.reshape(a.shape),)
+
+        return Tensor._make(a.data.reshape(-1)[index_map], (a,), backward)
+
+    def pad2d(self, padding: Tuple[int, int]) -> "Tensor":
+        """Zero-pad the last two axes of an NCHW tensor by (ph, pw)."""
+        ph, pw = padding
+        if ph == 0 and pw == 0:
+            return self
+        a = self
+        pad_width = [(0, 0)] * (a.ndim - 2) + [(ph, ph), (pw, pw)]
+
+        def backward(g: np.ndarray):
+            slices = tuple([slice(None)] * (a.ndim - 2)
+                           + [slice(ph, g.shape[-2] - ph), slice(pw, g.shape[-1] - pw)])
+            return (g[slices],)
+
+        return Tensor._make(np.pad(a.data, pad_width), (a,), backward)
+
+    # ------------------------------------------------------------------
+    # Comparison helpers (non-differentiable, return numpy)
+    # ------------------------------------------------------------------
+    def argmax(self, axis=None) -> np.ndarray:
+        return self.data.argmax(axis=axis)
+
+
+# ----------------------------------------------------------------------
+# Constructors
+# ----------------------------------------------------------------------
+
+def tensor(data: TensorLike, requires_grad: bool = False, dtype=np.float32) -> Tensor:
+    """Create a tensor, converting to ``dtype`` (default float32)."""
+    return Tensor(np.asarray(data, dtype=dtype), requires_grad=requires_grad)
+
+
+def zeros(*shape, requires_grad: bool = False, dtype=np.float32) -> Tensor:
+    return Tensor(np.zeros(shape, dtype=dtype), requires_grad=requires_grad)
+
+
+def ones(*shape, requires_grad: bool = False, dtype=np.float32) -> Tensor:
+    return Tensor(np.ones(shape, dtype=dtype), requires_grad=requires_grad)
+
+
+def randn(*shape, requires_grad: bool = False, dtype=np.float32,
+          rng: Optional[np.random.Generator] = None) -> Tensor:
+    generator = rng if rng is not None else np.random.default_rng()
+    return Tensor(generator.standard_normal(shape).astype(dtype),
+                  requires_grad=requires_grad)

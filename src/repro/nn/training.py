@@ -1,0 +1,125 @@
+"""Training and evaluation loops for classification models.
+
+The thin training harness every accuracy experiment shares: SGD/Adam with
+cosine decay, cross-entropy, top-1 accuracy.  Deterministic given the
+seeds passed to the loaders and model constructors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from . import functional as F
+from .data import DataLoader
+from .modules import Module
+from .optim import Adam, CosineSchedule, Optimizer, SGD
+from .tensor import Tensor, no_grad
+
+__all__ = ["TrainConfig", "TrainResult", "train_classifier", "evaluate_accuracy"]
+
+
+@dataclass(frozen=True)
+class TrainConfig:
+    """Hyper-parameters of one training run."""
+
+    epochs: int = 10
+    lr: float = 0.05
+    momentum: float = 0.9
+    weight_decay: float = 5e-4
+    optimizer: str = "sgd"           # "sgd" | "adam"
+    cosine: bool = True
+    label_smoothing: float = 0.0
+    log_every: int = 0               # batches between log lines; 0 = silent
+
+
+@dataclass
+class TrainResult:
+    """Loss/accuracy trajectory of a run."""
+
+    train_losses: List[float] = field(default_factory=list)
+    train_accuracies: List[float] = field(default_factory=list)
+    val_accuracies: List[float] = field(default_factory=list)
+
+    @property
+    def final_val_accuracy(self) -> float:
+        return self.val_accuracies[-1] if self.val_accuracies else float("nan")
+
+    @property
+    def best_val_accuracy(self) -> float:
+        return max(self.val_accuracies) if self.val_accuracies else float("nan")
+
+
+def _make_optimizer(model: Module, config: TrainConfig) -> Optimizer:
+    if config.optimizer == "sgd":
+        return SGD(model.parameters(), lr=config.lr,
+                   momentum=config.momentum,
+                   weight_decay=config.weight_decay)
+    if config.optimizer == "adam":
+        return Adam(model.parameters(), lr=config.lr,
+                    weight_decay=config.weight_decay)
+    raise ValueError(f"unknown optimizer {config.optimizer!r}")
+
+
+def train_classifier(model: Module, train_loader: DataLoader,
+                     val_loader: Optional[DataLoader] = None,
+                     config: TrainConfig = TrainConfig(),
+                     epoch_callback: Optional[Callable[[int, "TrainResult"], None]] = None
+                     ) -> TrainResult:
+    """Train a classifier; returns the loss/accuracy trajectory.
+
+    ``epoch_callback(epoch_index, partial_result)`` runs after each epoch —
+    the QAT recipes use it to refresh quantization scales as weights drift.
+    """
+    optimizer = _make_optimizer(model, config)
+    steps_per_epoch = len(train_loader)
+    schedule = CosineSchedule(optimizer, config.epochs * steps_per_epoch) \
+        if config.cosine else None
+    result = TrainResult()
+
+    for epoch in range(config.epochs):
+        model.train()
+        epoch_loss = 0.0
+        correct = 0
+        seen = 0
+        for batch_index, (images, labels) in enumerate(train_loader):
+            logits = model(Tensor(images))
+            loss = F.cross_entropy(logits, labels,
+                                   label_smoothing=config.label_smoothing)
+            model.zero_grad()
+            loss.backward()
+            optimizer.step()
+            if schedule is not None:
+                schedule.step()
+
+            batch = len(labels)
+            epoch_loss += float(loss.data) * batch
+            correct += int((logits.argmax(axis=1) == labels).sum())
+            seen += batch
+            if config.log_every and (batch_index + 1) % config.log_every == 0:
+                print(f"epoch {epoch + 1} batch {batch_index + 1}/{steps_per_epoch} "
+                      f"loss {float(loss.data):.4f}")
+
+        result.train_losses.append(epoch_loss / max(seen, 1))
+        result.train_accuracies.append(correct / max(seen, 1))
+        if val_loader is not None:
+            result.val_accuracies.append(evaluate_accuracy(model, val_loader))
+        if epoch_callback is not None:
+            epoch_callback(epoch, result)
+    return result
+
+
+def evaluate_accuracy(model: Module, loader: DataLoader) -> float:
+    """Top-1 accuracy over a loader (eval mode, no grad)."""
+    model.eval()
+    correct = 0
+    seen = 0
+    with no_grad():
+        for images, labels in loader:
+            logits = model(Tensor(images))
+            correct += int((logits.argmax(axis=1) == labels).sum())
+            seen += len(labels)
+    model.train()
+    return correct / max(seen, 1)

@@ -1,0 +1,65 @@
+"""repro.pim — MNSIM-style behaviour-level PIM accelerator simulator.
+
+Two complementary halves:
+
+- *functional*: :mod:`repro.pim.crossbar` (bit-sliced integer MVM with
+  optional device noise / ADC saturation) and :mod:`repro.pim.datapath`
+  (IFAT/IFRT/OFAT tables + joint module), which compute real values and are
+  tested for exact equivalence with software convolution;
+- *performance*: :mod:`repro.pim.mapping`, :mod:`repro.pim.simulator` and
+  :mod:`repro.pim.accelerator`, which turn behaviour counts into crossbar
+  allocations, latency, energy and area via the component LUT
+  (:mod:`repro.pim.lut`).
+"""
+
+from .accelerator import ChipFloorplan, build_floorplan
+from .config import DEFAULT_CONFIG, HardwareConfig, input_cycles, weight_slices
+from .crossbar import CrossbarArray
+from .datapath import (
+    IndexTables,
+    build_index_tables,
+    epitome_to_matrix,
+    execute_epitome_conv,
+)
+from .lut import DEFAULT_LUT, ComponentLUT
+from .mapping import CrossbarAllocation, map_conv_layer, map_matrix
+from .noc import NocReport, TilePlacement, analyze_noc, place_tiles
+from .simulator import (
+    LayerDeployment,
+    LayerReport,
+    NetworkReport,
+    baseline_deployment,
+    epitome_deployment_from_plan,
+    simulate_layer,
+    simulate_network,
+)
+
+__all__ = [
+    "HardwareConfig",
+    "DEFAULT_CONFIG",
+    "weight_slices",
+    "input_cycles",
+    "ComponentLUT",
+    "DEFAULT_LUT",
+    "CrossbarAllocation",
+    "map_matrix",
+    "map_conv_layer",
+    "CrossbarArray",
+    "IndexTables",
+    "build_index_tables",
+    "epitome_to_matrix",
+    "execute_epitome_conv",
+    "LayerDeployment",
+    "LayerReport",
+    "NetworkReport",
+    "baseline_deployment",
+    "epitome_deployment_from_plan",
+    "simulate_layer",
+    "simulate_network",
+    "ChipFloorplan",
+    "build_floorplan",
+    "NocReport",
+    "TilePlacement",
+    "analyze_noc",
+    "place_tiles",
+]

@@ -1,0 +1,80 @@
+"""Accelerator hierarchy and area accounting (chip -> tile -> PE -> crossbar).
+
+The performance model in :mod:`repro.pim.simulator` works per layer; this
+module aggregates an allocated network into the physical hierarchy MNSIM
+assumes — processing elements holding a fixed number of crossbar arrays,
+tiles holding PEs plus their input/output SRAM buffers — and prices the
+silicon area, including the extra IFAT/IFRT/OFAT storage the EPIM datapath
+adds (section 4.3; "the remaining PIM accelerator components remain
+consistent with existing work").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from .config import HardwareConfig, DEFAULT_CONFIG
+from .lut import ComponentLUT, DEFAULT_LUT
+from .simulator import NetworkReport
+
+__all__ = ["ChipFloorplan", "build_floorplan"]
+
+
+@dataclass(frozen=True)
+class ChipFloorplan:
+    """Physical resource summary of a deployed network."""
+
+    num_crossbars: int
+    num_pes: int
+    num_tiles: int
+    num_adcs: int
+    num_epitome_layers: int
+    area_breakdown_um2: Dict[str, float]
+
+    @property
+    def total_area_mm2(self) -> float:
+        return sum(self.area_breakdown_um2.values()) / 1e6
+
+    def summary(self) -> str:
+        lines = [
+            f"crossbars: {self.num_crossbars}",
+            f"PEs:       {self.num_pes}",
+            f"tiles:     {self.num_tiles}",
+            f"ADCs:      {self.num_adcs}",
+            f"epitome layers (index tables): {self.num_epitome_layers}",
+            f"total area: {self.total_area_mm2:.3f} mm^2",
+        ]
+        for key, value in sorted(self.area_breakdown_um2.items()):
+            lines.append(f"  {key:<14s} {value / 1e6:.4f} mm^2")
+        return "\n".join(lines)
+
+
+def build_floorplan(report: NetworkReport,
+                    config: HardwareConfig = DEFAULT_CONFIG,
+                    lut: ComponentLUT = DEFAULT_LUT) -> ChipFloorplan:
+    """Aggregate a simulated network into tiles/PEs and price the area."""
+    num_xbars = report.num_crossbars
+    num_pes = math.ceil(num_xbars / config.xbars_per_pe)
+    num_tiles = math.ceil(num_pes / config.pes_per_tile)
+    num_adcs = num_xbars * config.adcs_per_xbar
+    num_epitome = sum(1 for layer in report.layers
+                      if layer.deployment.style == "epitome")
+
+    buffers_kb = num_tiles * (config.input_buffer_kb + config.output_buffer_kb)
+    area = {
+        "crossbars": num_xbars * lut.a_xbar,
+        "adcs": num_adcs * lut.a_adc,
+        "dac_drivers": num_xbars * config.xbar_rows * lut.a_dac_per_row,
+        "buffers": buffers_kb * lut.a_buffer_per_kb,
+        "index_tables": num_epitome * lut.a_index_table,
+    }
+    return ChipFloorplan(
+        num_crossbars=num_xbars,
+        num_pes=num_pes,
+        num_tiles=num_tiles,
+        num_adcs=num_adcs,
+        num_epitome_layers=num_epitome,
+        area_breakdown_um2=area,
+    )

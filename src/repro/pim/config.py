@@ -1,0 +1,107 @@
+"""Hardware configuration of the modelled PIM accelerator.
+
+Mirrors the experimental setup of the paper (section 6.1): memristor
+crossbars with well-explored **2-bit cells**, 256x256 arrays, bit-serial
+1-bit DACs and shared 8-bit SAR ADCs — the MNSIM 2.0 / ISAAC-class design
+point.  Weights of ``w`` bits are bit-sliced across ``ceil(w / cell_bits)``
+adjacent bit-line columns; activations of ``a`` bits are streamed over
+``ceil(a / dac_bits)`` input cycles and recombined by shift-and-add.
+
+"FP32" deployments are mapped as 32-bit fixed point (16 cell slices), the
+convention MNSIM uses for unquantized models; quantized models use their
+actual bit widths (the paper's W9/W7/W5/W3 rows).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+
+__all__ = ["HardwareConfig", "DEFAULT_CONFIG", "weight_slices", "input_cycles"]
+
+
+@dataclass(frozen=True)
+class HardwareConfig:
+    """Static description of the PIM fabric.
+
+    Attributes
+    ----------
+    xbar_rows / xbar_cols:
+        Crossbar array dimensions (word lines x bit lines).
+    cell_bits:
+        Bits stored per memristor cell (2 in the paper).
+    dac_bits:
+        Input DAC resolution; activations are bit-serial over
+        ``ceil(a_bits / dac_bits)`` cycles.
+    adc_bits:
+        Output ADC resolution.
+    adc_share:
+        Bit-line columns multiplexed onto one ADC; a read round therefore
+        needs ``adc_share`` sequential conversions per ADC.
+    fp_equivalent_bits:
+        Fixed-point width used to map un-quantized (FP32) weights.
+    input_buffer_kb / output_buffer_kb:
+        Per-tile SRAM buffer sizes (accounting only).
+    xbars_per_pe / pes_per_tile:
+        Hierarchy used for area/allocation accounting.
+    """
+
+    xbar_rows: int = 256
+    xbar_cols: int = 256
+    cell_bits: int = 2
+    dac_bits: int = 1
+    adc_bits: int = 8
+    adc_share: int = 8
+    fp_equivalent_bits: int = 32
+    default_activation_bits: int = 9
+    input_buffer_kb: int = 64
+    output_buffer_kb: int = 64
+    xbars_per_pe: int = 8
+    pes_per_tile: int = 4
+
+    def __post_init__(self):
+        if self.xbar_rows < 1 or self.xbar_cols < 1:
+            raise ValueError("crossbar dimensions must be positive")
+        if self.cell_bits < 1:
+            raise ValueError("cell_bits must be >= 1")
+        if self.dac_bits < 1:
+            raise ValueError("dac_bits must be >= 1")
+        if self.xbar_cols % self.adc_share != 0:
+            raise ValueError("adc_share must divide xbar_cols")
+
+    @property
+    def cells_per_xbar(self) -> int:
+        return self.xbar_rows * self.xbar_cols
+
+    @property
+    def adcs_per_xbar(self) -> int:
+        return self.xbar_cols // self.adc_share
+
+    def slices_for(self, weight_bits: int) -> int:
+        """Bit-line columns needed per logical weight column."""
+        return weight_slices(weight_bits, self.cell_bits)
+
+    def cycles_for(self, activation_bits: int) -> int:
+        """Bit-serial input cycles per activation round."""
+        return input_cycles(activation_bits, self.dac_bits)
+
+    def with_(self, **kwargs) -> "HardwareConfig":
+        """Return a copy with selected fields replaced."""
+        return replace(self, **kwargs)
+
+
+def weight_slices(weight_bits: int, cell_bits: int) -> int:
+    """Number of cell columns a ``weight_bits``-bit weight occupies."""
+    if weight_bits < 1:
+        raise ValueError("weight_bits must be >= 1")
+    return math.ceil(weight_bits / cell_bits)
+
+
+def input_cycles(activation_bits: int, dac_bits: int) -> int:
+    """Number of bit-serial cycles an ``activation_bits``-bit input needs."""
+    if activation_bits < 1:
+        raise ValueError("activation_bits must be >= 1")
+    return math.ceil(activation_bits / dac_bits)
+
+
+DEFAULT_CONFIG = HardwareConfig()

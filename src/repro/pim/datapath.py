@@ -1,0 +1,200 @@
+"""EPIM datapath: the IFAT / IFRT / OFAT index tables and the joint module.
+
+Section 4.3 of the paper modifies the PIM datapath with three index tables
+so that epitome patches can be driven through the crossbars without runtime
+address computation:
+
+- **IFAT** (Input Feature Address Table): one ``(start, stop)`` pair per
+  activation round, locating the input-feature slab the round consumes in
+  the input buffer;
+- **IFRT** (Input Feature Row Table): one word-line enable sequence (length
+  = crossbar rows) per sampled patch — rows not in the patch are driven to
+  zero volts;
+- **OFAT** (Output Feature Address Table): one ``(start, stop)`` pair per
+  patch locating its partial result in the output feature map; the **joint
+  module** adds partials with identical pairs and concatenates sequential
+  ones.
+
+:func:`build_index_tables` derives all three from an
+:class:`repro.core.epitome.EpitomePlan`; :func:`execute_epitome_conv` then
+drives a real integer input through address controller -> IFAT/IFRT ->
+functional crossbars -> OFAT/joint module.  With an ideal ADC the result is
+**exactly** the convolution of the reconstructed virtual weight — the
+equivalence the integration tests assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..nn.functional import conv_output_size, im2col
+from .config import HardwareConfig
+from .crossbar import CrossbarArray
+
+__all__ = ["IndexTables", "build_index_tables", "execute_epitome_conv",
+           "epitome_to_matrix"]
+
+
+@dataclass
+class IndexTables:
+    """The three EPIM index tables for one epitome layer.
+
+    ``ifat[p] = (start, stop)`` — input-buffer address slab (flattened
+    ``(ci, h, w)`` order) for patch ``p``;
+    ``ifrt[p]`` — boolean word-line enables over the epitome's
+    ``ei*eh*ew`` crossbar rows;
+    ``ofat[p] = (co_start, co_stop)`` — output-channel range the patch's
+    partial sums belong to.
+    """
+
+    ifat: np.ndarray    # (n_patches, 2) int64
+    ifrt: np.ndarray    # (n_patches, epitome_rows) bool
+    ofat: np.ndarray    # (n_patches, 2) int64
+
+    @property
+    def n_patches(self) -> int:
+        return self.ifat.shape[0]
+
+    def summary(self) -> str:
+        lines = [f"IndexTables: {self.n_patches} patches, "
+                 f"{self.ifrt.shape[1]} word lines"]
+        for p in range(self.n_patches):
+            enabled = int(self.ifrt[p].sum())
+            lines.append(
+                f"  patch {p:3d}: IFAT=[{self.ifat[p, 0]}, {self.ifat[p, 1]})"
+                f"  IFRT={enabled} rows on"
+                f"  OFAT=[{self.ofat[p, 0]}, {self.ofat[p, 1]})")
+        return "\n".join(lines)
+
+
+def build_index_tables(plan, input_size: Tuple[int, int]) -> IndexTables:
+    """Build IFAT/IFRT/OFAT from an epitome plan.
+
+    Parameters
+    ----------
+    plan:
+        An :class:`repro.core.epitome.EpitomePlan` (duck-typed: needs
+        ``patches``, ``epitome_shape``, ``kernel_size``).
+    input_size:
+        ``(h, w)`` of the input feature map, used to compute IFAT byte
+        offsets in the flattened input buffer.
+    """
+    h, w = input_size
+    kernel = plan.kernel_size
+    shape = plan.epitome_shape
+    n = len(plan.patches)
+    ifat = np.zeros((n, 2), dtype=np.int64)
+    ifrt = np.zeros((n, shape.rows), dtype=bool)
+    ofat = np.zeros((n, 2), dtype=np.int64)
+    for p, patch in enumerate(plan.patches):
+        # Input slab: channels [ci_start, ci_start + ci_size) of the buffer.
+        ifat[p, 0] = patch.ci_start * h * w
+        ifat[p, 1] = (patch.ci_start + patch.ci_size) * h * w
+        ifrt[p, patch.word_lines(shape, kernel)] = True
+        ofat[p, 0] = patch.co_start
+        ofat[p, 1] = patch.co_start + patch.co_size
+    return IndexTables(ifat=ifat, ifrt=ifrt, ofat=ofat)
+
+
+def epitome_to_matrix(epitome: np.ndarray) -> np.ndarray:
+    """Arrange an epitome ``E[eo, ei, eh, ew]`` as a crossbar matrix.
+
+    Word lines follow ``(ei, eh, ew)`` raster order, bit lines are ``eo`` —
+    the MNSIM mapping of section 4.1 applied to the epitome tensor.
+    Returns ``(ei*eh*ew, eo)``.
+    """
+    eo = epitome.shape[0]
+    return epitome.reshape(eo, -1).T.copy()
+
+
+def _virtual_row_indices(patch, kernel: Tuple[int, int]) -> np.ndarray:
+    """im2col row indices the patch consumes, in (ci, kh, kw) raster order."""
+    kh, kw = kernel
+    ci_idx = np.arange(patch.ci_start, patch.ci_start + patch.ci_size)
+    k_idx = np.arange(kh * kw)
+    return (ci_idx[:, None] * (kh * kw) + k_idx[None, :]).reshape(-1)
+
+
+def execute_epitome_conv(x_int: np.ndarray, epitome_int: np.ndarray, plan,
+                         stride: int, padding: int, config: HardwareConfig,
+                         activation_bits: int,
+                         weight_bits: int,
+                         use_wrapping: bool = False,
+                         ideal_adc: bool = True,
+                         noise_std: float = 0.0,
+                         ir_drop_beta: float = 0.0,
+                         rng: Optional[np.random.Generator] = None,
+                         ) -> np.ndarray:
+    """Run one epitome convolution through the functional EPIM datapath.
+
+    Parameters
+    ----------
+    x_int:
+        Integer input ``(n, ci, h, w)``, non-negative (quantized
+        activations).
+    epitome_int:
+        Integer epitome tensor ``(eo, ei, eh, ew)``.
+    plan:
+        The :class:`~repro.core.epitome.EpitomePlan` of the layer.
+    use_wrapping:
+        Output channel wrapping (section 5.3): only the first
+        output-channel tile's patches are executed; the joint module
+        replicates the results across the remaining tiles (valid because
+        tiles are identical by construction — Eq. 8/9).
+    ideal_adc / noise_std / rng:
+        Passed to the functional :class:`CrossbarArray`.
+
+    Returns
+    -------
+    np.ndarray
+        ``(n, co, oh, ow)`` int64 outputs, exactly equal to
+        ``conv2d(x_int, plan.reconstruct(epitome_int))`` when the ADC is
+        ideal and noise is off.
+    """
+    n, ci, h, w = x_int.shape
+    co = plan.virtual_shape[0]
+    kh, kw = plan.kernel_size
+    oh = conv_output_size(h, kh, stride, padding)
+    ow = conv_output_size(w, kw, stride, padding)
+
+    xbar = CrossbarArray(config, ideal_adc=ideal_adc, noise_std=noise_std,
+                         ir_drop_beta=ir_drop_beta, rng=rng)
+    xbar.program(epitome_to_matrix(epitome_int), weight_bits)
+
+    cols = im2col(x_int.astype(np.int64), (kh, kw), (stride, stride),
+                  (padding, padding))            # (n, ci*kh*kw, oh*ow)
+    cols = cols.transpose(0, 2, 1).reshape(n * oh * ow, ci * kh * kw)
+
+    out = np.zeros((n * oh * ow, co), dtype=np.int64)
+    shape = plan.epitome_shape
+    patches = plan.patches
+    if use_wrapping:
+        patches = [p for p in patches if p.co_block == 0]
+
+    for patch in patches:
+        word_lines = patch.word_lines(shape, (kh, kw))
+        virt_rows = _virtual_row_indices(patch, (kh, kw))
+        # Address controller + IFAT/IFRT: place the selected inputs on the
+        # enabled word lines, everything else at zero volts.
+        drive = np.zeros((cols.shape[0], shape.rows), dtype=np.int64)
+        drive[:, word_lines] = cols[:, virt_rows]
+        mask = np.zeros(shape.rows, dtype=bool)
+        mask[word_lines] = True
+        partial = xbar.matmul(drive, activation_bits, row_mask=mask)
+        # OFAT + joint module: accumulate into the patch's channel range.
+        out[:, patch.co_start:patch.co_start + patch.co_size] += \
+            partial[:, :patch.co_size]
+
+    if use_wrapping:
+        # Joint module replication (Eq. 9): OFM[x + c] = OFM[x].
+        eo = shape.out_channels
+        first_tile = out[:, :eo].copy()
+        for b in range(1, plan.n_co_blocks):
+            start = b * eo
+            size = min(eo, co - start)
+            out[:, start:start + size] = first_tile[:, :size]
+
+    return out.reshape(n, oh, ow, co).transpose(0, 3, 1, 2)

@@ -1,0 +1,110 @@
+"""Weight-to-crossbar mapping and allocation accounting.
+
+Follows the MNSIM mapping the paper adopts (section 4.1): for a convolution
+``W[co, ci, kh, kw]`` the flattened ``ci*kh*kw`` dimension maps to crossbar
+**word lines** (rows) and ``co`` maps to **bit lines** (columns), with each
+``w``-bit weight bit-sliced across ``ceil(w / cell_bits)`` adjacent cell
+columns.  A tensor larger than one array is partitioned into a grid of
+``row_groups x col_groups`` crossbars; one crossbar holds (part of) exactly
+one layer, so fragmentation at the edges is real and reported as memristor
+utilization (Table 1's last column).
+
+Baseline layers store the full virtual weight; epitome layers store only the
+epitome (rows ``ei*eh*ew``, columns ``eo``) — that difference is the paper's
+crossbar compression rate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from .config import HardwareConfig
+
+__all__ = ["CrossbarAllocation", "map_matrix", "map_conv_layer"]
+
+
+@dataclass(frozen=True)
+class CrossbarAllocation:
+    """Result of mapping one stored matrix onto the crossbar fabric.
+
+    Attributes
+    ----------
+    stored_rows:
+        Word lines demanded (``ci*kh*kw`` for a conv, ``ei*eh*ew`` for an
+        epitome).
+    logical_cols:
+        Output columns before bit slicing (``co`` / ``eo``).
+    weight_bits / slices:
+        Precision and resulting cell columns per logical column.
+    row_groups / col_groups / num_crossbars:
+        Grid of arrays allocated.
+    used_cells / allocated_cells:
+        Occupancy accounting; ``utilization = used / allocated``.
+    """
+
+    stored_rows: int
+    logical_cols: int
+    weight_bits: int
+    slices: int
+    row_groups: int
+    col_groups: int
+    num_crossbars: int
+    used_cells: int
+    allocated_cells: int
+
+    @property
+    def physical_cols(self) -> int:
+        return self.logical_cols * self.slices
+
+    @property
+    def utilization(self) -> float:
+        if self.allocated_cells == 0:
+            return 0.0
+        return self.used_cells / self.allocated_cells
+
+
+def map_matrix(stored_rows: int, logical_cols: int, weight_bits: int,
+               config: HardwareConfig) -> CrossbarAllocation:
+    """Allocate crossbars for a ``stored_rows x logical_cols`` weight matrix.
+
+    Parameters
+    ----------
+    stored_rows:
+        Word-line demand of the stored tensor.
+    logical_cols:
+        Logical output columns; each expands into
+        ``ceil(weight_bits / cell_bits)`` physical bit lines.
+    weight_bits:
+        Fixed-point weight precision (use
+        ``config.fp_equivalent_bits`` for FP32 deployments).
+    """
+    if stored_rows < 1 or logical_cols < 1:
+        raise ValueError("matrix dimensions must be positive")
+    slices = config.slices_for(weight_bits)
+    physical_cols = logical_cols * slices
+    row_groups = math.ceil(stored_rows / config.xbar_rows)
+    col_groups = math.ceil(physical_cols / config.xbar_cols)
+    num_crossbars = row_groups * col_groups
+    used = stored_rows * physical_cols
+    allocated = num_crossbars * config.cells_per_xbar
+    return CrossbarAllocation(
+        stored_rows=stored_rows,
+        logical_cols=logical_cols,
+        weight_bits=weight_bits,
+        slices=slices,
+        row_groups=row_groups,
+        col_groups=col_groups,
+        num_crossbars=num_crossbars,
+        used_cells=used,
+        allocated_cells=allocated,
+    )
+
+
+def map_conv_layer(in_channels: int, out_channels: int,
+                   kernel_size: Tuple[int, int], weight_bits: int,
+                   config: HardwareConfig) -> CrossbarAllocation:
+    """Map a full (non-epitome) convolution: rows = ``ci*kh*kw``, cols = ``co``."""
+    kh, kw = kernel_size
+    return map_matrix(in_channels * kh * kw, out_channels, weight_bits, config)

@@ -1,0 +1,33 @@
+"""repro.quant — quantization substrate (Eqs. 2-3) and HAWQ mixed precision.
+
+The *epitome-aware* quantization of the paper (per-crossbar scaling factors
+and overlap-weighted ranges, Eqs. 4-5) builds on these primitives and lives
+in :mod:`repro.core.equant`.
+"""
+
+from .hawq import LayerSensitivity, allocate_bits, hutchinson_trace, layer_sensitivities
+from .observer import MinMaxObserver, MovingAverageObserver, PercentileObserver
+from .quantizer import (
+    QuantParams,
+    compute_qparams,
+    dequantize_array,
+    fake_quantize,
+    fake_quantize_per_group,
+    quantize_array,
+)
+
+__all__ = [
+    "QuantParams",
+    "compute_qparams",
+    "quantize_array",
+    "dequantize_array",
+    "fake_quantize",
+    "fake_quantize_per_group",
+    "MinMaxObserver",
+    "MovingAverageObserver",
+    "PercentileObserver",
+    "LayerSensitivity",
+    "hutchinson_trace",
+    "layer_sensitivities",
+    "allocate_bits",
+]

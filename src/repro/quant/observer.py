@@ -1,0 +1,92 @@
+"""Range observers for quantization.
+
+Observers watch tensors flowing through the network and decide the clipping
+range ``[alpha, beta]`` of Eq. 3.  Min/max is the paper's stated baseline
+choice; the moving-average and percentile observers are the standard
+alternatives used for activations during QAT.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = ["MinMaxObserver", "MovingAverageObserver", "PercentileObserver"]
+
+
+class MinMaxObserver:
+    """Tracks the running min/max over every observed batch."""
+
+    def __init__(self):
+        self.range_min: Optional[float] = None
+        self.range_max: Optional[float] = None
+
+    def observe(self, values: np.ndarray) -> None:
+        lo = float(values.min())
+        hi = float(values.max())
+        self.range_min = lo if self.range_min is None else min(self.range_min, lo)
+        self.range_max = hi if self.range_max is None else max(self.range_max, hi)
+
+    @property
+    def ready(self) -> bool:
+        return self.range_min is not None
+
+    def range(self) -> Tuple[float, float]:
+        if not self.ready:
+            raise RuntimeError("observer has seen no data")
+        return self.range_min, self.range_max
+
+
+class MovingAverageObserver:
+    """Exponential moving average of per-batch min/max (smoother for QAT)."""
+
+    def __init__(self, momentum: float = 0.9):
+        self.momentum = momentum
+        self.range_min: Optional[float] = None
+        self.range_max: Optional[float] = None
+
+    def observe(self, values: np.ndarray) -> None:
+        lo = float(values.min())
+        hi = float(values.max())
+        if self.range_min is None:
+            self.range_min, self.range_max = lo, hi
+        else:
+            m = self.momentum
+            self.range_min = m * self.range_min + (1.0 - m) * lo
+            self.range_max = m * self.range_max + (1.0 - m) * hi
+
+    @property
+    def ready(self) -> bool:
+        return self.range_min is not None
+
+    def range(self) -> Tuple[float, float]:
+        if not self.ready:
+            raise RuntimeError("observer has seen no data")
+        return self.range_min, self.range_max
+
+
+class PercentileObserver:
+    """Clips outliers by tracking a percentile of the absolute values."""
+
+    def __init__(self, percentile: float = 99.9):
+        if not 0.0 < percentile <= 100.0:
+            raise ValueError("percentile must be in (0, 100]")
+        self.percentile = percentile
+        self.range_min: Optional[float] = None
+        self.range_max: Optional[float] = None
+
+    def observe(self, values: np.ndarray) -> None:
+        hi = float(np.percentile(values, self.percentile))
+        lo = float(np.percentile(values, 100.0 - self.percentile))
+        self.range_min = lo if self.range_min is None else min(self.range_min, lo)
+        self.range_max = hi if self.range_max is None else max(self.range_max, hi)
+
+    @property
+    def ready(self) -> bool:
+        return self.range_min is not None
+
+    def range(self) -> Tuple[float, float]:
+        if not self.ready:
+            raise RuntimeError("observer has seen no data")
+        return self.range_min, self.range_max

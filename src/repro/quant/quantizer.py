@@ -1,0 +1,135 @@
+"""Uniform affine quantization (paper section 2.3, Eqs. 2-3).
+
+The quantizer maps a real value ``r`` to an integer with a scaling factor
+``S`` and zero point ``Z``:
+
+    Q(r) = Int(r / S) - Z,       S = (beta - alpha) / (2^k - 1)
+
+where ``[alpha, beta]`` is the clipping range.  This module provides the
+numpy-level quantize/dequantize kernels, the straight-through-estimator
+(STE) fake-quant ops used during quantization-aware training, and the
+per-group variant (one ``S``/``Z`` per group of elements) on which the
+paper's per-crossbar scaling factors (section 4.2) are built.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..nn.tensor import Tensor
+
+__all__ = [
+    "QuantParams",
+    "compute_qparams",
+    "quantize_array",
+    "dequantize_array",
+    "fake_quantize",
+    "fake_quantize_per_group",
+]
+
+
+@dataclass(frozen=True)
+class QuantParams:
+    """Scale/zero-point pair for ``bits``-bit quantization.
+
+    ``signed`` selects the integer grid: ``[-2^(b-1), 2^(b-1)-1]`` for
+    weights, ``[0, 2^b - 1]`` for (post-ReLU) activations.
+    """
+
+    scale: float
+    zero_point: int
+    bits: int
+    signed: bool = True
+
+    @property
+    def qmin(self) -> int:
+        return -(1 << (self.bits - 1)) if self.signed else 0
+
+    @property
+    def qmax(self) -> int:
+        return (1 << (self.bits - 1)) - 1 if self.signed else (1 << self.bits) - 1
+
+
+def compute_qparams(range_min: float, range_max: float, bits: int,
+                    signed: bool = True) -> QuantParams:
+    """Derive scale and zero point from a clipping range (Eq. 3).
+
+    For signed (weight) quantization the range is symmetrised around zero,
+    the standard choice for crossbar mapping where positive/negative
+    conductances are balanced; for unsigned (activation) quantization the
+    affine form with a zero point is used.
+    """
+    if bits < 1:
+        raise ValueError("bits must be >= 1")
+    if range_max < range_min:
+        raise ValueError("range_max must be >= range_min")
+    if signed:
+        bound = max(abs(range_min), abs(range_max), 1e-12)
+        qmax = (1 << (bits - 1)) - 1
+        scale = bound / qmax
+        return QuantParams(scale=scale, zero_point=0, bits=bits, signed=True)
+    span = max(range_max - range_min, 1e-12)
+    qmax = (1 << bits) - 1
+    scale = span / qmax
+    zero_point = int(round(range_min / scale))
+    return QuantParams(scale=scale, zero_point=zero_point, bits=bits,
+                       signed=False)
+
+
+def quantize_array(values: np.ndarray, params: QuantParams) -> np.ndarray:
+    """Real -> integer grid (Eq. 2), clipped to the representable range."""
+    q = np.rint(values / params.scale) - params.zero_point
+    return np.clip(q, params.qmin, params.qmax).astype(np.int64)
+
+
+def dequantize_array(q: np.ndarray, params: QuantParams) -> np.ndarray:
+    """Integer grid -> real."""
+    return ((q.astype(np.float64) + params.zero_point) * params.scale)
+
+
+def fake_quantize(x: Tensor, params: QuantParams) -> Tensor:
+    """Quantize-dequantize with a straight-through estimator.
+
+    Forward: ``dequantize(quantize(x))``.  Backward: identity inside the
+    clipping range, zero outside (the standard STE used for QAT).
+    """
+    scale = params.scale
+    zp = params.zero_point
+    q = np.rint(x.data / scale) - zp
+    clipped = np.clip(q, params.qmin, params.qmax)
+    out_data = ((clipped + zp) * scale).astype(x.data.dtype)
+    pass_mask = (q >= params.qmin) & (q <= params.qmax)
+    return Tensor._make(out_data, (x,), lambda g: (g * pass_mask,))
+
+
+def fake_quantize_per_group(x: Tensor, scales: np.ndarray,
+                            group_ids: np.ndarray, bits: int,
+                            signed: bool = True) -> Tensor:
+    """Fake-quantize with one scale per element group (STE backward).
+
+    Parameters
+    ----------
+    x:
+        Input tensor (e.g. an epitome).
+    scales:
+        1-D array of per-group scales, indexed by ``group_ids``.
+    group_ids:
+        Integer array of ``x``'s shape assigning every element to a group
+        (e.g. its crossbar).
+    bits / signed:
+        Integer grid selection (zero point fixed at 0 — weights are
+        symmetric on crossbars).
+    """
+    if group_ids.shape != x.data.shape:
+        raise ValueError("group_ids must match the tensor shape")
+    qmin = -(1 << (bits - 1)) if signed else 0
+    qmax = (1 << (bits - 1)) - 1 if signed else (1 << bits) - 1
+    elem_scale = scales[group_ids]
+    q = np.rint(x.data / elem_scale)
+    clipped = np.clip(q, qmin, qmax)
+    out_data = (clipped * elem_scale).astype(x.data.dtype)
+    pass_mask = (q >= qmin) & (q <= qmax)
+    return Tensor._make(out_data, (x,), lambda g: (g * pass_mask,))

@@ -1,0 +1,98 @@
+"""Tests for magnitude element pruning (repro.baselines.element_prune)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.baselines.element_prune import (
+    INDEX_OVERHEAD,
+    Pruner,
+    magnitude_mask,
+    pruned_compression,
+    sparse_param_cost,
+)
+from repro.core.designer import convert_model
+from repro.models.resnet import resnet20
+from repro.nn.tensor import Tensor
+
+
+class TestMagnitudeMask:
+    def test_exact_ratio(self, rng):
+        w = rng.standard_normal((40, 25))
+        mask = magnitude_mask(w, 0.5)
+        assert mask.sum() == 500
+
+    def test_keeps_largest(self, rng):
+        w = np.array([0.1, -5.0, 0.2, 3.0])
+        mask = magnitude_mask(w, 0.5)
+        np.testing.assert_array_equal(mask, [False, True, False, True])
+
+    def test_zero_ratio_keeps_all(self, rng):
+        w = rng.standard_normal(10)
+        assert magnitude_mask(w, 0.0).all()
+
+    def test_invalid_ratio(self):
+        with pytest.raises(ValueError):
+            magnitude_mask(np.ones(4), 1.0)
+        with pytest.raises(ValueError):
+            magnitude_mask(np.ones(4), -0.1)
+
+    def test_ties_resolved_to_exact_count(self):
+        w = np.ones(10)
+        mask = magnitude_mask(w, 0.3)
+        assert mask.sum() == 7
+
+
+class TestCompressionAccounting:
+    def test_sparse_cost(self):
+        assert sparse_param_cost(100, 50) == 50 + 100 * INDEX_OVERHEAD
+
+    def test_paper_anchor_values(self):
+        """The paper's PIM-Prune rows imply ~1.8x at 50%, ~3.2-3.4x at 75%."""
+        assert pruned_compression(1000, 500) == pytest.approx(1.78, abs=0.02)
+        assert pruned_compression(1000, 250) == pytest.approx(3.2, abs=0.05)
+
+
+class TestPruner:
+    def test_conv_scope(self):
+        model = resnet20()
+        pruner = Pruner(model, 0.5, scope="conv")
+        assert pruner.sparsity == pytest.approx(0.5, abs=0.01)
+        # pruned weights actually zeroed
+        zeros = sum(int((m.weight.data == 0).sum())
+                    for _, m in model.named_modules()
+                    if type(m) is nn.Conv2d)
+        assert zeros >= pruner.num_weights * 0.49
+
+    def test_epitome_scope(self):
+        model = resnet20()
+        convert_model(model, rows=128, cols=32)
+        pruner = Pruner(model, 0.5, scope="epitome")
+        assert pruner.sparsity == pytest.approx(0.5, abs=0.01)
+
+    def test_epitome_scope_requires_epitomes(self):
+        with pytest.raises(ValueError):
+            Pruner(resnet20(), 0.5, scope="epitome")
+
+    def test_invalid_scope(self):
+        with pytest.raises(ValueError):
+            Pruner(resnet20(), 0.5, scope="linear")
+
+    def test_apply_is_idempotent_and_restores_zeros(self, rng):
+        model = resnet20()
+        pruner = Pruner(model, 0.5, scope="conv")
+        # simulate an optimizer step that revives pruned weights
+        for _, m in model.named_modules():
+            if type(m) is nn.Conv2d:
+                m.weight.data = m.weight.data + 1.0
+        pruner.apply()
+        mask0 = pruner.masks()[0]
+        first_conv = next(m for _, m in model.named_modules()
+                          if type(m) is nn.Conv2d)
+        assert np.all(first_conv.weight.data[~mask0] == 0.0)
+
+    def test_compression_property(self):
+        model = resnet20()
+        pruner = Pruner(model, 0.5, scope="conv")
+        assert pruner.compression == pytest.approx(
+            pruned_compression(pruner.num_weights, pruner.num_kept))

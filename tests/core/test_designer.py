@@ -1,0 +1,177 @@
+"""Tests for the epitome designer (repro.core.designer)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core.designer import (
+    build_deployments,
+    choose_epitome_shape,
+    convert_model,
+    epitome_layers,
+    model_compression_summary,
+    spec_from_model,
+    uniform_assignment,
+)
+from repro.core.layers import EpitomeConv2d
+from repro.models.resnet import resnet20
+from repro.models.specs import LayerSpec, resnet50_spec
+from repro.nn.tensor import Tensor
+
+
+def conv_layer(cin=512, cout=512, k=3):
+    return LayerSpec("L", "conv", cin, cout, (k, k), 1, (14, 14), (14, 14))
+
+
+class TestChooseEpitomeShape:
+    def test_large_layer_compressed(self):
+        shape = choose_epitome_shape(conv_layer(), 1024, 256)
+        assert shape is not None
+        assert shape.num_params < conv_layer().num_weights
+
+    def test_small_3x3_layer_compresses_via_spatial_sharing(self):
+        """Even a 16-ch 3x3 layer compresses: channels split across the
+        spatial offsets (the paper's Fig. 3 L9 arithmetic)."""
+        shape = choose_epitome_shape(conv_layer(16, 16), 1024, 256)
+        assert shape is not None
+        assert shape.num_params < conv_layer(16, 16).num_weights
+
+    def test_incompressible_1x1_layer_kept_as_conv(self):
+        """A 1x1 layer that already fits the budget has nothing to share."""
+        shape = choose_epitome_shape(conv_layer(16, 16, k=1), 1024, 256)
+        assert shape is None
+
+    def test_low_channel_stem_kept_as_conv(self):
+        stem = LayerSpec("conv1", "conv", 3, 64, (7, 7), 2,
+                         (224, 224), (112, 112))
+        assert choose_epitome_shape(stem, 1024, 256) is None
+
+    def test_fc_layers_never_converted(self):
+        fc = LayerSpec("fc", "fc", 2048, 1000, (1, 1), 1, (1, 1), (1, 1))
+        assert choose_epitome_shape(fc, 1024, 256) is None
+
+    def test_crossbar_alignment(self):
+        """ei*eh*ew lands on a multiple of the crossbar rows when possible."""
+        shape = choose_epitome_shape(conv_layer(), 1024, 256)
+        assert shape.rows % 256 == 0
+
+    def test_budget_clipped_to_layer(self):
+        layer = conv_layer(64, 512, 3)   # rows 576 < 1024
+        shape = choose_epitome_shape(layer, 1024, 256)
+        assert shape is not None        # still compresses cols: 512 -> 256
+        assert shape.cols == 256
+
+
+class TestUniformAssignment:
+    def test_covers_all_convs(self):
+        spec = resnet50_spec()
+        assignment = uniform_assignment(spec)
+        conv_names = {l.name for l in spec if l.kind == "conv"}
+        assert set(assignment) == conv_names
+        assert all(v == (1024, 256) for v in assignment.values())
+
+
+class TestBuildDeployments:
+    def test_baseline_when_no_assignment(self):
+        spec = resnet50_spec()
+        deps = build_deployments(spec)
+        assert all(d.style == "conv" for d in deps)
+        assert len(deps) == len(spec)
+
+    def test_epitome_applied_to_big_layers(self):
+        spec = resnet50_spec()
+        deps = build_deployments(spec, uniform_assignment(spec))
+        styles = {d.spec.name: d.style for d in deps}
+        assert styles["layer4.2.conv2"] == "epitome"   # 3x3 512ch
+        assert styles["conv1"] == "conv"               # tiny stem stays
+        assert styles["fc"] == "conv"
+
+    def test_bit_map_overrides(self):
+        spec = resnet50_spec()
+        bit_map = {"layer4.2.conv2": 5}
+        deps = build_deployments(spec, uniform_assignment(spec),
+                                 weight_bits=3, activation_bits=9,
+                                 bit_map=bit_map)
+        by_name = {d.spec.name: d for d in deps}
+        assert by_name["layer4.2.conv2"].weight_bits == 5
+        assert by_name["layer4.1.conv2"].weight_bits == 3
+
+    def test_wrapping_flag_propagates(self):
+        spec = resnet50_spec()
+        deps = build_deployments(spec, uniform_assignment(spec),
+                                 use_wrapping=True)
+        assert any(d.use_wrapping for d in deps if d.style == "epitome")
+
+
+class TestConvertModel:
+    def test_converts_and_preserves_interface(self, rng):
+        model = resnet20()
+        n = convert_model(model, rows=128, cols=32)
+        assert n > 0
+        x = Tensor(rng.standard_normal((2, 3, 32, 32)).astype(np.float32))
+        assert model(x).shape == (2, 10)
+
+    def test_compression_reduces_params(self):
+        model = resnet20()
+        before = model.num_parameters()
+        convert_model(model, rows=128, cols=32)
+        assert model.num_parameters() < before
+
+    def test_warm_start_preserves_function_approximately(self, rng):
+        """With warm start the converted model starts near the original
+        (exact for layers whose epitome fits the conv exactly)."""
+        model_a = resnet20(seed=1)
+        model_b = resnet20(seed=1)
+        x = Tensor(rng.standard_normal((2, 3, 32, 32)).astype(np.float32))
+        out_a = model_a(x).data
+        convert_model(model_b, rows=4096, cols=512, warm_start=True)
+        out_b = model_b(x).data
+        # Huge epitome budget => most layers keep conv; outputs track.
+        assert np.corrcoef(out_a.ravel(), out_b.ravel())[0, 1] > 0.5
+
+    def test_assignment_overrides(self):
+        model = resnet20()
+        assignment = {name: None for name, _ in model.named_modules()}
+        n = convert_model(model, rows=128, cols=32, assignment=assignment)
+        assert n == 0
+
+    def test_epitome_layers_listing(self):
+        model = resnet20()
+        convert_model(model, rows=128, cols=32)
+        layers = epitome_layers(model)
+        assert layers
+        assert all(isinstance(m, EpitomeConv2d) for _, m in layers)
+
+    def test_compression_summary(self):
+        model = resnet20()
+        convert_model(model, rows=128, cols=32)
+        summary = model_compression_summary(model)
+        assert summary["compression"] > 1.0
+        assert summary["virtual_params"] > summary["params"]
+
+    def test_unconverted_model_summary(self):
+        summary = model_compression_summary(resnet20())
+        assert summary["compression"] == pytest.approx(1.0)
+
+
+class TestSpecFromModel:
+    def test_traces_resnet20(self):
+        spec = spec_from_model(resnet20(), (32, 32))
+        # 21 convs + 1 fc
+        assert len(spec) == 22
+        assert spec[0].name == "stem"
+        assert spec[0].in_size == (32, 32)
+        assert spec[-1].kind == "fc"
+
+    def test_spatial_sizes_propagate(self):
+        spec = spec_from_model(resnet20(), (32, 32))
+        stage2_first = spec.by_name("stage2.0.conv1")
+        assert stage2_first.out_size == (16, 16)
+        stage3 = spec.by_name("stage3.0.conv2")
+        assert stage3.out_size == (8, 8)
+
+    def test_works_on_converted_model(self):
+        model = resnet20()
+        convert_model(model, rows=128, cols=32)
+        spec = spec_from_model(model, (32, 32))
+        assert len(spec) == 22

@@ -1,0 +1,56 @@
+"""Property-based tests for the epitome designer and shape chooser."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.designer import MIN_EPITOME_IN_CHANNELS, choose_epitome_shape
+from repro.core.epitome import build_plan
+from repro.models.specs import LayerSpec
+
+
+def layer_strategy():
+    return st.builds(
+        lambda ci, co, k: LayerSpec(
+            "L", "conv", ci, co, (k, k), 1, (14, 14), (14, 14)),
+        ci=st.integers(1, 512),
+        co=st.integers(1, 512),
+        k=st.sampled_from([1, 3, 5, 7]),
+    )
+
+
+@given(spec=layer_strategy(), rows=st.integers(8, 2048),
+       cols=st.integers(4, 512))
+@settings(max_examples=100, deadline=None)
+def test_chosen_shape_always_buildable_and_compressing(spec, rows, cols):
+    """Whatever the designer returns must (a) build a valid plan, (b) have
+    strictly fewer parameters than the conv, and (c) leave no epitome
+    element unused (no dead parameters)."""
+    shape = choose_epitome_shape(spec, rows, cols)
+    if shape is None:
+        return
+    assert spec.in_channels >= MIN_EPITOME_IN_CHANNELS
+    plan = build_plan((spec.out_channels, spec.in_channels,
+                       *spec.kernel_size), shape)
+    assert shape.num_params < spec.num_weights
+    counts = plan.repetition_counts()
+    assert counts.min() >= 1
+
+
+@given(spec=layer_strategy(), rows=st.integers(8, 2048),
+       cols=st.integers(4, 512))
+@settings(max_examples=60, deadline=None)
+def test_shape_respects_budget(spec, rows, cols):
+    """The chosen epitome never exceeds the requested rows x cols budget
+    (after clipping to the layer's own extent)."""
+    shape = choose_epitome_shape(spec, rows, cols)
+    if shape is None:
+        return
+    assert shape.cols <= min(cols, spec.weight_cols)
+    assert shape.rows <= max(rows, spec.kernel_size[0] * spec.kernel_size[1])
+
+
+@given(spec=layer_strategy())
+@settings(max_examples=40, deadline=None)
+def test_low_channel_layers_never_converted(spec):
+    if spec.in_channels < MIN_EPITOME_IN_CHANNELS:
+        assert choose_epitome_shape(spec, 1024, 256) is None

@@ -1,0 +1,172 @@
+"""Tests for the epitome operator core (repro.core.epitome)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.epitome import EpitomeShape, PatchSample, build_plan
+
+
+class TestEpitomeShape:
+    def test_rows_cols(self):
+        shape = EpitomeShape(256, 64, 4, 4)
+        assert shape.rows == 64 * 16
+        assert shape.cols == 256
+        assert shape.num_params == 256 * 64 * 16
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EpitomeShape(0, 1, 1, 1)
+
+    def test_from_rows_cols_3x3(self):
+        shape = EpitomeShape.from_rows_cols(1024, 256, (3, 3), 512)
+        assert shape.height == 4 and shape.width == 4
+        assert shape.in_channels == 64
+        assert shape.rows == 1024
+
+    def test_from_rows_cols_1x1(self):
+        shape = EpitomeShape.from_rows_cols(1024, 256, (1, 1), 2048)
+        assert shape.height == 1 and shape.width == 1
+        assert shape.in_channels == 1024
+
+    def test_from_rows_cols_caps_channels(self):
+        shape = EpitomeShape.from_rows_cols(1024, 256, (1, 1), 32)
+        assert shape.in_channels == 32
+
+    def test_tiny_budget_degenerates_to_kernel(self):
+        shape = EpitomeShape.from_rows_cols(9, 4, (3, 3), 8)
+        assert (shape.height, shape.width) == (3, 3)
+
+    def test_str(self):
+        assert "1024x256" in str(EpitomeShape(256, 64, 4, 4))
+
+
+class TestBuildPlan:
+    def test_paper_config(self):
+        shape = EpitomeShape.from_rows_cols(1024, 256, (3, 3), 512)
+        plan = build_plan((512, 512, 3, 3), shape)
+        assert plan.n_co_blocks == 2
+        assert plan.n_ci_blocks == 8
+        assert len(plan.patches) == 16
+        assert plan.compression == pytest.approx(9.0)
+
+    def test_index_map_in_range(self):
+        shape = EpitomeShape.from_rows_cols(72, 8, (3, 3), 16)
+        plan = build_plan((12, 16, 3, 3), shape)
+        assert plan.index_map.min() >= 0
+        assert plan.index_map.max() < shape.num_params
+
+    def test_every_epitome_element_used(self):
+        """The even spread of sampling windows exercises all of ``E``."""
+        shape = EpitomeShape.from_rows_cols(1024, 256, (3, 3), 512)
+        plan = build_plan((512, 512, 3, 3), shape)
+        assert plan.repetition_counts().min() >= 1
+
+    def test_reconstruction_values(self):
+        shape = EpitomeShape(4, 2, 3, 3)
+        plan = build_plan((4, 2, 3, 3), shape)
+        epitome = np.arange(4 * 2 * 9, dtype=float).reshape(4, 2, 3, 3)
+        # Exact-fit epitome: reconstruction is identity.
+        np.testing.assert_array_equal(plan.reconstruct(epitome), epitome)
+
+    def test_output_channel_tiling_invariance(self):
+        """Eq. 8: co tiles of the virtual weight are identical."""
+        shape = EpitomeShape.from_rows_cols(64, 4, (3, 3), 8)
+        plan = build_plan((16, 8, 3, 3), shape)
+        rng = np.random.default_rng(0)
+        w = plan.reconstruct(rng.standard_normal(shape.as_tuple()))
+        np.testing.assert_array_equal(w[:4], w[4:8])
+        np.testing.assert_array_equal(w[:4], w[12:16])
+
+    def test_center_repeated_more_than_border(self):
+        """Fig. 2c: overlapping spatial windows hit the interior more."""
+        shape = EpitomeShape.from_rows_cols(1024, 256, (3, 3), 512)
+        plan = build_plan((512, 512, 3, 3), shape)
+        spatial = plan.repetition_counts().sum(axis=(0, 1))
+        center = spatial[1:3, 1:3].mean()
+        corners = np.array([spatial[0, 0], spatial[0, -1],
+                            spatial[-1, 0], spatial[-1, -1]]).mean()
+        assert center > corners
+
+    def test_overlap_mask_nonempty_proper_subset(self):
+        shape = EpitomeShape.from_rows_cols(1024, 256, (3, 3), 512)
+        plan = build_plan((512, 512, 3, 3), shape)
+        mask = plan.overlap_mask()
+        assert 0 < mask.sum() < mask.size
+
+    def test_overlap_mask_uniform_counts(self):
+        """Exact-fit plans have uniform repetition; mask degrades gracefully."""
+        shape = EpitomeShape(4, 2, 3, 3)
+        plan = build_plan((4, 2, 3, 3), shape)
+        mask = plan.overlap_mask()
+        assert mask.all()   # falls back to >= threshold
+
+    def test_rounds_per_position(self):
+        shape = EpitomeShape.from_rows_cols(1024, 256, (3, 3), 512)
+        plan = build_plan((512, 512, 3, 3), shape)
+        assert plan.rounds_per_position == 16
+        assert plan.wrapped_rounds_per_position == 8
+
+    def test_without_index_map(self):
+        shape = EpitomeShape.from_rows_cols(1024, 256, (3, 3), 512)
+        plan = build_plan((512, 512, 3, 3), shape, with_index_map=False)
+        assert plan.index_map.size == 0
+        assert len(plan.patches) == 16
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            build_plan((4, 8, 3, 3), EpitomeShape(8, 4, 3, 3))   # eo > co
+        with pytest.raises(ValueError):
+            build_plan((8, 4, 3, 3), EpitomeShape(4, 8, 3, 3))   # ei > ci
+        with pytest.raises(ValueError):
+            build_plan((8, 8, 3, 3), EpitomeShape(4, 4, 2, 2))   # eh < kh
+
+    def test_reconstruct_wrong_shape_raises(self):
+        shape = EpitomeShape(4, 2, 3, 3)
+        plan = build_plan((4, 2, 3, 3), shape)
+        with pytest.raises(ValueError):
+            plan.reconstruct(np.zeros((1, 1, 1, 1)))
+
+
+class TestPatchSample:
+    def test_word_lines_raster_order(self):
+        shape = EpitomeShape(4, 4, 4, 4)
+        patch = PatchSample(co_block=0, ci_block=0, co_start=0, ci_start=0,
+                            co_size=4, ci_size=2, e_ci_start=1,
+                            e_h_start=1, e_w_start=0)
+        lines = patch.word_lines(shape, (3, 3))
+        assert lines.size == 2 * 9
+        # first line: ci=1, h=1, w=0 -> 1*16 + 1*4 + 0 = 20
+        assert lines[0] == 20
+        assert np.all(np.diff(lines) > 0) or lines.size == len(set(lines))
+
+    def test_word_lines_within_bounds(self):
+        shape = EpitomeShape.from_rows_cols(72, 8, (3, 3), 16)
+        plan = build_plan((12, 16, 3, 3), shape)
+        for patch in plan.patches:
+            lines = patch.word_lines(shape, (3, 3))
+            assert lines.min() >= 0
+            assert lines.max() < shape.rows
+
+
+@given(co=st.integers(1, 24), ci=st.integers(1, 24),
+       k=st.sampled_from([1, 3]), rows=st.integers(4, 128),
+       cols=st.integers(1, 24), seed=st.integers(0, 2 ** 31))
+@settings(max_examples=60, deadline=None)
+def test_plan_properties(co, ci, k, rows, cols, seed):
+    """For any geometry: index map valid, patches tile the virtual weight,
+    repetition counts equal gradient multiplicities."""
+    cols = min(cols, co)
+    shape = EpitomeShape.from_rows_cols(max(rows, k * k), cols, (k, k), ci)
+    plan = build_plan((co, ci, k, k), shape)
+    # index map bounds
+    assert plan.index_map.min() >= 0
+    assert plan.index_map.max() < shape.num_params
+    # patches exactly tile the virtual (co, ci) grid
+    coverage = np.zeros((co, ci), dtype=int)
+    for patch in plan.patches:
+        coverage[patch.co_start:patch.co_start + patch.co_size,
+                 patch.ci_start:patch.ci_start + patch.ci_size] += 1
+    assert np.all(coverage == 1)
+    # repetition counts sum to the virtual weight size
+    assert plan.repetition_counts().sum() == co * ci * k * k

@@ -1,0 +1,70 @@
+"""Tests for the deployment manifest exporter (repro.core.export)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.designer import convert_model, epitome_layers
+from repro.core.equant import EpitomeQuantConfig
+from repro.core.export import export_manifest, manifest_summary, write_manifest
+from repro.models.resnet import resnet20
+
+
+@pytest.fixture(scope="module")
+def converted_model():
+    model = resnet20()
+    convert_model(model, rows=128, cols=32)
+    return model
+
+
+class TestExportManifest:
+    def test_covers_every_epitome_layer(self, converted_model):
+        manifest = export_manifest(converted_model)
+        assert manifest["num_epitome_layers"] == len(
+            epitome_layers(converted_model))
+        assert len(manifest["layers"]) == manifest["num_epitome_layers"]
+
+    def test_layer_entry_fields(self, converted_model):
+        entry = export_manifest(converted_model)["layers"][0]
+        for field in ("name", "virtual_shape", "epitome_shape", "rows",
+                      "cols", "compression", "crossbars",
+                      "wrapping_factor", "activation_rounds"):
+            assert field in entry
+        assert entry["compression"] >= 1.0
+        assert entry["crossbars"]["count"] >= 1
+
+    def test_quantization_scales_embedded(self, converted_model):
+        quant = EpitomeQuantConfig(bits=3, mode="crossbar")
+        manifest = export_manifest(converted_model, quant=quant)
+        entry = manifest["layers"][0]
+        assert entry["quantization"]["bits"] == 3
+        assert entry["quantization"]["num_scale_groups"] >= 1
+        assert all(s > 0 for s in entry["quantization"]["scales"])
+
+    def test_index_tables_optional(self, converted_model):
+        without = export_manifest(converted_model)
+        assert "index_tables" not in without["layers"][0]
+        with_tables = export_manifest(converted_model, include_tables=True)
+        tables = with_tables["layers"][0]["index_tables"]
+        assert tables["n_patches"] == len(tables["ofat"])
+        assert all(count > 0 for count in tables["ifrt_rows_enabled"])
+
+    def test_json_serialisable(self, converted_model):
+        manifest = export_manifest(
+            converted_model, quant=EpitomeQuantConfig(bits=5),
+            include_tables=True)
+        text = json.dumps(manifest)
+        assert "epim-deployment-manifest/1" in text
+
+    def test_write_and_reload(self, converted_model, tmp_path):
+        manifest = export_manifest(converted_model)
+        path = tmp_path / "deploy" / "manifest.json"
+        write_manifest(manifest, path)
+        reloaded = json.loads(path.read_text())
+        assert reloaded["total_crossbars"] == manifest["total_crossbars"]
+
+    def test_summary_renders(self, converted_model):
+        text = manifest_summary(export_manifest(converted_model))
+        assert "EPIM deployment manifest" in text
+        assert "XBs" in text

@@ -1,0 +1,154 @@
+"""Tests for the trainable epitome layers (repro.core.layers)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core.epitome import EpitomeShape
+from repro.core.layers import EpitomeConv2d, EpitomeLinear
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+from ..conftest import gradcheck
+
+
+def make_layer(co=12, ci=16, k=3, rows=72, cols=8, **kwargs):
+    shape = EpitomeShape.from_rows_cols(rows, cols, (k, k), ci)
+    return EpitomeConv2d(ci, co, k, padding=1, epitome_shape=shape,
+                         rng=np.random.default_rng(0), **kwargs)
+
+
+class TestEpitomeConv2d:
+    def test_forward_equals_conv_of_reconstructed_weight(self, rng):
+        layer = make_layer()
+        x = Tensor(rng.standard_normal((2, 16, 8, 8)).astype(np.float32))
+        out = layer(x)
+        ref = F.conv2d(x, Tensor(layer.plan.reconstruct(layer.epitome.data)),
+                       layer.bias, stride=1, padding=1)
+        np.testing.assert_allclose(out.data, ref.data, atol=1e-5)
+
+    def test_output_shape_with_stride(self, rng):
+        shape = EpitomeShape.from_rows_cols(72, 8, (3, 3), 16)
+        layer = EpitomeConv2d(16, 8, 3, stride=2, padding=1,
+                              epitome_shape=shape)
+        x = Tensor(rng.standard_normal((1, 16, 8, 8)).astype(np.float32))
+        assert layer(x).shape == (1, 8, 4, 4)
+
+    def test_gradients_flow_to_epitome(self, rng):
+        layer = make_layer()
+        x = Tensor(rng.standard_normal((1, 16, 6, 6)).astype(np.float64))
+        layer.epitome.data = layer.epitome.data.astype(np.float64)
+        layer.bias.data = layer.bias.data.astype(np.float64)
+        gradcheck(lambda: (layer(x) ** 2).mean(),
+                  [layer.epitome, layer.bias], max_entries=12)
+
+    def test_gradient_accumulates_over_shared_positions(self, rng):
+        """Epitome entries repeated r times receive r-fold gradients."""
+        layer = make_layer()
+        x = Tensor(np.ones((1, 16, 6, 6), dtype=np.float32))
+        out = layer(x)
+        out.sum().backward()
+        counts = layer.repetition_counts()
+        assert layer.epitome.grad is not None
+        # entries with zero repetitions would get zero grad; all are used
+        assert counts.min() >= 1
+
+    def test_parameters_registered(self):
+        layer = make_layer()
+        names = [name for name, _ in layer.named_parameters()]
+        assert "epitome" in names and "bias" in names
+
+    def test_no_bias(self):
+        layer = make_layer(bias=False)
+        assert layer.bias is None
+
+    def test_compression_property(self):
+        layer = make_layer()
+        assert layer.compression == layer.plan.compression > 1.0
+
+    def test_quantize_hook_applied(self, rng):
+        layer = make_layer()
+        x = Tensor(rng.standard_normal((1, 16, 6, 6)).astype(np.float32))
+        plain = layer(x).data.copy()
+        layer.quantize_hook = lambda e: e * 0.0
+        hooked = layer(x).data
+        assert not np.allclose(plain, hooked)
+        np.testing.assert_allclose(hooked,
+                                   np.broadcast_to(
+                                       layer.bias.data[None, :, None, None],
+                                       hooked.shape), atol=1e-6)
+
+    def test_load_from_conv_least_squares(self):
+        """Warm start minimises ||E.flat[idx] - W||^2 (mean over shares)."""
+        layer = make_layer()
+        conv = nn.Conv2d(16, 12, 3, padding=1, rng=np.random.default_rng(1))
+        layer.load_from_conv(conv)
+        idx = layer.plan.index_map
+        w = conv.weight.data
+        # residual orthogonal to perturbations of each epitome entry:
+        # each entry equals the mean of its assigned W positions.
+        flat = layer.epitome.data.reshape(-1)
+        sums = np.bincount(idx.ravel(), weights=w.ravel(), minlength=flat.size)
+        counts = np.maximum(np.bincount(idx.ravel(), minlength=flat.size), 1)
+        np.testing.assert_allclose(flat, sums / counts, atol=1e-6)
+
+    def test_load_from_conv_shape_mismatch(self):
+        layer = make_layer()
+        conv = nn.Conv2d(8, 12, 3)
+        with pytest.raises(ValueError):
+            layer.load_from_conv(conv)
+
+    def test_repr(self):
+        assert "compression" in repr(make_layer())
+
+    def test_trains_on_toy_problem(self, rng):
+        """The layer must be optimisable end to end."""
+        layer = make_layer(co=4, ci=3, rows=27, cols=4)
+        target_conv = nn.Conv2d(3, 4, 3, padding=1,
+                                rng=np.random.default_rng(5))
+        x = Tensor(rng.standard_normal((8, 3, 6, 6)).astype(np.float32))
+        target = target_conv(x).detach()
+        opt = nn.SGD(layer.parameters(), lr=0.05, momentum=0.9)
+        losses = []
+        for _ in range(60):
+            loss = F.mse_loss(layer(x), target)
+            layer.zero_grad()
+            loss.backward()
+            opt.step()
+            losses.append(float(loss.data))
+        assert losses[-1] < 0.5 * losses[0]
+
+
+class TestEpitomeLinear:
+    def test_forward_matches_reconstruction(self, rng):
+        shape = EpitomeShape.from_rows_cols(16, 8, (1, 1), 32)
+        layer = EpitomeLinear(32, 24, epitome_shape=shape,
+                              rng=np.random.default_rng(0))
+        x = Tensor(rng.standard_normal((4, 32)).astype(np.float32))
+        out = layer(x)
+        w = layer.plan.reconstruct(layer.epitome.data).reshape(24, 32)
+        ref = x.data @ w.T + layer.bias.data
+        np.testing.assert_allclose(out.data, ref, atol=1e-5)
+
+    def test_compression(self):
+        shape = EpitomeShape.from_rows_cols(16, 8, (1, 1), 32)
+        layer = EpitomeLinear(32, 24, epitome_shape=shape)
+        assert layer.compression > 1.0
+
+    def test_gradcheck(self, rng):
+        shape = EpitomeShape.from_rows_cols(8, 4, (1, 1), 16)
+        layer = EpitomeLinear(16, 8, epitome_shape=shape)
+        layer.epitome.data = layer.epitome.data.astype(np.float64)
+        layer.bias.data = layer.bias.data.astype(np.float64)
+        x = Tensor(rng.standard_normal((2, 16)))
+        gradcheck(lambda: (layer(x) ** 2).sum(),
+                  [layer.epitome, layer.bias], max_entries=12)
+
+    def test_quantize_hook(self, rng):
+        shape = EpitomeShape.from_rows_cols(8, 4, (1, 1), 16)
+        layer = EpitomeLinear(16, 8, epitome_shape=shape)
+        x = Tensor(rng.standard_normal((2, 16)).astype(np.float32))
+        before = layer(x).data.copy()
+        layer.quantize_hook = lambda e: e * 2.0
+        after = layer(x).data
+        assert not np.allclose(before, after)

@@ -1,0 +1,94 @@
+"""End-to-end tests for the EPIM pipeline (repro.core.pipeline)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core.designer import epitome_layers
+from repro.core.equant import EpitomeQuantConfig
+from repro.core.pipeline import EpimPipeline, EpimPipelineConfig
+from repro.data.synthetic import make_synthetic_classification
+from repro.models.resnet import resnet20
+from repro.nn.data import DataLoader
+from repro.nn.training import TrainConfig
+
+
+@pytest.fixture(scope="module")
+def loaders():
+    train, val = make_synthetic_classification(
+        num_train=256, num_val=96, num_classes=4, image_size=16, seed=5)
+    rng = np.random.default_rng(0)
+    return (DataLoader(train, batch_size=64, shuffle=True, rng=rng),
+            DataLoader(val, batch_size=96))
+
+
+def quick_config(**kwargs):
+    defaults = dict(
+        epitome_rows=128, epitome_cols=32,
+        train=TrainConfig(epochs=1, lr=0.05),
+        qat_epochs=1,
+    )
+    defaults.update(kwargs)
+    return EpimPipelineConfig(**defaults)
+
+
+class TestStages:
+    def test_design_converts_layers(self):
+        pipeline = EpimPipeline(quick_config())
+        model = resnet20(num_classes=4)
+        n = pipeline.design(model)
+        assert n > 0
+        assert len(epitome_layers(model)) == n
+
+    def test_train_runs(self, loaders):
+        pipeline = EpimPipeline(quick_config())
+        model = resnet20(num_classes=4)
+        pipeline.design(model)
+        result = pipeline.train(model, *loaders)
+        assert len(result.train_losses) == 1
+
+    def test_quantize_installs_hooks(self, loaders):
+        pipeline = EpimPipeline(quick_config(
+            quant=EpitomeQuantConfig(bits=3)))
+        model = resnet20(num_classes=4)
+        pipeline.design(model)
+        pipeline.quantize(model, *loaders)
+        assert all(m.quantize_hook is not None
+                   for _, m in epitome_layers(model))
+
+    def test_quantize_noop_without_config(self, loaders):
+        pipeline = EpimPipeline(quick_config(quant=None))
+        model = resnet20(num_classes=4)
+        pipeline.design(model)
+        assert pipeline.quantize(model, *loaders) is None
+
+    def test_deploy_builds_report(self):
+        pipeline = EpimPipeline(quick_config())
+        model = resnet20(num_classes=4)
+        pipeline.design(model)
+        report = pipeline.deploy(model, (16, 16), weight_bits=9)
+        assert report.num_crossbars > 0
+        assert report.latency_ms > 0
+        # 21 convs + 1 fc
+        assert len(report.layers) == 22
+
+    def test_deploy_epitome_fewer_crossbars_than_baseline(self):
+        pipeline = EpimPipeline(quick_config())
+        plain = resnet20(num_classes=4)
+        base_report = pipeline.deploy(plain, (16, 16), weight_bits=9)
+        converted = resnet20(num_classes=4)
+        pipeline.design(converted)
+        ep_report = pipeline.deploy(converted, (16, 16), weight_bits=9)
+        assert ep_report.num_crossbars <= base_report.num_crossbars
+
+
+class TestFullRun:
+    def test_run_end_to_end(self, loaders):
+        pipeline = EpimPipeline(quick_config(
+            quant=EpitomeQuantConfig(bits=5)))
+        model = resnet20(num_classes=4)
+        result = pipeline.run(model, *loaders, input_size=(16, 16))
+        assert 0.0 <= result.accuracy <= 1.0
+        assert result.compression["compression"] > 1.0
+        assert result.report is not None
+        assert result.qat_result is not None

@@ -1,0 +1,54 @@
+"""Consistency tests between the two model-tracing code paths.
+
+The pipeline builds deployments directly from a runnable model
+(:meth:`EpimPipeline._deployments_from_model`), while the search path
+builds a :class:`NetworkSpec` via :func:`spec_from_model`.  Both must agree
+on every layer's shape and spatial size, or hardware numbers would differ
+between Table 1's uniform rows and its searched rows.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.designer import convert_model, spec_from_model
+from repro.core.pipeline import EpimPipeline, EpimPipelineConfig
+from repro.models.resnet import mini_resnet50, resnet20
+from repro.pim.simulator import baseline_deployment, simulate_network
+
+
+@pytest.mark.parametrize("factory", [resnet20, mini_resnet50])
+def test_tracing_paths_agree(factory):
+    model = factory(num_classes=10)
+    spec = spec_from_model(model, (16, 16))
+    pipeline = EpimPipeline(EpimPipelineConfig(activation_bits=9))
+    deployments = pipeline._deployments_from_model(model, (16, 16),
+                                                   weight_bits=9)
+    assert len(spec) == len(deployments)
+    for layer, dep in zip(spec, deployments):
+        assert layer.name == dep.spec.name
+        assert layer.in_channels == dep.spec.in_channels
+        assert layer.out_channels == dep.spec.out_channels
+        assert layer.kernel_size == dep.spec.kernel_size
+        assert layer.output_positions == dep.spec.output_positions
+
+
+def test_traced_spec_simulates_like_pipeline_deploy():
+    """simulate(spec baseline) == pipeline.deploy(unconverted model)."""
+    model = resnet20(num_classes=10)
+    spec = spec_from_model(model, (16, 16))
+    via_spec = simulate_network([baseline_deployment(l, 9, 9)
+                                 for l in spec])
+    pipeline = EpimPipeline(EpimPipelineConfig(activation_bits=9))
+    via_pipeline = pipeline.deploy(model, (16, 16), weight_bits=9)
+    assert via_spec.num_crossbars == via_pipeline.num_crossbars
+    assert via_spec.latency_ms == pytest.approx(via_pipeline.latency_ms)
+
+
+def test_converted_model_traced_consistently():
+    model = resnet20(num_classes=10)
+    convert_model(model, rows=128, cols=32)
+    spec = spec_from_model(model, (16, 16))
+    # epitome layers keep the *virtual* conv shape in the spec
+    stage3 = spec.by_name("stage3.1.conv2")
+    assert stage3.in_channels == 64
+    assert stage3.out_channels == 64

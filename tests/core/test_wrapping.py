@@ -1,0 +1,84 @@
+"""Tests for output channel wrapping (repro.core.wrapping) — Eqs. 8-9."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core.epitome import EpitomeShape, build_plan
+from repro.core.layers import EpitomeConv2d
+from repro.core.wrapping import (
+    verify_ofm_invariance,
+    verify_weight_invariance,
+    wrapping_factor,
+    wrapping_savings,
+)
+from repro.nn.tensor import Tensor
+
+
+def make_plan(co=16, ci=8, k=3, rows=64, cols=4):
+    shape = EpitomeShape.from_rows_cols(rows, cols, (k, k), ci)
+    return build_plan((co, ci, k, k), shape)
+
+
+class TestWeightInvariance:
+    def test_reconstructed_weight_satisfies_eq8(self, rng):
+        plan = make_plan()
+        w = plan.reconstruct(rng.standard_normal(
+            plan.epitome_shape.as_tuple()))
+        assert verify_weight_invariance(plan, w)
+
+    def test_detects_violation(self, rng):
+        plan = make_plan()
+        w = plan.reconstruct(rng.standard_normal(
+            plan.epitome_shape.as_tuple()))
+        w[5, 0, 0, 0] += 1.0
+        assert not verify_weight_invariance(plan, w)
+
+    def test_partial_trailing_tile(self, rng):
+        plan = make_plan(co=10, cols=4)
+        w = plan.reconstruct(rng.standard_normal(
+            plan.epitome_shape.as_tuple()))
+        assert verify_weight_invariance(plan, w)
+
+
+class TestOfmInvariance:
+    def test_real_forward_pass_satisfies_eq9(self, rng):
+        """A bias-free epitome conv output is channel-periodic (Eq. 9)."""
+        shape = EpitomeShape.from_rows_cols(64, 4, (3, 3), 8)
+        layer = EpitomeConv2d(8, 16, 3, padding=1, bias=False,
+                              epitome_shape=shape,
+                              rng=np.random.default_rng(0))
+        x = Tensor(rng.standard_normal((2, 8, 6, 6)).astype(np.float32))
+        ofm = layer(x).data
+        assert verify_ofm_invariance(layer.plan, ofm)
+
+    def test_detects_broken_invariance(self, rng):
+        plan = make_plan()
+        ofm = rng.standard_normal((1, 16, 4, 4))
+        assert not verify_ofm_invariance(plan, ofm)
+
+
+class TestSavings:
+    def test_factor(self):
+        plan = make_plan(co=16, cols=4)
+        assert wrapping_factor(plan) == 4
+
+    def test_round_and_write_reduction(self):
+        plan = make_plan(co=16, cols=4)
+        savings = wrapping_savings(plan)
+        assert savings.replication_factor == 4
+        assert savings.rounds_without == 4 * savings.rounds_with
+        assert savings.write_reduction == pytest.approx(4.0)
+
+    def test_no_replication_no_savings(self):
+        plan = make_plan(co=4, cols=4)
+        savings = wrapping_savings(plan)
+        assert savings.replication_factor == 1
+        assert savings.round_reduction == 1.0
+
+    def test_partial_tile_accounting(self):
+        plan = make_plan(co=10, cols=4)
+        savings = wrapping_savings(plan)
+        # 3 tiles (4+4+2): writes without = sum over all, with = first tile
+        assert savings.buffer_writes_without > savings.buffer_writes_with
+        assert 2.0 < savings.write_reduction < 3.0

@@ -1,0 +1,94 @@
+"""Tests for the synthetic dataset (repro.data.synthetic)."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import (
+    SyntheticImageConfig,
+    SyntheticImageDataset,
+    make_synthetic_classification,
+)
+
+
+class TestGeneration:
+    def test_shapes_and_dtypes(self):
+        config = SyntheticImageConfig(num_classes=5, image_size=16)
+        ds = SyntheticImageDataset(50, config)
+        assert ds.images.shape == (50, 3, 16, 16)
+        assert ds.images.dtype == np.float32
+        assert ds.labels.shape == (50,)
+        assert ds.labels.dtype == np.int64
+
+    def test_deterministic(self):
+        config = SyntheticImageConfig(seed=7)
+        a = SyntheticImageDataset(20, config, split_seed=1)
+        b = SyntheticImageDataset(20, config, split_seed=1)
+        np.testing.assert_array_equal(a.images, b.images)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_split_seeds_differ(self):
+        config = SyntheticImageConfig(seed=7)
+        a = SyntheticImageDataset(20, config, split_seed=1)
+        b = SyntheticImageDataset(20, config, split_seed=2)
+        assert not np.allclose(a.images, b.images)
+
+    def test_config_seed_changes_prototypes(self):
+        a = SyntheticImageDataset(20, SyntheticImageConfig(seed=1), split_seed=0)
+        b = SyntheticImageDataset(20, SyntheticImageConfig(seed=2), split_seed=0)
+        assert not np.allclose(a.images, b.images)
+
+    def test_normalised(self):
+        ds = SyntheticImageDataset(200, SyntheticImageConfig())
+        means = ds.images.mean(axis=(0, 2, 3))
+        stds = ds.images.std(axis=(0, 2, 3))
+        np.testing.assert_allclose(means, 0.0, atol=1e-5)
+        np.testing.assert_allclose(stds, 1.0, atol=1e-4)
+
+    def test_labels_balanced(self):
+        ds = SyntheticImageDataset(100, SyntheticImageConfig(num_classes=10))
+        counts = np.bincount(ds.labels, minlength=10)
+        assert counts.min() == counts.max() == 10
+
+
+class TestClassSeparability:
+    def test_class_means_differ(self):
+        """Per-class mean images must be distinguishable — the task has to
+        be learnable for the accuracy experiments to rank configurations."""
+        ds = SyntheticImageDataset(400, SyntheticImageConfig(num_classes=4,
+                                                             noise=0.2))
+        means = np.stack([ds.images[ds.labels == c].mean(axis=0)
+                          for c in range(4)])
+        # Pairwise distances between class means are well above zero.
+        dists = []
+        for i in range(4):
+            for j in range(i + 1, 4):
+                dists.append(np.linalg.norm(means[i] - means[j]))
+        assert min(dists) > 1.0
+
+    def test_nearest_class_mean_classifier_beats_chance(self):
+        config = SyntheticImageConfig(num_classes=4, noise=0.3)
+        train = SyntheticImageDataset(400, config, split_seed=1)
+        test = SyntheticImageDataset(100, config, split_seed=2)
+        means = np.stack([train.images[train.labels == c].mean(axis=0)
+                          for c in range(4)])
+        flat = test.images.reshape(len(test.images), -1)
+        dists = ((flat[:, None, :]
+                  - means.reshape(4, -1)[None, :, :]) ** 2).sum(axis=2)
+        pred = dists.argmin(axis=1)
+        assert (pred == test.labels).mean() > 0.5   # chance is 0.25
+
+
+class TestFactory:
+    def test_make_splits_share_prototypes(self):
+        train, val = make_synthetic_classification(num_train=40, num_val=20,
+                                                   num_classes=4,
+                                                   image_size=16)
+        assert len(train) == 40
+        assert len(val) == 20
+        assert train.config.seed == val.config.seed
+
+    def test_getitem(self):
+        train, _ = make_synthetic_classification(num_train=10, num_val=5)
+        image, label = train[0]
+        assert image.shape == (3, 32, 32)
+        assert isinstance(label, int)

@@ -1,0 +1,107 @@
+"""Tests for the runnable ResNets (repro.models.resnet)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.models.resnet import (
+    BasicBlock,
+    Bottleneck,
+    conv_layer_names,
+    mini_resnet50,
+    resnet20,
+    resnet32,
+    resnet44,
+)
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+
+def batch(rng, n=2, size=32):
+    return Tensor(rng.standard_normal((n, 3, size, size)).astype(np.float32))
+
+
+class TestBlocks:
+    def test_basic_block_identity_shortcut(self, rng):
+        block = BasicBlock(16, 16, 1, np.random.default_rng(0))
+        assert isinstance(block.downsample, nn.Identity)
+        x = Tensor(rng.standard_normal((2, 16, 8, 8)).astype(np.float32))
+        assert block(x).shape == (2, 16, 8, 8)
+
+    def test_basic_block_projection_shortcut(self, rng):
+        block = BasicBlock(16, 32, 2, np.random.default_rng(0))
+        assert not isinstance(block.downsample, nn.Identity)
+        x = Tensor(rng.standard_normal((2, 16, 8, 8)).astype(np.float32))
+        assert block(x).shape == (2, 32, 4, 4)
+
+    def test_bottleneck_expansion(self, rng):
+        block = Bottleneck(64, 16, 1, np.random.default_rng(0))
+        x = Tensor(rng.standard_normal((1, 64, 8, 8)).astype(np.float32))
+        assert block(x).shape == (1, 64, 8, 8)   # 16 * expansion(4)
+
+    def test_bottleneck_stride(self, rng):
+        block = Bottleneck(64, 32, 2, np.random.default_rng(0))
+        x = Tensor(rng.standard_normal((1, 64, 8, 8)).astype(np.float32))
+        assert block(x).shape == (1, 128, 4, 4)
+
+
+class TestNetworks:
+    def test_resnet20_forward_shape(self, rng):
+        model = resnet20(num_classes=10)
+        assert model(batch(rng)).shape == (2, 10)
+
+    def test_resnet20_param_count(self):
+        # The classic CIFAR ResNet-20 is ~0.27 M parameters.
+        assert abs(resnet20().num_parameters() - 272_474) < 2000
+
+    def test_depths_ordered(self):
+        p20 = resnet20().num_parameters()
+        p32 = resnet32().num_parameters()
+        p44 = resnet44().num_parameters()
+        assert p20 < p32 < p44
+
+    def test_mini_resnet50_uses_bottlenecks(self, rng):
+        model = mini_resnet50(num_classes=5)
+        assert model.block_type is Bottleneck
+        assert model(batch(rng)).shape == (2, 5)
+
+    def test_backward_through_network(self, rng):
+        model = resnet20(num_classes=4)
+        out = model(batch(rng))
+        loss = F.cross_entropy(out, np.array([0, 1]))
+        loss.backward()
+        grads = [p.grad for p in model.parameters()]
+        assert all(g is not None for g in grads)
+        assert any(np.abs(g).max() > 0 for g in grads)
+
+    def test_features_shape(self, rng):
+        model = resnet20()
+        feats = model.features(batch(rng))
+        assert feats.shape == (2, 64)
+
+    def test_seed_reproducibility(self, rng):
+        a = resnet20(seed=3)
+        b = resnet20(seed=3)
+        x = batch(rng)
+        np.testing.assert_array_equal(a(x).data, b(x).data)
+
+    def test_different_seeds_differ(self, rng):
+        a = resnet20(seed=0)
+        b = resnet20(seed=1)
+        x = batch(rng)
+        assert not np.allclose(a(x).data, b(x).data)
+
+    def test_custom_input_channels(self, rng):
+        model = resnet20(in_channels=1)
+        x = Tensor(rng.standard_normal((2, 1, 16, 16)).astype(np.float32))
+        assert model(x).shape == (2, 10)
+
+    def test_conv_layer_names(self):
+        names = conv_layer_names(resnet20())
+        # stem + 9 blocks x 2 convs + 2 projection shortcuts = 21
+        assert len(names) == 21
+        assert "stem" in names
+
+    def test_smaller_input_resolution(self, rng):
+        model = resnet20()
+        assert model(batch(rng, size=16)).shape == (2, 10)

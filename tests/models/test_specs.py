@@ -1,0 +1,132 @@
+"""Tests for the ResNet layer-shape tables (repro.models.specs)."""
+
+import numpy as np
+import pytest
+
+from repro.models.specs import (
+    LayerSpec,
+    get_network_spec,
+    resnet18_spec,
+    resnet34_spec,
+    resnet50_spec,
+    resnet101_spec,
+)
+
+
+class TestLayerSpec:
+    def test_weight_rows_cols(self):
+        layer = LayerSpec("x", "conv", 64, 128, (3, 3), 1, (56, 56), (56, 56))
+        assert layer.weight_rows == 64 * 9
+        assert layer.weight_cols == 128
+        assert layer.num_weights == 64 * 9 * 128
+
+    def test_output_positions_and_macs(self):
+        layer = LayerSpec("x", "conv", 4, 8, (1, 1), 1, (7, 7), (7, 7))
+        assert layer.output_positions == 49
+        assert layer.macs == 4 * 8 * 49
+
+    def test_str_contains_shape(self):
+        layer = LayerSpec("conv1", "conv", 3, 64, (7, 7), 2,
+                          (224, 224), (112, 112), index=1)
+        assert "conv1" in str(layer)
+        assert "7x7" in str(layer)
+
+
+class TestResNet50:
+    def test_layer_count(self):
+        # 1 stem + (3+4+6+3) blocks x 3 convs + 4 downsamples + fc = 54
+        assert len(resnet50_spec()) == 54
+
+    def test_total_weights_match_torchvision(self):
+        # torchvision ResNet-50 conv+fc weights (no BN/bias): 25.50 M
+        total = resnet50_spec().total_weights
+        assert abs(total - 25_502_912) < 1000
+
+    def test_total_macs_match_published(self):
+        # ~4.09 GMACs at 224x224
+        assert abs(resnet50_spec().total_macs / 1e9 - 4.089) < 0.05
+
+    def test_stem_shape(self):
+        stem = resnet50_spec()[0]
+        assert stem.name == "conv1"
+        assert stem.in_channels == 3 and stem.out_channels == 64
+        assert stem.kernel_size == (7, 7) and stem.stride == 2
+        assert stem.out_size == (112, 112)
+
+    def test_first_block_after_maxpool(self):
+        layer = resnet50_spec().by_name("layer1.0.conv1")
+        assert layer.in_size == (56, 56)
+        assert layer.in_channels == 64
+
+    def test_fc_layer(self):
+        fc = resnet50_spec()[-1]
+        assert fc.kind == "fc"
+        assert fc.in_channels == 2048 and fc.out_channels == 1000
+
+    def test_stage_transitions(self):
+        spec = resnet50_spec()
+        l2 = spec.by_name("layer2.0.conv2")
+        assert l2.stride == 2
+        assert l2.out_size == (28, 28)
+        l4 = spec.by_name("layer4.0.conv3")
+        assert l4.out_channels == 2048
+        assert l4.out_size == (7, 7)
+
+    def test_downsample_present_each_stage(self):
+        spec = resnet50_spec()
+        for stage in range(1, 5):
+            assert spec.by_name(f"layer{stage}.0.downsample")
+
+    def test_index_lookup(self):
+        spec = resnet50_spec()
+        assert spec.by_index(1).name == "conv1"
+        assert spec.by_index(54).name == "fc"
+        with pytest.raises(KeyError):
+            spec.by_index(99)
+
+    def test_by_name_missing(self):
+        with pytest.raises(KeyError):
+            resnet50_spec().by_name("nope")
+
+    def test_num_classes_parameter(self):
+        spec = resnet50_spec(num_classes=10)
+        assert spec[-1].out_channels == 10
+
+
+class TestOtherDepths:
+    def test_resnet101_layer_count(self):
+        # 1 + (3+4+23+3)*3 + 4 + 1 = 105
+        assert len(resnet101_spec()) == 105
+
+    def test_resnet101_weights(self):
+        # torchvision ResNet-101 conv+fc weights ~44.44 M
+        assert abs(resnet101_spec().total_weights - 44_442_816) < 1000
+
+    def test_resnet18_structure(self):
+        spec = resnet18_spec()
+        # 1 stem + 8 blocks x 2 + 3 downsamples + fc = 21
+        assert len(spec) == 21
+        assert abs(spec.total_weights - 11_678_912) < 20000
+
+    def test_resnet34(self):
+        assert len(resnet34_spec()) == 37
+
+    def test_registry(self):
+        assert get_network_spec("resnet50").name == "ResNet50"
+        assert get_network_spec("RESNET101").name == "ResNet101"
+        assert get_network_spec("vgg16").name == "VGG16"
+        with pytest.raises(KeyError):
+            get_network_spec("alexnet")
+
+    def test_vgg16_structure(self):
+        spec = get_network_spec("vgg16")
+        # 13 convs + 3 fc
+        assert len(spec) == 16
+        # torchvision VGG-16: ~138.3 M weights (fc1 dominates)
+        assert abs(spec.total_weights - 138_344_128) < 1e6
+        assert spec.by_name("fc1").in_channels == 512 * 7 * 7
+
+    def test_summary_renders(self):
+        text = resnet18_spec().summary()
+        assert "ResNet18" in text
+        assert "conv1" in text

@@ -1,0 +1,78 @@
+"""Tests for datasets and loaders (repro.nn.data)."""
+
+import numpy as np
+import pytest
+
+from repro.nn.data import ArrayDataset, DataLoader, Dataset
+
+
+def make_dataset(n=10):
+    images = np.arange(n * 3 * 2 * 2, dtype=np.float32).reshape(n, 3, 2, 2)
+    labels = np.arange(n) % 4
+    return ArrayDataset(images, labels)
+
+
+class TestArrayDataset:
+    def test_len_and_getitem(self):
+        ds = make_dataset(7)
+        assert len(ds) == 7
+        image, label = ds[3]
+        assert image.shape == (3, 2, 2)
+        assert label == 3
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            ArrayDataset(np.zeros((3, 1)), np.zeros(2))
+
+
+class TestDataLoader:
+    def test_batch_shapes(self):
+        loader = DataLoader(make_dataset(10), batch_size=4)
+        batches = list(loader)
+        assert [len(b[1]) for b in batches] == [4, 4, 2]
+        assert batches[0][0].shape == (4, 3, 2, 2)
+
+    def test_len(self):
+        assert len(DataLoader(make_dataset(10), batch_size=4)) == 3
+        assert len(DataLoader(make_dataset(10), batch_size=4, drop_last=True)) == 2
+
+    def test_drop_last(self):
+        loader = DataLoader(make_dataset(10), batch_size=4, drop_last=True)
+        assert [len(b[1]) for b in loader] == [4, 4]
+
+    def test_shuffle_deterministic_with_seed(self):
+        a = DataLoader(make_dataset(20), batch_size=5, shuffle=True,
+                       rng=np.random.default_rng(3))
+        b = DataLoader(make_dataset(20), batch_size=5, shuffle=True,
+                       rng=np.random.default_rng(3))
+        for (xa, ya), (xb, yb) in zip(a, b):
+            np.testing.assert_array_equal(xa, xb)
+            np.testing.assert_array_equal(ya, yb)
+
+    def test_shuffle_changes_order(self):
+        ds = make_dataset(50)
+        plain = np.concatenate([y for _, y in DataLoader(ds, batch_size=50)])
+        shuffled = np.concatenate(
+            [y for _, y in DataLoader(ds, batch_size=50, shuffle=True,
+                                      rng=np.random.default_rng(0))])
+        assert not np.array_equal(plain, shuffled)
+        np.testing.assert_array_equal(np.sort(plain), np.sort(shuffled))
+
+    def test_covers_every_sample(self):
+        loader = DataLoader(make_dataset(13), batch_size=5, shuffle=True,
+                            rng=np.random.default_rng(1))
+        seen = np.concatenate([y for _, y in loader])
+        assert len(seen) == 13
+
+    def test_generic_dataset_path(self):
+        class Custom(Dataset):
+            def __len__(self):
+                return 4
+
+            def __getitem__(self, index):
+                return np.full((1, 2, 2), index, dtype=np.float32), index
+
+        loader = DataLoader(Custom(), batch_size=2)
+        images, labels = next(iter(loader))
+        assert images.shape == (2, 1, 2, 2)
+        np.testing.assert_array_equal(labels, [0, 1])

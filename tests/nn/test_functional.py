@@ -1,0 +1,258 @@
+"""Tests for the fused NN operators (repro.nn.functional)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+from ..conftest import gradcheck
+
+
+def t(data):
+    return Tensor(np.asarray(data, dtype=np.float64), requires_grad=True)
+
+
+def naive_conv2d(x, w, b=None, stride=1, padding=0):
+    """Direct sliding-window reference implementation."""
+    n, ci, h, width = x.shape
+    co, _, kh, kw = w.shape
+    if padding:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    oh = (x.shape[2] - kh) // stride + 1
+    ow = (x.shape[3] - kw) // stride + 1
+    out = np.zeros((n, co, oh, ow))
+    for i in range(oh):
+        for j in range(ow):
+            patch = x[:, :, i * stride:i * stride + kh, j * stride:j * stride + kw]
+            out[:, :, i, j] = np.einsum("ncij,ocij->no", patch, w)
+    if b is not None:
+        out += b[None, :, None, None]
+    return out
+
+
+class TestIm2Col:
+    def test_shapes(self, rng):
+        x = rng.standard_normal((2, 3, 8, 8))
+        cols = F.im2col(x, (3, 3), (1, 1), (1, 1))
+        assert cols.shape == (2, 27, 64)
+
+    def test_adjoint_identity(self, rng):
+        """<im2col(x), y> == <x, col2im(y)> — the defining adjoint property."""
+        x = rng.standard_normal((1, 2, 6, 6))
+        kernel, stride, pad = (3, 3), (2, 2), (1, 1)
+        cols = F.im2col(x, kernel, stride, pad)
+        y = rng.standard_normal(cols.shape)
+        lhs = (cols * y).sum()
+        back = F.col2im(y, x.shape, kernel, stride, pad)
+        rhs = (x * back).sum()
+        assert abs(lhs - rhs) < 1e-10
+
+    def test_stride_two(self, rng):
+        x = rng.standard_normal((1, 1, 5, 5))
+        cols = F.im2col(x, (3, 3), (2, 2), (0, 0))
+        assert cols.shape == (1, 9, 4)
+        np.testing.assert_allclose(cols[0, :, 0], x[0, 0, :3, :3].ravel())
+
+
+class TestConv2d:
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (1, 1), (2, 1), (2, 0)])
+    def test_matches_naive(self, rng, stride, padding):
+        x_np = rng.standard_normal((2, 3, 7, 7))
+        w_np = rng.standard_normal((4, 3, 3, 3))
+        b_np = rng.standard_normal(4)
+        out = F.conv2d(t(x_np), t(w_np), t(b_np), stride=stride,
+                       padding=padding)
+        ref = naive_conv2d(x_np, w_np, b_np, stride, padding)
+        np.testing.assert_allclose(out.data, ref, atol=1e-10)
+
+    def test_1x1_conv(self, rng):
+        x_np = rng.standard_normal((2, 8, 4, 4))
+        w_np = rng.standard_normal((16, 8, 1, 1))
+        out = F.conv2d(t(x_np), t(w_np))
+        ref = naive_conv2d(x_np, w_np)
+        np.testing.assert_allclose(out.data, ref, atol=1e-10)
+
+    def test_gradcheck_all_inputs(self, rng):
+        x = t(rng.standard_normal((1, 2, 5, 5)))
+        w = t(rng.standard_normal((3, 2, 3, 3)))
+        b = t(rng.standard_normal(3))
+        gradcheck(lambda: (F.conv2d(x, w, b, stride=2, padding=1) ** 2).sum(),
+                  [x, w, b])
+
+    def test_channel_mismatch_raises(self, rng):
+        x = t(rng.standard_normal((1, 3, 5, 5)))
+        w = t(rng.standard_normal((4, 2, 3, 3)))
+        with pytest.raises(ValueError):
+            F.conv2d(x, w)
+
+    def test_output_size_formula(self):
+        assert F.conv_output_size(224, 7, 2, 3) == 112
+        assert F.conv_output_size(56, 3, 1, 1) == 56
+        assert F.conv_output_size(56, 1, 2, 0) == 28
+
+
+class TestLinear:
+    def test_values_and_grad(self, rng):
+        x = t(rng.standard_normal((4, 6)))
+        w = t(rng.standard_normal((3, 6)))
+        b = t(rng.standard_normal(3))
+        out = F.linear(x, w, b)
+        np.testing.assert_allclose(out.data, x.data @ w.data.T + b.data)
+        gradcheck(lambda: (F.linear(x, w, b) ** 2).sum(), [x, w, b])
+
+
+class TestPooling:
+    def test_max_pool_values(self):
+        x_np = np.arange(16, dtype=np.float64).reshape(1, 1, 4, 4)
+        out = F.max_pool2d(t(x_np), 2)
+        np.testing.assert_array_equal(out.data[0, 0], [[5, 7], [13, 15]])
+
+    def test_max_pool_grad_routes_to_argmax(self):
+        x = t(np.arange(16, dtype=np.float64).reshape(1, 1, 4, 4))
+        F.max_pool2d(x, 2).sum().backward()
+        expected = np.zeros((4, 4))
+        expected[1, 1] = expected[1, 3] = expected[3, 1] = expected[3, 3] = 1.0
+        np.testing.assert_array_equal(x.grad[0, 0], expected)
+
+    def test_max_pool_stride_padding(self, rng):
+        x = t(rng.standard_normal((2, 3, 7, 7)))
+        out = F.max_pool2d(x, 3, stride=2, padding=1)
+        assert out.shape == (2, 3, 4, 4)
+        gradcheck(lambda: (F.max_pool2d(x, 3, 2, 1) ** 2).sum(), [x])
+
+    def test_avg_pool_values(self):
+        x_np = np.arange(16, dtype=np.float64).reshape(1, 1, 4, 4)
+        out = F.avg_pool2d(t(x_np), 2)
+        np.testing.assert_allclose(out.data[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_avg_pool_gradcheck(self, rng):
+        x = t(rng.standard_normal((1, 2, 6, 6)))
+        gradcheck(lambda: (F.avg_pool2d(x, 3, stride=3) ** 2).sum(), [x])
+
+    def test_global_avg_pool(self, rng):
+        x_np = rng.standard_normal((2, 5, 4, 4))
+        out = F.global_avg_pool2d(t(x_np))
+        assert out.shape == (2, 5)
+        np.testing.assert_allclose(out.data, x_np.mean(axis=(2, 3)))
+
+
+class TestBatchNorm:
+    def _params(self, c):
+        gamma = t(np.ones(c))
+        beta = t(np.zeros(c))
+        running_mean = np.zeros(c)
+        running_var = np.ones(c)
+        return gamma, beta, running_mean, running_var
+
+    def test_training_normalises(self, rng):
+        x_np = rng.standard_normal((8, 4, 5, 5)) * 3 + 2
+        gamma, beta, rm, rv = self._params(4)
+        out = F.batch_norm2d(t(x_np), gamma, beta, rm, rv, training=True)
+        np.testing.assert_allclose(out.data.mean(axis=(0, 2, 3)),
+                                   np.zeros(4), atol=1e-7)
+        np.testing.assert_allclose(out.data.std(axis=(0, 2, 3)),
+                                   np.ones(4), atol=1e-3)
+
+    def test_running_stats_updated(self, rng):
+        x_np = rng.standard_normal((16, 2, 4, 4)) + 5.0
+        gamma, beta, rm, rv = self._params(2)
+        F.batch_norm2d(t(x_np), gamma, beta, rm, rv, training=True,
+                       momentum=1.0)
+        np.testing.assert_allclose(rm, x_np.mean(axis=(0, 2, 3)), rtol=1e-6)
+
+    def test_eval_uses_running_stats(self, rng):
+        x_np = rng.standard_normal((4, 2, 3, 3))
+        gamma, beta, rm, rv = self._params(2)
+        rm += 1.0
+        out = F.batch_norm2d(t(x_np), gamma, beta, rm, rv, training=False)
+        expected = (x_np - 1.0) / np.sqrt(1.0 + 1e-5)
+        np.testing.assert_allclose(out.data, expected, rtol=1e-6)
+
+    def test_train_gradcheck(self, rng):
+        x = t(rng.standard_normal((4, 2, 3, 3)))
+        gamma = t(rng.uniform(0.5, 1.5, size=2))
+        beta = t(rng.standard_normal(2))
+        rm, rv = np.zeros(2), np.ones(2)
+
+        def loss():
+            out = F.batch_norm2d(x, gamma, beta, rm.copy(), rv.copy(),
+                                 training=True)
+            return (out ** 2).sum()
+
+        gradcheck(loss, [x, gamma, beta], atol=1e-3, rtol=1e-2)
+
+    def test_eval_gradcheck(self, rng):
+        x = t(rng.standard_normal((2, 2, 3, 3)))
+        gamma = t(rng.uniform(0.5, 1.5, size=2))
+        beta = t(rng.standard_normal(2))
+        rm, rv = np.zeros(2), np.ones(2)
+        gradcheck(lambda: (F.batch_norm2d(x, gamma, beta, rm, rv,
+                                          training=False) ** 2).sum(),
+                  [x, gamma, beta])
+
+
+class TestLosses:
+    def test_cross_entropy_matches_manual(self, rng):
+        logits_np = rng.standard_normal((5, 4))
+        targets = rng.integers(0, 4, size=5)
+        loss = F.cross_entropy(t(logits_np), targets)
+        shifted = logits_np - logits_np.max(axis=1, keepdims=True)
+        log_probs = shifted - np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+        expected = -log_probs[np.arange(5), targets].mean()
+        assert abs(float(loss.data) - expected) < 1e-10
+
+    def test_cross_entropy_gradcheck(self, rng):
+        logits = t(rng.standard_normal((4, 3)))
+        targets = np.array([0, 2, 1, 1])
+        gradcheck(lambda: F.cross_entropy(logits, targets), [logits])
+
+    def test_cross_entropy_label_smoothing_gradcheck(self, rng):
+        logits = t(rng.standard_normal((3, 5)))
+        targets = np.array([1, 0, 4])
+        gradcheck(lambda: F.cross_entropy(logits, targets,
+                                          label_smoothing=0.1), [logits])
+
+    def test_softmax_sums_to_one(self, rng):
+        out = F.softmax(t(rng.standard_normal((3, 6))))
+        np.testing.assert_allclose(out.data.sum(axis=1), np.ones(3), rtol=1e-10)
+
+    def test_log_softmax_consistent(self, rng):
+        x = rng.standard_normal((2, 4))
+        np.testing.assert_allclose(F.log_softmax(t(x)).data,
+                                   np.log(F.softmax(t(x)).data), rtol=1e-8)
+
+    def test_nll_loss_matches_cross_entropy(self, rng):
+        logits_np = rng.standard_normal((6, 3))
+        targets = rng.integers(0, 3, size=6)
+        ce = F.cross_entropy(t(logits_np), targets)
+        nll = F.nll_loss(F.log_softmax(t(logits_np)), targets)
+        assert abs(float(ce.data) - float(nll.data)) < 1e-8
+
+    def test_mse_loss(self, rng):
+        a, b = rng.standard_normal(5), rng.standard_normal(5)
+        loss = F.mse_loss(t(a), t(b))
+        assert abs(float(loss.data) - ((a - b) ** 2).mean()) < 1e-12
+
+
+class TestDropout:
+    def test_identity_when_eval(self, rng):
+        x = t(rng.standard_normal((4, 4)))
+        assert F.dropout(x, 0.5, training=False) is x
+
+    def test_identity_when_p_zero(self, rng):
+        x = t(rng.standard_normal((4, 4)))
+        assert F.dropout(x, 0.0, training=True) is x
+
+    def test_scaling_preserves_expectation(self):
+        x = t(np.ones((200, 200)))
+        out = F.dropout(x, 0.5, training=True,
+                        rng=np.random.default_rng(0))
+        assert abs(out.data.mean() - 1.0) < 0.05
+
+    def test_grad_uses_same_mask(self):
+        x = t(np.ones((10, 10)))
+        out = F.dropout(x, 0.5, training=True, rng=np.random.default_rng(1))
+        out.sum().backward()
+        np.testing.assert_array_equal(x.grad, out.data)

@@ -1,0 +1,129 @@
+"""Tests for the extended operator set (concat/stack, activations, norms)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+from ..conftest import gradcheck
+
+
+def t(data):
+    return Tensor(np.asarray(data, dtype=np.float64), requires_grad=True)
+
+
+class TestConcatenate:
+    def test_values(self, rng):
+        a_np = rng.standard_normal((2, 3))
+        b_np = rng.standard_normal((4, 3))
+        out = F.concatenate([t(a_np), t(b_np)], axis=0)
+        np.testing.assert_array_equal(out.data,
+                                      np.concatenate([a_np, b_np], axis=0))
+
+    def test_grad_splits(self, rng):
+        a = t(rng.standard_normal((2, 3)))
+        b = t(rng.standard_normal((5, 3)))
+        gradcheck(lambda: (F.concatenate([a, b]) ** 2).sum(), [a, b])
+
+    def test_axis1(self, rng):
+        a = t(rng.standard_normal((3, 2)))
+        b = t(rng.standard_normal((3, 4)))
+        out = F.concatenate([a, b], axis=1)
+        assert out.shape == (3, 6)
+        gradcheck(lambda: (F.concatenate([a, b], axis=1) ** 2).sum(), [a, b])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            F.concatenate([])
+
+
+class TestStack:
+    def test_values_and_grad(self, rng):
+        a = t(rng.standard_normal((2, 3)))
+        b = t(rng.standard_normal((2, 3)))
+        out = F.stack([a, b], axis=0)
+        assert out.shape == (2, 2, 3)
+        gradcheck(lambda: (F.stack([a, b]) ** 2).sum(), [a, b])
+
+    def test_middle_axis(self, rng):
+        a = t(rng.standard_normal((2, 3)))
+        b = t(rng.standard_normal((2, 3)))
+        out = F.stack([a, b], axis=1)
+        assert out.shape == (2, 2, 3)
+        gradcheck(lambda: (F.stack([a, b], axis=1) ** 2).sum(), [a, b])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            F.stack([])
+
+
+class TestActivations:
+    def test_leaky_relu_values(self):
+        x = t([-2.0, 3.0])
+        out = F.leaky_relu(x, 0.1)
+        np.testing.assert_allclose(out.data, [-0.2, 3.0])
+
+    def test_leaky_relu_grad(self):
+        x = t([-2.0, 3.0])
+        F.leaky_relu(x, 0.1).sum().backward()
+        np.testing.assert_allclose(x.grad, [0.1, 1.0])
+
+    def test_gelu_gradcheck(self, rng):
+        x = t(rng.standard_normal(8))
+        gradcheck(lambda: F.gelu(x).sum(), [x])
+
+    def test_gelu_asymptotes(self):
+        x = t([-10.0, 0.0, 10.0])
+        out = F.gelu(x).data
+        assert abs(out[0]) < 1e-3          # ~0 for very negative
+        assert abs(out[1]) < 1e-9          # exactly 0 at 0
+        assert abs(out[2] - 10.0) < 1e-3   # ~x for very positive
+
+    def test_silu_gradcheck(self, rng):
+        x = t(rng.standard_normal(8))
+        gradcheck(lambda: F.silu(x).sum(), [x])
+
+    def test_silu_values(self):
+        x = t([0.0])
+        assert F.silu(x).data[0] == 0.0
+
+
+class TestLayerNorm:
+    def test_normalises_last_axis(self, rng):
+        x = t(rng.standard_normal((4, 8)) * 3 + 1)
+        gamma = t(np.ones(8))
+        beta = t(np.zeros(8))
+        out = F.layer_norm(x, gamma, beta)
+        np.testing.assert_allclose(out.data.mean(axis=-1), 0.0, atol=1e-7)
+        np.testing.assert_allclose(out.data.std(axis=-1), 1.0, atol=1e-3)
+
+    def test_gradcheck(self, rng):
+        x = t(rng.standard_normal((3, 5)))
+        gamma = t(rng.uniform(0.5, 1.5, size=5))
+        beta = t(rng.standard_normal(5))
+        gradcheck(lambda: (F.layer_norm(x, gamma, beta) ** 2).sum(),
+                  [x, gamma, beta], atol=1e-3, rtol=1e-2)
+
+
+class TestGroupNorm:
+    def test_group_stats(self, rng):
+        x = t(rng.standard_normal((2, 6, 4, 4)) * 2 + 3)
+        gamma = t(np.ones(6))
+        beta = t(np.zeros(6))
+        out = F.group_norm(x, gamma, beta, num_groups=2)
+        grouped = out.data.reshape(2, 2, -1)
+        np.testing.assert_allclose(grouped.mean(axis=2), 0.0, atol=1e-6)
+        np.testing.assert_allclose(grouped.std(axis=2), 1.0, atol=1e-3)
+
+    def test_gradcheck(self, rng):
+        x = t(rng.standard_normal((2, 4, 3, 3)))
+        gamma = t(rng.uniform(0.5, 1.5, size=4))
+        beta = t(rng.standard_normal(4))
+        gradcheck(lambda: (F.group_norm(x, gamma, beta, 2) ** 2).sum(),
+                  [x, gamma, beta], atol=1e-3, rtol=1e-2)
+
+    def test_indivisible_groups_raise(self, rng):
+        x = t(rng.standard_normal((1, 6, 2, 2)))
+        with pytest.raises(ValueError):
+            F.group_norm(x, t(np.ones(6)), t(np.zeros(6)), num_groups=4)

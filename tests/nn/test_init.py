@@ -1,0 +1,50 @@
+"""Tests for weight initialisers (repro.nn.init)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.nn.init import fan_in_out, kaiming_normal, kaiming_uniform, xavier_uniform
+
+
+class TestFanInOut:
+    def test_linear(self):
+        assert fan_in_out((10, 20)) == (20, 10)
+
+    def test_conv(self):
+        assert fan_in_out((64, 32, 3, 3)) == (32 * 9, 64 * 9)
+
+    def test_unsupported(self):
+        with pytest.raises(ValueError):
+            fan_in_out((4,))
+
+
+class TestDistributions:
+    def test_kaiming_normal_std(self):
+        rng = np.random.default_rng(0)
+        w = kaiming_normal((256, 128, 3, 3), rng)
+        expected = math.sqrt(2.0) / math.sqrt(128 * 9)
+        assert abs(w.std() - expected) / expected < 0.05
+
+    def test_kaiming_uniform_bound(self):
+        rng = np.random.default_rng(0)
+        w = kaiming_uniform((64, 64, 3, 3), rng)
+        bound = math.sqrt(2.0) * math.sqrt(3.0 / (64 * 9))
+        assert np.abs(w).max() <= bound + 1e-7
+
+    def test_xavier_uniform_bound(self):
+        rng = np.random.default_rng(0)
+        w = xavier_uniform((100, 50), rng)
+        bound = math.sqrt(6.0 / 150)
+        assert np.abs(w).max() <= bound + 1e-7
+
+    def test_dtype(self):
+        rng = np.random.default_rng(0)
+        assert kaiming_normal((4, 4), rng).dtype == np.float32
+        assert kaiming_normal((4, 4), rng, dtype=np.float64).dtype == np.float64
+
+    def test_deterministic(self):
+        a = kaiming_normal((8, 8), np.random.default_rng(5))
+        b = kaiming_normal((8, 8), np.random.default_rng(5))
+        np.testing.assert_array_equal(a, b)

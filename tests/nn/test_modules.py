@@ -1,0 +1,152 @@
+"""Tests for the module system (repro.nn.modules)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.tensor import Tensor
+
+
+def x_batch(rng, shape=(2, 3, 8, 8)):
+    return Tensor(rng.standard_normal(shape).astype(np.float32))
+
+
+class TestRegistration:
+    def test_parameters_found_recursively(self, tiny_conv_model):
+        names = [name for name, _ in tiny_conv_model.named_parameters()]
+        assert len(names) == len(set(names))
+        assert any("weight" in n or "0" in n for n in names)
+        # conv1 w+b, conv2 w+b, linear w+b
+        assert len(names) == 6
+
+    def test_named_modules_paths(self, tiny_conv_model):
+        paths = [name for name, _ in tiny_conv_model.named_modules()]
+        assert "" in paths          # the root
+        assert "0" in paths and "4" in paths
+
+    def test_buffers_registered(self):
+        bn = nn.BatchNorm2d(4)
+        names = [name for name, _ in bn.named_buffers()]
+        assert set(names) == {"running_mean", "running_var"}
+
+    def test_num_parameters(self):
+        layer = nn.Linear(10, 5)
+        assert layer.num_parameters() == 10 * 5 + 5
+
+    def test_children(self, tiny_conv_model):
+        assert len(list(tiny_conv_model.children())) == 5
+
+
+class TestTrainEval:
+    def test_mode_propagates(self, tiny_conv_model):
+        tiny_conv_model.eval()
+        assert all(not m.training for m in tiny_conv_model.modules())
+        tiny_conv_model.train()
+        assert all(m.training for m in tiny_conv_model.modules())
+
+    def test_bn_behaviour_differs(self, rng):
+        bn = nn.BatchNorm2d(3)
+        x = x_batch(rng, (8, 3, 4, 4))
+        train_out = bn(x).data.copy()
+        bn.eval()
+        eval_out = bn(x).data
+        assert not np.allclose(train_out, eval_out)
+
+
+class TestStateDict:
+    def test_roundtrip(self, rng, tiny_conv_model):
+        state = tiny_conv_model.state_dict()
+        clone_src = tiny_conv_model
+        # Perturb, then restore.
+        for param in clone_src.parameters():
+            param.data = param.data + 1.0
+        clone_src.load_state_dict(state)
+        for name, param in clone_src.named_parameters():
+            np.testing.assert_array_equal(param.data, state[name])
+
+    def test_includes_buffers(self):
+        bn = nn.BatchNorm2d(2)
+        state = bn.state_dict()
+        assert "running_mean" in state
+
+    def test_missing_key_raises(self, tiny_conv_model):
+        with pytest.raises(KeyError):
+            tiny_conv_model.load_state_dict({})
+
+    def test_shape_mismatch_raises(self, tiny_conv_model):
+        state = tiny_conv_model.state_dict()
+        key = next(iter(k for k in state if state[k].ndim > 0))
+        state[key] = np.zeros((1, 1))
+        with pytest.raises((ValueError, KeyError)):
+            tiny_conv_model.load_state_dict(state)
+
+    def test_buffer_restored_in_place(self, rng):
+        bn = nn.BatchNorm2d(2)
+        x = x_batch(rng, (4, 2, 3, 3))
+        bn(x)
+        state = bn.state_dict()
+        bn2 = nn.BatchNorm2d(2)
+        ref = bn2.running_mean    # keep the original array object
+        bn2.load_state_dict(state)
+        np.testing.assert_array_equal(ref, state["running_mean"])
+
+
+class TestLayers:
+    def test_conv_output_shape(self, rng):
+        conv = nn.Conv2d(3, 8, 3, stride=2, padding=1)
+        out = conv(x_batch(rng))
+        assert out.shape == (2, 8, 4, 4)
+
+    def test_conv_no_bias(self):
+        conv = nn.Conv2d(3, 4, 3, bias=False)
+        assert conv.bias is None
+        assert len(list(conv.parameters())) == 1
+
+    def test_linear_shape(self, rng):
+        layer = nn.Linear(6, 4)
+        out = layer(Tensor(rng.standard_normal((5, 6)).astype(np.float32)))
+        assert out.shape == (5, 4)
+
+    def test_sequential_indexing(self, tiny_conv_model):
+        assert isinstance(tiny_conv_model[0], nn.Conv2d)
+        assert len(tiny_conv_model) == 5
+
+    def test_module_list(self):
+        ml = nn.ModuleList([nn.Linear(2, 2), nn.Linear(2, 2)])
+        assert len(ml) == 2
+        assert len(list(ml[0].parameters())) == 2
+        # parameters visible from a parent module
+        class Holder(nn.Module):
+            def __init__(self):
+                super().__init__()
+                self.layers = nn.ModuleList([nn.Linear(3, 3)])
+        assert len(Holder().parameters()) == 2
+
+    def test_module_list_not_callable(self):
+        ml = nn.ModuleList([])
+        with pytest.raises(RuntimeError):
+            ml()
+
+    def test_identity(self, rng):
+        x = x_batch(rng)
+        assert nn.Identity()(x) is x
+
+    def test_flatten(self, rng):
+        out = nn.Flatten()(x_batch(rng))
+        assert out.shape == (2, 3 * 8 * 8)
+
+    def test_zero_grad(self, rng, tiny_conv_model):
+        out = tiny_conv_model(x_batch(rng))
+        (out * out).mean().backward()
+        assert any(p.grad is not None for p in tiny_conv_model.parameters())
+        tiny_conv_model.zero_grad()
+        assert all(p.grad is None for p in tiny_conv_model.parameters())
+
+    def test_deterministic_init_with_rng(self):
+        a = nn.Conv2d(3, 4, 3, rng=np.random.default_rng(7))
+        b = nn.Conv2d(3, 4, 3, rng=np.random.default_rng(7))
+        np.testing.assert_array_equal(a.weight.data, b.weight.data)
+
+    def test_repr(self):
+        assert "Conv2d(3, 8" in repr(nn.Conv2d(3, 8, 3))
+        assert "Linear(4, 2)" in repr(nn.Linear(4, 2))

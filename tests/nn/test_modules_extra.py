@@ -1,0 +1,78 @@
+"""Tests for the extended module wrappers (norms and activations)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.tensor import Tensor
+
+
+def batch(rng, shape=(2, 4, 6, 6)):
+    return Tensor(rng.standard_normal(shape).astype(np.float32))
+
+
+class TestActivationModules:
+    def test_leaky_relu(self, rng):
+        layer = nn.LeakyReLU(0.2)
+        x = Tensor(np.array([-1.0, 2.0], dtype=np.float32))
+        np.testing.assert_allclose(layer(x).data, [-0.2, 2.0], rtol=1e-6)
+
+    def test_gelu_silu_shapes(self, rng):
+        x = batch(rng)
+        assert nn.GELU()(x).shape == x.shape
+        assert nn.SiLU()(x).shape == x.shape
+
+    def test_activations_have_no_parameters(self):
+        for layer in (nn.LeakyReLU(), nn.GELU(), nn.SiLU()):
+            assert layer.num_parameters() == 0
+
+
+class TestLayerNormModule:
+    def test_forward_normalises(self, rng):
+        layer = nn.LayerNorm(8)
+        x = Tensor((rng.standard_normal((4, 8)) * 3 + 2).astype(np.float32))
+        out = layer(x)
+        np.testing.assert_allclose(out.data.mean(axis=-1), 0.0, atol=1e-5)
+
+    def test_parameters_registered(self):
+        layer = nn.LayerNorm(8)
+        assert layer.num_parameters() == 16
+
+    def test_trains(self, rng):
+        layer = nn.LayerNorm(4)
+        x = Tensor(rng.standard_normal((8, 4)).astype(np.float32))
+        target = Tensor(rng.standard_normal((8, 4)).astype(np.float32))
+        opt = nn.SGD(layer.parameters(), lr=0.1, momentum=0.0)
+        from repro.nn.functional import mse_loss
+        first = None
+        for _ in range(30):
+            loss = mse_loss(layer(x), target)
+            if first is None:
+                first = float(loss.data)
+            layer.zero_grad()
+            loss.backward()
+            opt.step()
+        assert float(loss.data) < first
+
+
+class TestGroupNormModule:
+    def test_forward_shape(self, rng):
+        layer = nn.GroupNorm(2, 4)
+        assert layer(batch(rng)).shape == (2, 4, 6, 6)
+
+    def test_invalid_groups(self):
+        with pytest.raises(ValueError):
+            nn.GroupNorm(3, 4)
+
+    def test_repr(self):
+        assert "GroupNorm(2, 4)" in repr(nn.GroupNorm(2, 4))
+        assert "LayerNorm(8)" in repr(nn.LayerNorm(8))
+
+    def test_batch_independence(self, rng):
+        """GroupNorm statistics are per-sample: one sample's output must not
+        depend on the others in the batch (unlike BatchNorm)."""
+        layer = nn.GroupNorm(2, 4)
+        a = batch(rng, (2, 4, 5, 5))
+        single = layer(Tensor(a.data[:1])).data
+        joint = layer(a).data[:1]
+        np.testing.assert_allclose(single, joint, atol=1e-6)

@@ -1,0 +1,123 @@
+"""Tests for optimizers and LR schedules (repro.nn.optim)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.modules import Parameter
+from repro.nn.optim import SGD, Adam, CosineSchedule, StepSchedule
+
+
+def make_param(value=1.0, shape=(3,)):
+    return Parameter(np.full(shape, value, dtype=np.float64))
+
+
+class TestSGD:
+    def test_plain_step(self):
+        p = make_param(1.0)
+        p.grad = np.full(3, 0.5)
+        SGD([p], lr=0.1, momentum=0.0).step()
+        np.testing.assert_allclose(p.data, 1.0 - 0.1 * 0.5)
+
+    def test_momentum_accumulates(self):
+        p = make_param(0.0)
+        opt = SGD([p], lr=1.0, momentum=0.9)
+        p.grad = np.ones(3)
+        opt.step()
+        np.testing.assert_allclose(p.data, -1.0)
+        p.grad = np.ones(3)
+        opt.step()
+        # velocity = 0.9*1 + 1 = 1.9
+        np.testing.assert_allclose(p.data, -1.0 - 1.9)
+
+    def test_weight_decay(self):
+        p = make_param(2.0)
+        p.grad = np.zeros(3)
+        SGD([p], lr=0.1, momentum=0.0, weight_decay=0.5).step()
+        np.testing.assert_allclose(p.data, 2.0 - 0.1 * 0.5 * 2.0)
+
+    def test_nesterov_differs(self):
+        p1, p2 = make_param(0.0), make_param(0.0)
+        opt1 = SGD([p1], lr=1.0, momentum=0.9, nesterov=False)
+        opt2 = SGD([p2], lr=1.0, momentum=0.9, nesterov=True)
+        for opt, p in ((opt1, p1), (opt2, p2)):
+            p.grad = np.ones(3)
+            opt.step()
+            p.grad = np.ones(3)
+            opt.step()
+        assert not np.allclose(p1.data, p2.data)
+
+    def test_skips_params_without_grad(self):
+        p = make_param(1.0)
+        SGD([p], lr=0.1).step()
+        np.testing.assert_allclose(p.data, 1.0)
+
+    def test_zero_grad(self):
+        p = make_param()
+        p.grad = np.ones(3)
+        opt = SGD([p], lr=0.1)
+        opt.zero_grad()
+        assert p.grad is None
+
+    def test_empty_params_raises(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+
+class TestAdam:
+    def test_first_step_is_lr_sized(self):
+        p = make_param(0.0)
+        opt = Adam([p], lr=0.01)
+        p.grad = np.full(3, 10.0)
+        opt.step()
+        # Bias-corrected first step is ~lr regardless of grad magnitude.
+        np.testing.assert_allclose(p.data, -0.01, rtol=1e-5)
+
+    def test_converges_on_quadratic(self):
+        p = make_param(5.0, shape=(1,))
+        opt = Adam([p], lr=0.3)
+        for _ in range(300):
+            p.grad = 2.0 * p.data      # d/dx x^2
+            opt.step()
+        assert abs(p.data[0]) < 1e-2
+
+    def test_weight_decay_pulls_to_zero(self):
+        p = make_param(1.0)
+        opt = Adam([p], lr=0.1, weight_decay=1.0)
+        for _ in range(50):
+            p.grad = np.zeros(3)
+            opt.step()
+        assert np.all(np.abs(p.data) < 1.0)
+
+
+class TestSchedules:
+    def test_cosine_decays_to_min(self):
+        p = make_param()
+        opt = SGD([p], lr=1.0)
+        sched = CosineSchedule(opt, total_steps=10, min_lr=0.1)
+        lrs = [sched.step() for _ in range(10)]
+        assert lrs[0] > lrs[-1]
+        assert abs(lrs[-1] - 0.1) < 1e-9
+
+    def test_cosine_halfway(self):
+        p = make_param()
+        opt = SGD([p], lr=2.0)
+        sched = CosineSchedule(opt, total_steps=2, min_lr=0.0)
+        lr1 = sched.step()
+        assert abs(lr1 - 1.0) < 1e-9   # cos(pi/2) midpoint
+
+    def test_warmup_ramps(self):
+        p = make_param()
+        opt = SGD([p], lr=1.0)
+        sched = CosineSchedule(opt, total_steps=10, warmup_steps=4)
+        lrs = [sched.step() for _ in range(4)]
+        np.testing.assert_allclose(lrs, [0.25, 0.5, 0.75, 1.0])
+
+    def test_step_schedule(self):
+        p = make_param()
+        opt = SGD([p], lr=1.0)
+        sched = StepSchedule(opt, step_size=2, gamma=0.1)
+        lrs = [sched.step() for _ in range(4)]
+        np.testing.assert_allclose(lrs, [1.0, 0.1, 0.1, 0.01])

@@ -1,0 +1,96 @@
+"""Property-based tests (hypothesis) for the autograd substrate."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor, unbroadcast
+
+SHAPES = st.tuples(st.integers(1, 4), st.integers(1, 4), st.integers(1, 4))
+
+
+@st.composite
+def array_pairs_broadcastable(draw):
+    """A pair of shapes where the second broadcasts against the first."""
+    shape = draw(SHAPES)
+    mask = draw(st.tuples(st.booleans(), st.booleans(), st.booleans()))
+    other = tuple(1 if m else s for s, m in zip(shape, mask))
+    rng = np.random.default_rng(draw(st.integers(0, 2 ** 31)))
+    return (rng.standard_normal(shape), rng.standard_normal(other))
+
+
+@given(array_pairs_broadcastable())
+@settings(max_examples=40, deadline=None)
+def test_broadcast_grad_shapes_match_inputs(pair):
+    a_np, b_np = pair
+    a = Tensor(a_np, requires_grad=True)
+    b = Tensor(b_np, requires_grad=True)
+    (a * b).sum().backward()
+    assert a.grad.shape == a.shape
+    assert b.grad.shape == b.shape
+    # d(sum(a*b))/da == broadcast(b)
+    np.testing.assert_allclose(a.grad, np.broadcast_to(b_np, a_np.shape),
+                               rtol=1e-10)
+
+
+@given(st.integers(0, 2 ** 31), st.integers(1, 3), st.integers(1, 3),
+       st.integers(3, 7), st.integers(1, 2), st.integers(0, 1))
+@settings(max_examples=30, deadline=None)
+def test_im2col_col2im_adjoint(seed, c, k, size, stride, pad):
+    """<im2col(x), y> == <x, col2im(y)> for random geometry."""
+    if size + 2 * pad < k:
+        return
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((1, c, size, size))
+    cols = F.im2col(x, (k, k), (stride, stride), (pad, pad))
+    y = rng.standard_normal(cols.shape)
+    lhs = float((cols * y).sum())
+    rhs = float((x * F.col2im(y, x.shape, (k, k), (stride, stride),
+                              (pad, pad))).sum())
+    assert abs(lhs - rhs) < 1e-8
+
+
+@given(st.integers(0, 2 ** 31))
+@settings(max_examples=25, deadline=None)
+def test_conv_linearity(seed):
+    """conv(x, w1 + w2) == conv(x, w1) + conv(x, w2)."""
+    rng = np.random.default_rng(seed)
+    x = Tensor(rng.standard_normal((1, 2, 5, 5)))
+    w1 = rng.standard_normal((3, 2, 3, 3))
+    w2 = rng.standard_normal((3, 2, 3, 3))
+    combined = F.conv2d(x, Tensor(w1 + w2), padding=1)
+    separate = (F.conv2d(x, Tensor(w1), padding=1).data
+                + F.conv2d(x, Tensor(w2), padding=1).data)
+    np.testing.assert_allclose(combined.data, separate, atol=1e-9)
+
+
+@given(st.integers(0, 2 ** 31), st.integers(1, 5))
+@settings(max_examples=25, deadline=None)
+def test_softmax_invariant_to_shift(seed, shift):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((3, 6))
+    a = F.softmax(Tensor(x)).data
+    b = F.softmax(Tensor(x + shift)).data
+    np.testing.assert_allclose(a, b, atol=1e-10)
+
+
+@given(st.integers(0, 2 ** 31))
+@settings(max_examples=25, deadline=None)
+def test_take_flat_grad_counts_repetitions(seed):
+    """Gradient of sum(E.flat[idx]) is exactly the repetition count."""
+    rng = np.random.default_rng(seed)
+    e = Tensor(rng.standard_normal(10), requires_grad=True)
+    idx = rng.integers(0, 10, size=(4, 5))
+    e.take_flat(idx).sum().backward()
+    counts = np.bincount(idx.ravel(), minlength=10).astype(float)
+    np.testing.assert_allclose(e.grad, counts)
+
+
+@given(SHAPES, st.integers(0, 2 ** 31))
+@settings(max_examples=30, deadline=None)
+def test_unbroadcast_inverts_broadcast(shape, seed):
+    rng = np.random.default_rng(seed)
+    g = rng.standard_normal((2, *shape))
+    reduced = unbroadcast(g, shape)
+    assert reduced.shape == shape
+    np.testing.assert_allclose(reduced, g.sum(axis=0), rtol=1e-10)

@@ -1,0 +1,69 @@
+"""Tests for checkpoint save/load (repro.nn.serialization)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core.designer import convert_model
+from repro.models.resnet import resnet20
+from repro.nn.serialization import load_checkpoint, load_state, save_checkpoint
+from repro.nn.tensor import Tensor
+
+
+class TestRoundTrip:
+    def test_simple_model(self, tmp_path, rng):
+        model = resnet20(seed=1)
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(model, path)
+        clone = resnet20(seed=2)
+        x = Tensor(rng.standard_normal((1, 3, 16, 16)).astype(np.float32))
+        model.eval(); clone.eval()
+        assert not np.allclose(model(x).data, clone(x).data)
+        load_checkpoint(clone, path)
+        np.testing.assert_allclose(model(x).data, clone(x).data, atol=1e-6)
+
+    def test_epitome_model(self, tmp_path, rng):
+        model = resnet20(seed=0)
+        convert_model(model, rows=128, cols=32)
+        path = tmp_path / "epim.npz"
+        save_checkpoint(model, path)
+        clone = resnet20(seed=0)
+        convert_model(clone, rows=128, cols=32)
+        for param in clone.parameters():
+            param.data = param.data * 0.0
+        load_checkpoint(clone, path)
+        for (_, a), (_, b) in zip(model.named_parameters(),
+                                  clone.named_parameters()):
+            np.testing.assert_array_equal(a.data, b.data)
+
+    def test_buffers_included(self, tmp_path, rng):
+        model = resnet20(seed=0)
+        # populate BN running stats
+        model(Tensor(rng.standard_normal((4, 3, 16, 16)).astype(np.float32)))
+        path = tmp_path / "bn.npz"
+        save_checkpoint(model, path)
+        state = load_state(path)
+        assert any("running_mean" in k for k in state)
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = tmp_path / "deep" / "dir" / "m.npz"
+        save_checkpoint(nn.Linear(2, 2), path)
+        assert path.exists()
+
+    def test_manifest_shape_validation(self, tmp_path):
+        model = nn.Linear(4, 2)
+        path = tmp_path / "lin.npz"
+        save_checkpoint(model, path)
+        # corrupt: overwrite with wrong-shaped weight but keep manifest
+        import json
+        with np.load(path) as archive:
+            arrays = {k: archive[k] for k in archive.files}
+        arrays["weight"] = np.zeros((1, 1), dtype=np.float32)
+        np.savez_compressed(path, **arrays)
+        with pytest.raises((ValueError, KeyError)):
+            load_state(path)
+
+    def test_load_into_wrong_architecture_fails(self, tmp_path):
+        save_checkpoint(nn.Linear(4, 2), tmp_path / "a.npz")
+        with pytest.raises((KeyError, ValueError)):
+            load_checkpoint(nn.Linear(8, 2), tmp_path / "a.npz")

@@ -1,0 +1,314 @@
+"""Tests for the autograd tensor core (repro.nn.tensor)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.tensor import Tensor, no_grad, unbroadcast
+
+from ..conftest import gradcheck
+
+
+def t(data, requires_grad=True):
+    return Tensor(np.asarray(data, dtype=np.float64), requires_grad=requires_grad)
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        x = t([[1.0, 2.0], [3.0, 4.0]])
+        assert x.shape == (2, 2)
+        assert x.ndim == 2
+        assert x.size == 4
+        assert len(x) == 2
+
+    def test_requires_grad_rejected_for_ints(self):
+        with pytest.raises(TypeError):
+            Tensor(np.array([1, 2, 3]), requires_grad=True)
+
+    def test_repr_mentions_grad(self):
+        assert "requires_grad" in repr(t([1.0]))
+        assert "requires_grad" not in repr(t([1.0], requires_grad=False))
+
+    def test_item_scalar(self):
+        assert t([3.5]).item() == 3.5
+
+    def test_constructors(self):
+        assert nn.zeros(2, 3).shape == (2, 3)
+        assert nn.ones(4).data.sum() == 4.0
+        r = nn.randn(5, 2, rng=np.random.default_rng(0))
+        assert r.shape == (5, 2)
+        assert nn.tensor([1, 2]).dtype == np.float32
+
+
+class TestArithmetic:
+    def test_add_backward(self):
+        a, b = t([1.0, 2.0]), t([3.0, 4.0])
+        (a + b).sum().backward()
+        np.testing.assert_array_equal(a.grad, [1.0, 1.0])
+        np.testing.assert_array_equal(b.grad, [1.0, 1.0])
+
+    def test_radd_scalar(self):
+        a = t([1.0, 2.0])
+        out = 1.0 + a
+        np.testing.assert_array_equal(out.data, [2.0, 3.0])
+
+    def test_sub_backward(self):
+        a, b = t([5.0]), t([2.0])
+        (a - b).sum().backward()
+        assert a.grad[0] == 1.0
+        assert b.grad[0] == -1.0
+
+    def test_rsub(self):
+        a = t([2.0])
+        assert (10.0 - a).data[0] == 8.0
+
+    def test_mul_backward(self):
+        a, b = t([2.0, 3.0]), t([4.0, 5.0])
+        (a * b).sum().backward()
+        np.testing.assert_array_equal(a.grad, [4.0, 5.0])
+        np.testing.assert_array_equal(b.grad, [2.0, 3.0])
+
+    def test_div_gradcheck(self, rng):
+        a = t(rng.uniform(0.5, 2.0, size=(3, 3)))
+        b = t(rng.uniform(0.5, 2.0, size=(3, 3)))
+        gradcheck(lambda: (a / b).sum(), [a, b])
+
+    def test_neg(self):
+        a = t([1.0, -2.0])
+        (-a).sum().backward()
+        np.testing.assert_array_equal(a.grad, [-1.0, -1.0])
+
+    def test_pow_gradcheck(self, rng):
+        a = t(rng.uniform(0.5, 2.0, size=(4,)))
+        gradcheck(lambda: (a ** 3).sum(), [a])
+
+    def test_pow_rejects_tensor_exponent(self):
+        with pytest.raises(TypeError):
+            t([1.0]) ** t([2.0])
+
+    def test_broadcast_add_backward(self, rng):
+        a = t(rng.standard_normal((3, 4)))
+        b = t(rng.standard_normal((4,)))
+        gradcheck(lambda: ((a + b) ** 2).sum(), [a, b])
+
+    def test_broadcast_mul_keepdim_axis(self, rng):
+        a = t(rng.standard_normal((2, 3, 4)))
+        b = t(rng.standard_normal((2, 1, 4)))
+        gradcheck(lambda: (a * b).sum(), [a, b])
+
+
+class TestMatmul:
+    def test_2d_values(self, rng):
+        a_np = rng.standard_normal((3, 4))
+        b_np = rng.standard_normal((4, 5))
+        out = t(a_np) @ t(b_np)
+        np.testing.assert_allclose(out.data, a_np @ b_np)
+
+    def test_2d_gradcheck(self, rng):
+        a = t(rng.standard_normal((3, 4)))
+        b = t(rng.standard_normal((4, 2)))
+        gradcheck(lambda: ((a @ b) ** 2).sum(), [a, b])
+
+    def test_vector_vector(self, rng):
+        a = t(rng.standard_normal(5))
+        b = t(rng.standard_normal(5))
+        gradcheck(lambda: a @ b, [a, b])
+
+    def test_batched(self, rng):
+        a = t(rng.standard_normal((2, 3, 4)))
+        b = t(rng.standard_normal((2, 4, 5)))
+        gradcheck(lambda: ((a @ b) ** 2).sum(), [a, b], max_entries=12)
+
+
+class TestElementwise:
+    @pytest.mark.parametrize("name", ["exp", "tanh", "sigmoid", "sqrt"])
+    def test_unary_gradcheck(self, rng, name):
+        a = t(rng.uniform(0.5, 2.0, size=(6,)))
+        gradcheck(lambda: getattr(a, name)().sum(), [a])
+
+    def test_log_gradcheck(self, rng):
+        a = t(rng.uniform(0.5, 3.0, size=(5,)))
+        gradcheck(lambda: a.log().sum(), [a])
+
+    def test_relu_zero_grad_region(self):
+        a = t([-1.0, 2.0])
+        a.relu().sum().backward()
+        np.testing.assert_array_equal(a.grad, [0.0, 1.0])
+
+    def test_abs_gradient_sign(self):
+        a = t([-2.0, 3.0])
+        a.abs().sum().backward()
+        np.testing.assert_array_equal(a.grad, [-1.0, 1.0])
+
+    def test_clamp_gradient_mask(self):
+        a = t([-2.0, 0.5, 2.0])
+        a.clamp(-1.0, 1.0).sum().backward()
+        np.testing.assert_array_equal(a.grad, [0.0, 1.0, 0.0])
+
+    def test_maximum(self, rng):
+        a = t([1.0, 5.0])
+        b = t([3.0, 2.0])
+        out = a.maximum(b)
+        np.testing.assert_array_equal(out.data, [3.0, 5.0])
+        out.sum().backward()
+        np.testing.assert_array_equal(a.grad, [0.0, 1.0])
+        np.testing.assert_array_equal(b.grad, [1.0, 0.0])
+
+
+class TestReductions:
+    def test_sum_axis_keepdims(self, rng):
+        a = t(rng.standard_normal((3, 4)))
+        out = a.sum(axis=1, keepdims=True)
+        assert out.shape == (3, 1)
+        gradcheck(lambda: (a.sum(axis=1, keepdims=True) ** 2).sum(), [a])
+
+    def test_sum_no_axis(self, rng):
+        a = t(rng.standard_normal((2, 2)))
+        gradcheck(lambda: a.sum(), [a])
+
+    def test_mean_axis(self, rng):
+        a = t(rng.standard_normal((4, 5)))
+        gradcheck(lambda: (a.mean(axis=0) ** 2).sum(), [a])
+
+    def test_mean_matches_numpy(self, rng):
+        a_np = rng.standard_normal((3, 7))
+        np.testing.assert_allclose(t(a_np).mean(axis=1).data, a_np.mean(axis=1))
+
+    def test_max_gradient_splits_ties(self):
+        a = t([2.0, 2.0, 1.0])
+        a.max().backward()
+        np.testing.assert_allclose(a.grad, [0.5, 0.5, 0.0])
+
+    def test_max_axis_gradcheck(self, rng):
+        a = t(rng.standard_normal((4, 3)) * 5)  # well-separated maxima
+        gradcheck(lambda: a.max(axis=1).sum(), [a])
+
+    def test_var(self, rng):
+        a_np = rng.standard_normal((6, 4))
+        np.testing.assert_allclose(t(a_np).var(axis=0).data,
+                                   a_np.var(axis=0), rtol=1e-10)
+
+
+class TestShapeOps:
+    def test_reshape_roundtrip_grad(self, rng):
+        a = t(rng.standard_normal((2, 6)))
+        gradcheck(lambda: (a.reshape(3, 4) ** 2).sum(), [a])
+
+    def test_flatten(self, rng):
+        a = t(rng.standard_normal((2, 3, 4)))
+        assert a.flatten(start_dim=1).shape == (2, 12)
+
+    def test_transpose_grad(self, rng):
+        a = t(rng.standard_normal((2, 3, 4)))
+        gradcheck(lambda: (a.transpose(2, 0, 1) ** 2).sum(), [a])
+
+    def test_T(self, rng):
+        a_np = rng.standard_normal((3, 5))
+        np.testing.assert_array_equal(t(a_np).T.data, a_np.T)
+
+    def test_getitem_scatter_grad(self):
+        a = t([1.0, 2.0, 3.0, 4.0])
+        out = a[np.array([0, 0, 2])]
+        out.sum().backward()
+        np.testing.assert_array_equal(a.grad, [2.0, 0.0, 1.0, 0.0])
+
+    def test_take_flat_repeated_indices_accumulate(self):
+        a = t([1.0, 2.0, 3.0])
+        idx = np.array([[0, 0], [2, 2]])
+        out = a.take_flat(idx)
+        assert out.shape == (2, 2)
+        out.sum().backward()
+        np.testing.assert_array_equal(a.grad, [2.0, 0.0, 2.0])
+
+    def test_take_flat_range_check(self):
+        a = t([1.0, 2.0])
+        with pytest.raises(IndexError):
+            a.take_flat(np.array([5]))
+
+    def test_pad2d_roundtrip(self, rng):
+        a = t(rng.standard_normal((1, 1, 3, 3)))
+        padded = a.pad2d((1, 2))
+        assert padded.shape == (1, 1, 5, 7)
+        gradcheck(lambda: (a.pad2d((1, 2)) ** 2).sum(), [a])
+
+    def test_pad2d_zero_is_identity(self, rng):
+        a = t(rng.standard_normal((1, 1, 3, 3)))
+        assert a.pad2d((0, 0)) is a
+
+
+class TestAutogradMechanics:
+    def test_backward_requires_scalar(self):
+        a = t([1.0, 2.0])
+        with pytest.raises(RuntimeError):
+            (a * 2).backward()
+
+    def test_backward_with_cotangent(self):
+        a = t([1.0, 2.0])
+        (a * 3).backward(np.array([1.0, 10.0]))
+        np.testing.assert_array_equal(a.grad, [3.0, 30.0])
+
+    def test_backward_on_leaf_without_grad_raises(self):
+        a = t([1.0], requires_grad=False)
+        with pytest.raises(RuntimeError):
+            a.backward()
+
+    def test_grad_accumulates_across_backwards(self):
+        a = t([2.0])
+        (a * 2).sum().backward()
+        (a * 2).sum().backward()
+        assert a.grad[0] == 4.0
+
+    def test_diamond_graph(self):
+        a = t([3.0])
+        b = a * 2
+        c = a * 5
+        (b + c).sum().backward()
+        assert a.grad[0] == 7.0
+
+    def test_reused_node(self):
+        a = t([2.0])
+        b = a * a          # a used twice
+        b.sum().backward()
+        assert a.grad[0] == 4.0
+
+    def test_no_grad_blocks_graph(self):
+        a = t([1.0])
+        with no_grad():
+            out = a * 2
+        assert not out.requires_grad
+        assert out._backward_fn is None
+
+    def test_detach(self):
+        a = t([1.0])
+        d = a.detach()
+        assert not d.requires_grad
+        out = (a * 2 + d).sum()
+        out.backward()
+        assert a.grad[0] == 2.0
+
+    def test_clone_passes_grad(self):
+        a = t([1.0, 2.0])
+        a.clone().sum().backward()
+        np.testing.assert_array_equal(a.grad, [1.0, 1.0])
+
+    def test_zero_grad(self):
+        a = t([1.0])
+        (a * 2).sum().backward()
+        a.zero_grad()
+        assert a.grad is None
+
+
+class TestUnbroadcast:
+    def test_no_op_when_shapes_match(self, rng):
+        g = rng.standard_normal((3, 4))
+        assert unbroadcast(g, (3, 4)) is g
+
+    def test_leading_axis_summed(self, rng):
+        g = rng.standard_normal((5, 3))
+        out = unbroadcast(g, (3,))
+        np.testing.assert_allclose(out, g.sum(axis=0))
+
+    def test_size_one_axis_summed(self, rng):
+        g = rng.standard_normal((4, 3))
+        out = unbroadcast(g, (1, 3))
+        np.testing.assert_allclose(out, g.sum(axis=0, keepdims=True))

@@ -1,0 +1,90 @@
+"""Tests for the training loops (repro.nn.training)."""
+
+import numpy as np
+
+from repro import nn
+from repro.nn.data import ArrayDataset, DataLoader
+from repro.nn.training import TrainConfig, evaluate_accuracy, train_classifier
+
+
+def separable_task(n=200, rng_seed=0):
+    """Two linearly separable blobs rendered as 1x2x2 'images'."""
+    rng = np.random.default_rng(rng_seed)
+    labels = rng.integers(0, 2, size=n)
+    base = np.where(labels[:, None] == 1, 2.0, -2.0)
+    images = (base[:, :, None, None]
+              + 0.3 * rng.standard_normal((n, 1, 2, 2))).astype(np.float32)
+    return ArrayDataset(images, labels.astype(np.int64))
+
+
+def tiny_model():
+    gen = np.random.default_rng(0)
+    return nn.Sequential(nn.Flatten(), nn.Linear(4, 8, rng=gen), nn.ReLU(),
+                         nn.Linear(8, 2, rng=gen))
+
+
+class TestTrainClassifier:
+    def test_learns_separable_task(self):
+        train = separable_task(200, 0)
+        val = separable_task(64, 1)
+        model = tiny_model()
+        result = train_classifier(
+            model,
+            DataLoader(train, batch_size=32, shuffle=True,
+                       rng=np.random.default_rng(0)),
+            DataLoader(val, batch_size=64),
+            TrainConfig(epochs=5, lr=0.1))
+        assert result.final_val_accuracy > 0.95
+        assert result.train_losses[0] > result.train_losses[-1]
+
+    def test_result_lengths(self):
+        train = separable_task(64)
+        model = tiny_model()
+        result = train_classifier(
+            model, DataLoader(train, batch_size=32),
+            DataLoader(train, batch_size=64),
+            TrainConfig(epochs=3, lr=0.05))
+        assert len(result.train_losses) == 3
+        assert len(result.val_accuracies) == 3
+        assert result.best_val_accuracy >= result.val_accuracies[0] - 1e-9
+
+    def test_no_val_loader(self):
+        train = separable_task(64)
+        result = train_classifier(tiny_model(),
+                                  DataLoader(train, batch_size=32),
+                                  None, TrainConfig(epochs=1))
+        assert result.val_accuracies == []
+        assert np.isnan(result.final_val_accuracy)
+
+    def test_epoch_callback_invoked(self):
+        train = separable_task(64)
+        calls = []
+        train_classifier(tiny_model(), DataLoader(train, batch_size=32),
+                         None, TrainConfig(epochs=2),
+                         epoch_callback=lambda e, r: calls.append(e))
+        assert calls == [0, 1]
+
+    def test_adam_optimizer_path(self):
+        train = separable_task(128)
+        result = train_classifier(
+            tiny_model(), DataLoader(train, batch_size=32, shuffle=True,
+                                     rng=np.random.default_rng(0)),
+            DataLoader(train, batch_size=128),
+            TrainConfig(epochs=3, lr=0.01, optimizer="adam"))
+        assert result.final_val_accuracy > 0.9
+
+
+class TestEvaluateAccuracy:
+    def test_perfect_model(self):
+        data = separable_task(64)
+        model = tiny_model()
+        train_classifier(model, DataLoader(data, batch_size=32, shuffle=True,
+                                           rng=np.random.default_rng(0)),
+                         None, TrainConfig(epochs=5, lr=0.1))
+        assert evaluate_accuracy(model, DataLoader(data, batch_size=64)) > 0.95
+
+    def test_restores_train_mode(self):
+        data = separable_task(32)
+        model = tiny_model()
+        evaluate_accuracy(model, DataLoader(data, batch_size=32))
+        assert model.training

@@ -1,0 +1,51 @@
+"""Tests for the floorplan/area accounting (repro.pim.accelerator)."""
+
+import pytest
+
+from repro.models.specs import resnet50_spec
+from repro.pim.accelerator import build_floorplan
+from repro.pim.config import DEFAULT_CONFIG
+from repro.pim.simulator import baseline_deployment, simulate_network
+from repro.core.designer import build_deployments, uniform_assignment
+
+
+def baseline_report():
+    spec = resnet50_spec()
+    return simulate_network([baseline_deployment(l, 9, 9) for l in spec])
+
+
+def epitome_report():
+    spec = resnet50_spec()
+    deps = build_deployments(spec, uniform_assignment(spec), weight_bits=9,
+                             activation_bits=9)
+    return simulate_network(deps)
+
+
+class TestFloorplan:
+    def test_hierarchy_counts(self):
+        report = baseline_report()
+        plan = build_floorplan(report)
+        assert plan.num_crossbars == report.num_crossbars
+        assert plan.num_pes >= plan.num_crossbars / DEFAULT_CONFIG.xbars_per_pe
+        assert plan.num_tiles >= plan.num_pes / DEFAULT_CONFIG.pes_per_tile
+        assert plan.num_adcs == plan.num_crossbars * DEFAULT_CONFIG.adcs_per_xbar
+
+    def test_epitome_area_smaller(self):
+        base = build_floorplan(baseline_report())
+        ep = build_floorplan(epitome_report())
+        assert ep.total_area_mm2 < base.total_area_mm2
+
+    def test_epitome_layers_counted(self):
+        plan = build_floorplan(epitome_report())
+        assert plan.num_epitome_layers > 0
+        assert plan.area_breakdown_um2["index_tables"] > 0
+
+    def test_baseline_has_no_index_tables(self):
+        plan = build_floorplan(baseline_report())
+        assert plan.num_epitome_layers == 0
+        assert plan.area_breakdown_um2["index_tables"] == 0
+
+    def test_summary_renders(self):
+        text = build_floorplan(baseline_report()).summary()
+        assert "crossbars" in text
+        assert "mm^2" in text

@@ -1,0 +1,58 @@
+"""Tests for the hardware configuration (repro.pim.config)."""
+
+import pytest
+
+from repro.pim.config import DEFAULT_CONFIG, HardwareConfig, input_cycles, weight_slices
+
+
+class TestHardwareConfig:
+    def test_defaults_match_paper_setup(self):
+        assert DEFAULT_CONFIG.xbar_rows == 256
+        assert DEFAULT_CONFIG.xbar_cols == 256
+        assert DEFAULT_CONFIG.cell_bits == 2      # "well-explored 2-bit cells"
+
+    def test_cells_per_xbar(self):
+        assert DEFAULT_CONFIG.cells_per_xbar == 65536
+
+    def test_adcs_per_xbar(self):
+        assert DEFAULT_CONFIG.adcs_per_xbar == 256 // 8
+
+    def test_slices_for(self):
+        assert DEFAULT_CONFIG.slices_for(9) == 5
+        assert DEFAULT_CONFIG.slices_for(3) == 2
+        assert DEFAULT_CONFIG.slices_for(32) == 16
+        assert DEFAULT_CONFIG.slices_for(2) == 1
+
+    def test_cycles_for(self):
+        assert DEFAULT_CONFIG.cycles_for(9) == 9     # 1-bit DAC
+        assert DEFAULT_CONFIG.cycles_for(1) == 1
+
+    def test_with_(self):
+        cfg = DEFAULT_CONFIG.with_(xbar_rows=128)
+        assert cfg.xbar_rows == 128
+        assert DEFAULT_CONFIG.xbar_rows == 256   # original untouched
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HardwareConfig(xbar_rows=0)
+        with pytest.raises(ValueError):
+            HardwareConfig(cell_bits=0)
+        with pytest.raises(ValueError):
+            HardwareConfig(adc_share=7)   # must divide 256
+        with pytest.raises(ValueError):
+            HardwareConfig(dac_bits=0)
+
+
+class TestHelpers:
+    def test_weight_slices(self):
+        assert weight_slices(8, 2) == 4
+        assert weight_slices(7, 2) == 4
+        assert weight_slices(1, 2) == 1
+        with pytest.raises(ValueError):
+            weight_slices(0, 2)
+
+    def test_input_cycles(self):
+        assert input_cycles(9, 1) == 9
+        assert input_cycles(9, 2) == 5
+        with pytest.raises(ValueError):
+            input_cycles(0, 1)

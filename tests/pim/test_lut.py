@@ -1,0 +1,74 @@
+"""Tests for the component LUT (repro.pim.lut) and pipelined metrics."""
+
+import pytest
+
+from repro.core.designer import build_deployments, uniform_assignment
+from repro.models.specs import resnet50_spec
+from repro.pim.lut import DEFAULT_LUT, ComponentLUT
+from repro.pim.simulator import baseline_deployment, simulate_network
+
+
+class TestComponentLUT:
+    def test_defaults_positive(self):
+        lut = DEFAULT_LUT
+        for field in ("t_dac", "t_xbar", "t_adc", "t_shift_add",
+                      "t_slice_merge", "e_cell", "e_dac", "e_adc",
+                      "e_buffer_read", "e_buffer_write",
+                      "p_leak_per_xbar_uw"):
+            assert getattr(lut, field) > 0
+
+    def test_scaled_returns_new_instance(self):
+        scaled = DEFAULT_LUT.scaled(latency_scale=2.0)
+        assert scaled.latency_scale == 2.0
+        assert DEFAULT_LUT.latency_scale != 2.0 or True
+        assert scaled is not DEFAULT_LUT
+
+    def test_scaled_partial(self):
+        scaled = DEFAULT_LUT.scaled(energy_scale=3.0)
+        assert scaled.energy_scale == 3.0
+        assert scaled.latency_scale == DEFAULT_LUT.latency_scale
+
+    def test_latency_scale_linear(self):
+        spec = resnet50_spec()
+        deps = [baseline_deployment(l, 9, 9) for l in spec]
+        base = simulate_network(deps, lut=DEFAULT_LUT)
+        doubled = simulate_network(deps, lut=DEFAULT_LUT.scaled(
+            latency_scale=DEFAULT_LUT.latency_scale * 2))
+        assert doubled.latency_ms == pytest.approx(base.latency_ms * 2)
+
+    def test_energy_scale_linear_on_dynamic(self):
+        spec = resnet50_spec()
+        deps = [baseline_deployment(l, 9, 9) for l in spec]
+        base = simulate_network(deps, lut=DEFAULT_LUT)
+        doubled = simulate_network(deps, lut=DEFAULT_LUT.scaled(
+            energy_scale=DEFAULT_LUT.energy_scale * 2))
+        assert doubled.dynamic_energy_mj == pytest.approx(
+            base.dynamic_energy_mj * 2)
+
+
+class TestPipelinedMetrics:
+    def test_bottleneck_is_max_layer(self):
+        spec = resnet50_spec()
+        report = simulate_network([baseline_deployment(l, 9, 9)
+                                   for l in spec])
+        slowest = max(l.latency_ns for l in report.layers) / 1e6
+        assert report.bottleneck_latency_ms == pytest.approx(slowest)
+        assert report.bottleneck_latency_ms < report.latency_ms
+
+    def test_throughput_inverse_of_bottleneck(self):
+        spec = resnet50_spec()
+        report = simulate_network([baseline_deployment(l, 9, 9)
+                                   for l in spec])
+        assert report.pipelined_throughput_fps == pytest.approx(
+            1000.0 / report.bottleneck_latency_ms)
+
+    def test_epitome_deepens_bottleneck(self):
+        """Epitome rounds multiply the slowest stage — the pipelined view
+        of the paper's latency overhead analysis (section 5.1)."""
+        spec = resnet50_spec()
+        base = simulate_network([baseline_deployment(l, 9, 9) for l in spec])
+        epim = simulate_network(build_deployments(
+            spec, uniform_assignment(spec), weight_bits=9,
+            activation_bits=9))
+        assert epim.bottleneck_latency_ms > base.bottleneck_latency_ms
+        assert epim.pipelined_throughput_fps < base.pipelined_throughput_fps

@@ -1,0 +1,76 @@
+"""Tests for weight-to-crossbar mapping (repro.pim.mapping)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.pim.config import DEFAULT_CONFIG
+from repro.pim.mapping import map_conv_layer, map_matrix
+
+
+class TestMapMatrix:
+    def test_single_crossbar_fit(self):
+        alloc = map_matrix(100, 50, 4, DEFAULT_CONFIG)   # 50*2=100 phys cols
+        assert alloc.row_groups == 1
+        assert alloc.col_groups == 1
+        assert alloc.num_crossbars == 1
+        assert alloc.used_cells == 100 * 100
+        assert alloc.utilization == pytest.approx(100 * 100 / 65536)
+
+    def test_exact_fill_is_full_utilization(self):
+        alloc = map_matrix(256, 128, 4, DEFAULT_CONFIG)  # 128*2 = 256 cols
+        assert alloc.num_crossbars == 1
+        assert alloc.utilization == 1.0
+
+    def test_row_partitioning(self):
+        alloc = map_matrix(4608, 512, 32, DEFAULT_CONFIG)
+        assert alloc.row_groups == 18
+        assert alloc.col_groups == 32      # 512*16/256
+        assert alloc.num_crossbars == 18 * 32
+
+    def test_slices_expand_columns(self):
+        a3 = map_matrix(256, 256, 3, DEFAULT_CONFIG)
+        a9 = map_matrix(256, 256, 9, DEFAULT_CONFIG)
+        assert a3.slices == 2 and a9.slices == 5
+        assert a9.num_crossbars > a3.num_crossbars
+
+    def test_physical_cols(self):
+        alloc = map_matrix(10, 100, 9, DEFAULT_CONFIG)
+        assert alloc.physical_cols == 500
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            map_matrix(0, 5, 8, DEFAULT_CONFIG)
+
+
+class TestMapConvLayer:
+    def test_conv_rows_are_cin_k_k(self):
+        alloc = map_conv_layer(64, 128, (3, 3), 9, DEFAULT_CONFIG)
+        assert alloc.stored_rows == 64 * 9
+        assert alloc.logical_cols == 128
+
+    def test_1x1_conv(self):
+        alloc = map_conv_layer(256, 64, (1, 1), 9, DEFAULT_CONFIG)
+        assert alloc.stored_rows == 256
+
+
+@given(rows=st.integers(1, 3000), cols=st.integers(1, 1200),
+       bits=st.integers(1, 32))
+@settings(max_examples=80, deadline=None)
+def test_mapping_conservation_properties(rows, cols, bits):
+    """Allocation always covers the matrix and never exceeds 100% use."""
+    alloc = map_matrix(rows, cols, bits, DEFAULT_CONFIG)
+    assert alloc.row_groups * DEFAULT_CONFIG.xbar_rows >= rows
+    assert alloc.col_groups * DEFAULT_CONFIG.xbar_cols >= alloc.physical_cols
+    assert 0.0 < alloc.utilization <= 1.0
+    assert alloc.used_cells == rows * cols * alloc.slices
+    assert alloc.num_crossbars == alloc.row_groups * alloc.col_groups
+
+
+@given(rows=st.integers(1, 2000), cols=st.integers(1, 800),
+       bits=st.integers(2, 16))
+@settings(max_examples=50, deadline=None)
+def test_more_bits_never_fewer_crossbars(rows, cols, bits):
+    low = map_matrix(rows, cols, bits, DEFAULT_CONFIG)
+    high = map_matrix(rows, cols, bits + 2, DEFAULT_CONFIG)
+    assert high.num_crossbars >= low.num_crossbars

@@ -1,0 +1,88 @@
+"""Property-based tests for the performance model and deployments."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.epitome import EpitomeShape, build_plan
+from repro.models.specs import LayerSpec
+from repro.pim.config import DEFAULT_CONFIG
+from repro.pim.simulator import (
+    baseline_deployment,
+    epitome_deployment_from_plan,
+    simulate_layer,
+)
+
+
+def layer_strategy():
+    return st.builds(
+        lambda ci, co, k, size: LayerSpec(
+            "L", "conv", ci, co, (k, k), 1, (size, size), (size, size)),
+        ci=st.integers(8, 256),
+        co=st.integers(4, 256),
+        k=st.sampled_from([1, 3]),
+        size=st.integers(2, 28),
+    )
+
+
+def epitome_for(spec, rows, cols):
+    rows = min(rows, spec.weight_rows)
+    cols = min(cols, spec.weight_cols)
+    shape = EpitomeShape.from_rows_cols(max(rows, spec.kernel_size[0] ** 2),
+                                        cols, spec.kernel_size,
+                                        spec.in_channels)
+    return build_plan((spec.out_channels, spec.in_channels,
+                       *spec.kernel_size), shape, with_index_map=False)
+
+
+@given(spec=layer_strategy(), rows=st.integers(16, 1024),
+       cols=st.integers(4, 256))
+@settings(max_examples=60, deadline=None)
+def test_epitome_preserves_total_macs(spec, rows, cols):
+    """Executed cells over all rounds always equal the virtual conv's MACs
+    per position — the epitome changes scheduling, not arithmetic."""
+    plan = epitome_for(spec, rows, cols)
+    dep = epitome_deployment_from_plan(spec, plan, weight_bits=9,
+                                       activation_bits=9)
+    assert dep.exec_cells == spec.weight_rows * spec.weight_cols
+
+
+@given(spec=layer_strategy(), rows=st.integers(16, 1024),
+       cols=st.integers(4, 256))
+@settings(max_examples=60, deadline=None)
+def test_wrapping_never_increases_costs(spec, rows, cols):
+    plan = epitome_for(spec, rows, cols)
+    plain = epitome_deployment_from_plan(spec, plan, 9, 9,
+                                         use_wrapping=False)
+    wrapped = epitome_deployment_from_plan(spec, plan, 9, 9,
+                                           use_wrapping=True)
+    assert wrapped.exec_rounds <= plain.exec_rounds
+    assert wrapped.exec_cols <= plain.exec_cols
+    assert wrapped.exec_rows <= plain.exec_rows
+
+
+@given(spec=layer_strategy(), bits=st.integers(2, 16))
+@settings(max_examples=60, deadline=None)
+def test_layer_report_positive_and_consistent(spec, bits):
+    report = simulate_layer(baseline_deployment(spec, bits, 9))
+    assert report.latency_ns > 0
+    assert report.energy_pj > 0
+    assert report.num_crossbars >= 1
+    assert 0 < report.allocation.utilization <= 1
+    assert report.energy_pj == sum(report.energy_breakdown.values())
+
+
+@given(spec=layer_strategy(), low=st.integers(2, 8))
+@settings(max_examples=40, deadline=None)
+def test_latency_monotone_in_weight_bits(spec, low):
+    fast = simulate_layer(baseline_deployment(spec, low, 9))
+    slow = simulate_layer(baseline_deployment(spec, low + 4, 9))
+    assert slow.latency_ns >= fast.latency_ns
+    assert slow.num_crossbars >= fast.num_crossbars
+
+
+@given(spec=layer_strategy(), a_low=st.integers(1, 8))
+@settings(max_examples=40, deadline=None)
+def test_latency_monotone_in_activation_bits(spec, a_low):
+    fast = simulate_layer(baseline_deployment(spec, 9, a_low))
+    slow = simulate_layer(baseline_deployment(spec, 9, a_low + 4))
+    assert slow.latency_ns > fast.latency_ns

@@ -1,0 +1,113 @@
+"""Tests for HAWQ sensitivity + bit allocation (repro.quant.hawq)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.tensor import Tensor
+from repro.quant.hawq import (
+    LayerSensitivity,
+    allocate_bits,
+    hutchinson_trace,
+    layer_sensitivities,
+)
+
+
+class TestHutchinsonTrace:
+    def test_quadratic_form_exact_trace(self):
+        """For L = 0.5 * w^T D w the Hessian is D; Hutchinson with
+        Rademacher probes recovers trace(D) exactly (v_i^2 = 1)."""
+        diag = np.array([1.0, 4.0, 9.0], dtype=np.float64)
+        w = nn.Parameter(np.array([0.3, -0.2, 0.1], dtype=np.float64))
+
+        def loss_fn():
+            return (Tensor(diag) * w * w).sum() * 0.5
+
+        traces = hutchinson_trace(loss_fn, [w], n_samples=4, eps=1e-4,
+                                  rng=np.random.default_rng(0))
+        assert traces[0] == pytest.approx(diag.sum(), rel=1e-3)
+
+    def test_restores_parameters(self):
+        w = nn.Parameter(np.array([1.0, 2.0]))
+        original = w.data.copy()
+
+        def loss_fn():
+            return (w * w).sum()
+
+        hutchinson_trace(loss_fn, [w], n_samples=2)
+        np.testing.assert_allclose(w.data, original)
+        assert w.grad is None
+
+    def test_multiple_tensors(self):
+        a = nn.Parameter(np.array([1.0]))
+        b = nn.Parameter(np.array([1.0, 1.0]))
+
+        def loss_fn():
+            return (a * a).sum() * 0.5 + (b * b).sum() * 1.0
+
+        traces = hutchinson_trace(loss_fn, [a, b], n_samples=4,
+                                  rng=np.random.default_rng(1))
+        assert traces[0] == pytest.approx(1.0, rel=1e-2)
+        assert traces[1] == pytest.approx(4.0, rel=1e-2)
+
+
+class TestLayerSensitivities:
+    def test_on_small_model(self, rng):
+        gen = np.random.default_rng(0)
+        model = nn.Sequential(nn.Linear(4, 8, rng=gen), nn.ReLU(),
+                              nn.Linear(8, 2, rng=gen))
+        x = Tensor(rng.standard_normal((16, 4)).astype(np.float32))
+        y = rng.integers(0, 2, size=16)
+
+        def loss_fn():
+            from repro.nn.functional import cross_entropy
+            return cross_entropy(model(x), y)
+
+        sens = layer_sensitivities(model, loss_fn,
+                                   param_filter=lambda n: "weight" in n,
+                                   n_samples=2,
+                                   rng=np.random.default_rng(2))
+        assert len(sens) == 2
+        assert all(s.trace >= 0 for s in sens)
+        assert all(s.num_params > 0 for s in sens)
+
+    def test_empty_filter_raises(self):
+        model = nn.Linear(2, 2)
+        with pytest.raises(ValueError):
+            layer_sensitivities(model, lambda: None,
+                                param_filter=lambda n: False)
+
+
+class TestAllocateBits:
+    def _sens(self, traces):
+        return [LayerSensitivity(name=f"l{i}", trace=t, num_params=10)
+                for i, t in enumerate(traces)]
+
+    def test_budget_respected(self):
+        sens = self._sens([1.0, 1.0, 1.0, 1.0])
+        cost = lambda name, bits: float(bits)
+        allocation = allocate_bits(sens, [3, 5], cost, budget=14.0)
+        total = sum(cost(n, b) for n, b in allocation.items())
+        assert total <= 14.0
+
+    def test_sensitive_layers_keep_high_bits(self):
+        sens = self._sens([100.0, 0.001, 0.001, 100.0])
+        cost = lambda name, bits: float(bits)
+        allocation = allocate_bits(sens, [3, 5], cost, budget=16.0)
+        assert allocation["l0"] == 5 and allocation["l3"] == 5
+        assert allocation["l1"] == 3 and allocation["l2"] == 3
+
+    def test_no_pressure_keeps_max(self):
+        sens = self._sens([1.0, 1.0])
+        allocation = allocate_bits(sens, [3, 5],
+                                   lambda n, b: 1.0, budget=100.0)
+        assert all(b == 5 for b in allocation.values())
+
+    def test_infeasible_budget_raises(self):
+        sens = self._sens([1.0])
+        with pytest.raises(RuntimeError):
+            allocate_bits(sens, [3, 5], lambda n, b: float(b), budget=1.0)
+
+    def test_empty_candidates_raise(self):
+        with pytest.raises(ValueError):
+            allocate_bits(self._sens([1.0]), [], lambda n, b: 1.0, budget=1.0)

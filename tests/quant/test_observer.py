@@ -1,0 +1,65 @@
+"""Tests for range observers (repro.quant.observer)."""
+
+import numpy as np
+import pytest
+
+from repro.quant.observer import (
+    MinMaxObserver,
+    MovingAverageObserver,
+    PercentileObserver,
+)
+
+
+class TestMinMax:
+    def test_tracks_extremes(self):
+        obs = MinMaxObserver()
+        obs.observe(np.array([1.0, 2.0]))
+        obs.observe(np.array([-3.0, 0.5]))
+        assert obs.range() == (-3.0, 2.0)
+
+    def test_not_ready_raises(self):
+        with pytest.raises(RuntimeError):
+            MinMaxObserver().range()
+
+    def test_ready_flag(self):
+        obs = MinMaxObserver()
+        assert not obs.ready
+        obs.observe(np.zeros(3))
+        assert obs.ready
+
+
+class TestMovingAverage:
+    def test_first_batch_initialises(self):
+        obs = MovingAverageObserver(momentum=0.9)
+        obs.observe(np.array([-1.0, 1.0]))
+        assert obs.range() == (-1.0, 1.0)
+
+    def test_smooths_spikes(self):
+        obs = MovingAverageObserver(momentum=0.9)
+        obs.observe(np.array([-1.0, 1.0]))
+        obs.observe(np.array([-100.0, 100.0]))
+        lo, hi = obs.range()
+        assert hi < 100.0
+        assert hi == pytest.approx(0.9 * 1.0 + 0.1 * 100.0)
+
+    def test_not_ready(self):
+        with pytest.raises(RuntimeError):
+            MovingAverageObserver().range()
+
+
+class TestPercentile:
+    def test_clips_outliers(self, rng):
+        values = rng.standard_normal(10000)
+        values[0] = 1000.0
+        obs = PercentileObserver(percentile=99.0)
+        obs.observe(values)
+        _, hi = obs.range()
+        assert hi < 10.0
+
+    def test_invalid_percentile(self):
+        with pytest.raises(ValueError):
+            PercentileObserver(percentile=0.0)
+
+    def test_not_ready(self):
+        with pytest.raises(RuntimeError):
+            PercentileObserver().range()

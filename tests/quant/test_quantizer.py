@@ -1,0 +1,148 @@
+"""Tests for the quantization primitives (repro.quant.quantizer)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.nn.tensor import Tensor
+from repro.quant.quantizer import (
+    QuantParams,
+    compute_qparams,
+    dequantize_array,
+    fake_quantize,
+    fake_quantize_per_group,
+    quantize_array,
+)
+
+
+class TestQuantParams:
+    def test_signed_grid(self):
+        p = QuantParams(scale=0.1, zero_point=0, bits=4, signed=True)
+        assert p.qmin == -8 and p.qmax == 7
+
+    def test_unsigned_grid(self):
+        p = QuantParams(scale=0.1, zero_point=0, bits=4, signed=False)
+        assert p.qmin == 0 and p.qmax == 15
+
+
+class TestComputeQParams:
+    def test_signed_symmetric(self):
+        p = compute_qparams(-1.0, 2.0, 3, signed=True)
+        assert p.zero_point == 0
+        assert p.scale == pytest.approx(2.0 / 3)   # bound / qmax(3)
+
+    def test_unsigned_affine(self):
+        p = compute_qparams(0.0, 1.0, 8, signed=False)
+        assert p.scale == pytest.approx(1.0 / 255)
+        assert p.zero_point == 0
+
+    def test_unsigned_with_offset(self):
+        p = compute_qparams(1.0, 3.0, 4, signed=False)
+        q = quantize_array(np.array([1.0, 3.0]), p)
+        d = dequantize_array(q, p)
+        np.testing.assert_allclose(d, [1.0, 3.0], atol=p.scale)
+
+    def test_degenerate_range(self):
+        p = compute_qparams(0.0, 0.0, 4, signed=True)
+        assert p.scale > 0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            compute_qparams(1.0, 0.0, 4)
+        with pytest.raises(ValueError):
+            compute_qparams(0.0, 1.0, 0)
+
+
+class TestRoundTrip:
+    def test_error_bounded_by_half_scale(self, rng):
+        values = rng.uniform(-2.0, 2.0, size=1000)
+        p = compute_qparams(values.min(), values.max(), 8, signed=True)
+        q = quantize_array(values, p)
+        d = dequantize_array(q, p)
+        assert np.abs(d - values).max() <= p.scale / 2 + 1e-12
+
+    def test_clipping_outside_range(self):
+        p = compute_qparams(-1.0, 1.0, 3, signed=True)
+        q = quantize_array(np.array([10.0, -10.0]), p)
+        assert q[0] == p.qmax and q[1] == p.qmin
+
+
+class TestFakeQuantSTE:
+    def test_forward_is_quant_dequant(self, rng):
+        values = rng.uniform(-1.0, 1.0, size=32)
+        p = compute_qparams(-1.0, 1.0, 4, signed=True)
+        x = Tensor(values, requires_grad=True)
+        out = fake_quantize(x, p)
+        expected = dequantize_array(quantize_array(values, p), p)
+        np.testing.assert_allclose(out.data, expected, atol=1e-7)
+
+    def test_grad_passes_inside_range(self):
+        p = compute_qparams(-1.0, 1.0, 4, signed=True)
+        x = Tensor(np.array([0.1, 0.5]), requires_grad=True)
+        fake_quantize(x, p).sum().backward()
+        np.testing.assert_array_equal(x.grad, [1.0, 1.0])
+
+    def test_grad_blocked_outside_range(self):
+        p = compute_qparams(-1.0, 1.0, 4, signed=True)
+        x = Tensor(np.array([5.0, -5.0, 0.0]), requires_grad=True)
+        fake_quantize(x, p).sum().backward()
+        np.testing.assert_array_equal(x.grad, [0.0, 0.0, 1.0])
+
+
+class TestPerGroup:
+    def test_groups_use_own_scales(self):
+        x = Tensor(np.array([[0.5, 0.5], [5.0, 5.0]]), requires_grad=True)
+        scales = np.array([0.5 / 3, 5.0 / 3])        # 3-bit signed qmax=3
+        group_ids = np.array([[0, 0], [1, 1]])
+        out = fake_quantize_per_group(x, scales, group_ids, 3)
+        np.testing.assert_allclose(out.data, [[0.5, 0.5], [5.0, 5.0]],
+                                   atol=1e-7)
+
+    def test_shared_scale_would_crush_small_group(self):
+        """The motivation for per-crossbar scales: one big outlier group
+        destroys the small group's resolution under a shared scale."""
+        small = np.full(8, 0.01)
+        big = np.full(8, 10.0)
+        values = np.concatenate([small, big])
+        shared = compute_qparams(values.min(), values.max(), 3, signed=True)
+        x = Tensor(values, requires_grad=False)
+        shared_err = np.abs(
+            fake_quantize(x, shared).data[:8] - small).mean()
+        scales = np.array([0.01 / 3, 10.0 / 3])
+        ids = np.concatenate([np.zeros(8, int), np.ones(8, int)])
+        group_err = np.abs(
+            fake_quantize_per_group(x, scales, ids, 3).data[:8] - small).mean()
+        assert group_err < shared_err
+
+    def test_shape_mismatch_raises(self):
+        x = Tensor(np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            fake_quantize_per_group(x, np.ones(1), np.zeros((3,), int), 3)
+
+    def test_ste_gradient(self):
+        x = Tensor(np.array([0.1, 99.0]), requires_grad=True)
+        scales = np.array([0.1])
+        ids = np.zeros(2, dtype=int)
+        fake_quantize_per_group(x, scales, ids, 3).sum().backward()
+        np.testing.assert_array_equal(x.grad, [1.0, 0.0])
+
+
+@given(bits=st.integers(2, 10), seed=st.integers(0, 2 ** 31))
+@settings(max_examples=50, deadline=None)
+def test_roundtrip_property(bits, seed):
+    """Quantize-dequantize error is always within half a scale step."""
+    rng = np.random.default_rng(seed)
+    values = rng.uniform(-3.0, 3.0, size=64)
+    p = compute_qparams(values.min(), values.max(), bits, signed=True)
+    d = dequantize_array(quantize_array(values, p), p)
+    assert np.abs(d - values).max() <= p.scale / 2 + 1e-9
+
+
+@given(bits=st.integers(2, 8), seed=st.integers(0, 2 ** 31))
+@settings(max_examples=40, deadline=None)
+def test_quantized_values_on_grid(bits, seed):
+    rng = np.random.default_rng(seed)
+    values = rng.uniform(-1.0, 1.0, size=32)
+    p = compute_qparams(values.min(), values.max(), bits, signed=True)
+    q = quantize_array(values, p)
+    assert q.min() >= p.qmin and q.max() <= p.qmax

@@ -1,0 +1,147 @@
+"""Cross-module integration tests.
+
+The flagship assertion: a *trained, quantized* epitome layer executed on
+the functional PIM datapath (crossbars + IFAT/IFRT/OFAT + joint module)
+produces exactly the integer outputs of the software convolution — the
+hardware and software halves of the reproduction agree bit-for-bit.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.analysis.accuracy import PRESETS, AccuracyWorkbench
+from repro.core.designer import convert_model, epitome_layers
+from repro.core.epitome import EpitomeShape, build_plan
+from repro.core.equant import EpitomeQuantConfig, apply_epitome_quantization, epitome_scales
+from repro.core.layers import EpitomeConv2d
+from repro.data.synthetic import make_synthetic_classification
+from repro.models.resnet import resnet20
+from repro.nn import functional as F
+from repro.nn.data import DataLoader
+from repro.nn.tensor import Tensor
+from repro.nn.training import TrainConfig, evaluate_accuracy, train_classifier
+from repro.pim.config import DEFAULT_CONFIG
+from repro.pim.datapath import execute_epitome_conv
+from repro.quant.quantizer import compute_qparams, quantize_array
+
+
+class TestTrainedLayerOnDatapath:
+    """Train an epitome layer, quantize it, run it through the simulated
+    hardware, and compare against software execution."""
+
+    @pytest.fixture(scope="class")
+    def trained_layer(self):
+        rng = np.random.default_rng(0)
+        shape = EpitomeShape.from_rows_cols(144, 8, (3, 3), 16)
+        layer = EpitomeConv2d(16, 16, 3, padding=1, bias=False,
+                              epitome_shape=shape,
+                              rng=np.random.default_rng(1))
+        target = nn.Conv2d(16, 16, 3, padding=1, bias=False,
+                           rng=np.random.default_rng(2))
+        x = Tensor(rng.standard_normal((8, 16, 8, 8)).astype(np.float32))
+        opt = nn.SGD(layer.parameters(), lr=0.05, momentum=0.9)
+        for _ in range(30):
+            loss = F.mse_loss(layer(x), target(x).detach())
+            layer.zero_grad()
+            loss.backward()
+            opt.step()
+        return layer
+
+    def test_quantized_hardware_equals_software(self, trained_layer):
+        rng = np.random.default_rng(3)
+        w_bits, a_bits = 5, 4
+        # Quantize the epitome (per-layer symmetric, like the naive mode).
+        e = trained_layer.epitome.data
+        wp = compute_qparams(e.min(), e.max(), w_bits, signed=True)
+        e_int = quantize_array(e, wp)
+        # Quantize a non-negative input.
+        x = rng.random((2, 16, 8, 8)).astype(np.float64)
+        xp = compute_qparams(0.0, 1.0, a_bits, signed=False)
+        x_int = quantize_array(x, xp)
+
+        hw = execute_epitome_conv(x_int, e_int, trained_layer.plan,
+                                  stride=1, padding=1, config=DEFAULT_CONFIG,
+                                  activation_bits=a_bits, weight_bits=w_bits)
+        w_int = trained_layer.plan.reconstruct(e_int)
+        sw = F.conv2d(Tensor(x_int.astype(np.float64)),
+                      Tensor(w_int.astype(np.float64)), None,
+                      stride=1, padding=1).data
+        np.testing.assert_array_equal(hw, np.rint(sw).astype(np.int64))
+
+    def test_wrapping_gives_identical_outputs(self, trained_layer):
+        rng = np.random.default_rng(4)
+        e_int = np.rint(trained_layer.epitome.data * 20).astype(np.int64)
+        e_int = np.clip(e_int, -15, 15)
+        x_int = rng.integers(0, 16, size=(1, 16, 6, 6))
+        plain = execute_epitome_conv(x_int, e_int, trained_layer.plan, 1, 1,
+                                     DEFAULT_CONFIG, 4, 5)
+        wrapped = execute_epitome_conv(x_int, e_int, trained_layer.plan, 1, 1,
+                                       DEFAULT_CONFIG, 4, 5,
+                                       use_wrapping=True)
+        np.testing.assert_array_equal(plain, wrapped)
+
+    def test_dequantized_output_tracks_float(self, trained_layer):
+        """Scales carried through the integer pipeline recover the float
+        convolution to quantization accuracy."""
+        rng = np.random.default_rng(5)
+        w_bits, a_bits = 7, 7
+        e = trained_layer.epitome.data
+        wp = compute_qparams(e.min(), e.max(), w_bits, signed=True)
+        e_int = quantize_array(e, wp)
+        x = rng.random((1, 16, 8, 8)).astype(np.float64)
+        xp = compute_qparams(0.0, 1.0, a_bits, signed=False)
+        x_int = quantize_array(x, xp)
+        hw = execute_epitome_conv(x_int, e_int, trained_layer.plan, 1, 1,
+                                  DEFAULT_CONFIG, a_bits, w_bits)
+        recovered = hw * (wp.scale * xp.scale)
+        w_float = trained_layer.plan.reconstruct(e)
+        exact = F.conv2d(Tensor(x), Tensor(w_float.astype(np.float64)),
+                         None, 1, 1).data
+        rel = np.abs(recovered - exact) / (np.abs(exact).max() + 1e-9)
+        assert np.median(rel) < 0.05
+
+
+class TestModelLevelFlow:
+    def test_convert_train_quantize_improves_over_untrained(self):
+        train, val = make_synthetic_classification(
+            num_train=256, num_val=96, num_classes=4, image_size=16, seed=9)
+        rng = np.random.default_rng(0)
+        train_loader = DataLoader(train, batch_size=64, shuffle=True, rng=rng)
+        val_loader = DataLoader(val, batch_size=96)
+
+        model = resnet20(num_classes=4)
+        convert_model(model, rows=128, cols=32)
+        untrained = evaluate_accuracy(model, val_loader)
+        train_classifier(model, train_loader, val_loader,
+                         TrainConfig(epochs=3, lr=0.05))
+        trained = evaluate_accuracy(model, val_loader)
+        assert trained > untrained
+
+        apply_epitome_quantization(model, EpitomeQuantConfig(bits=8))
+        quantized = evaluate_accuracy(model, val_loader)
+        # 8-bit QAT-free quantization is near-lossless
+        assert quantized > trained - 0.1
+
+    def test_workbench_smoke_rankings(self):
+        """The smoke preset must at least produce valid accuracies and the
+        trivially-required orderings (more bits >= fewer bits - slack)."""
+        bench = AccuracyWorkbench(PRESETS["smoke"])
+        _, ep_acc = bench.epitome_fp()
+        q8 = bench.quantized_accuracy(8, cache_key="int-q8")
+        q2 = bench.quantized_accuracy(2, cache_key="int-q2")
+        for acc in (ep_acc, q8, q2):
+            assert 0.0 <= acc <= 1.0
+        assert q8 >= q2 - 0.15
+
+
+class TestScalesRoundTrip:
+    def test_equant_scales_reused_by_hardware_grouping(self):
+        """Per-crossbar scale groups match the mapping's crossbar tiles."""
+        shape = EpitomeShape.from_rows_cols(1024, 256, (3, 3), 512)
+        layer = EpitomeConv2d(512, 512, 3, padding=1, epitome_shape=shape,
+                              rng=np.random.default_rng(0))
+        scales, ids = epitome_scales(layer, EpitomeQuantConfig(mode="crossbar"))
+        from repro.pim.mapping import map_matrix
+        alloc = map_matrix(shape.rows, shape.cols, 9, DEFAULT_CONFIG)
+        assert len(scales) == alloc.row_groups * 1
