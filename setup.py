@@ -1,3 +1,6 @@
+"""Compatibility shim: the real package definition lives in pyproject.toml
+(src layout, ``repro`` console script, optional ``[test]`` extras)."""
+
 from setuptools import setup
 
 setup()

@@ -10,7 +10,8 @@ Full from-scratch reproduction of Wang et al., DAC 2024 (arXiv:2311.07620):
 - :mod:`repro.core` — the paper's contribution: epitome operator, designer,
   channel wrapping, epitome-aware quantization, evolutionary layer-wise design,
 - :mod:`repro.baselines` — PIM-Prune and element pruning baselines,
-- :mod:`repro.analysis` — experiment runners regenerating every table/figure.
+- :mod:`repro.analysis` — experiment runners regenerating every table/figure,
+- :mod:`repro.serve` — batched multi-chip inference serving runtime.
 """
 
 __version__ = "1.0.0"
@@ -24,4 +25,5 @@ __all__ = [
     "core",
     "baselines",
     "analysis",
+    "serve",
 ]

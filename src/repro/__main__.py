@@ -1,7 +1,11 @@
-"""Entry point: ``python -m repro <table1|table2|table3|figure3|figure4|summary>``."""
+"""Entry point: ``python -m repro <table1|table2|table3|figure3|figure4|summary|serve>``.
+
+Also installed as the ``repro`` console script (see pyproject.toml).
+"""
 
 import sys
 
 from .analysis.cli import main
 
-sys.exit(main())
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,6 +8,7 @@ Usage::
     python -m repro figure3 [--model resnet50]
     python -m repro figure4 [--model resnet50]
     python -m repro summary            # hardware-only overview, no training
+    python -m repro serve [...]        # serving runtime (repro.serve.cli)
 
 ``--preset`` controls the accuracy-side cost (smoke | default | full); the
 hardware columns are always exact.  ``--no-accuracy`` skips training
@@ -22,6 +23,7 @@ from typing import List, Optional
 
 from .accuracy import PRESETS, AccuracyWorkbench
 from .experiments import run_figure3, run_figure4, run_table1, run_table2, run_table3
+from ..serve.cli import add_serve_parser, run_serve
 
 __all__ = ["main", "build_parser"]
 
@@ -63,6 +65,8 @@ def build_parser() -> argparse.ArgumentParser:
     s = sub.add_parser("summary",
                        help="hardware overview of every artefact (fast)")
     add_common(s, model=True)
+
+    add_serve_parser(sub)
     return parser
 
 
@@ -86,6 +90,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         run_figure3(args.model)
         print()
         run_figure4(args.model)
+    elif args.command == "serve":
+        return run_serve(args)
     return 0
 
 

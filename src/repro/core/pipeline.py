@@ -134,11 +134,32 @@ class EpimPipeline:
         Builds per-layer deployments by tracing spatial sizes through the
         model's conv/epitome layers, then runs the performance model.
         """
+        deployments = self.deployments_for(model, input_size, weight_bits)
+        return simulate_network(deployments, self.hardware, self.lut)
+
+    def deployments_for(self, model: nn.Module, input_size: Tuple[int, int],
+                        weight_bits: Optional[int] = None
+                        ) -> List[LayerDeployment]:
+        """The per-layer PIM deployments :meth:`deploy` simulates —
+        exposed so they can be exported/served without re-tracing."""
         bits = weight_bits
         if bits is None and self.config.quant is not None:
             bits = self.config.quant.bits
-        deployments = self._deployments_from_model(model, input_size, bits)
-        return simulate_network(deployments, self.hardware, self.lut)
+        return self._deployments_from_model(model, input_size, bits)
+
+    def export_deployment(self, model: nn.Module,
+                          input_size: Tuple[int, int],
+                          weight_bits: Optional[int] = None,
+                          path=None, name: str = "model") -> Dict:
+        """Produce (and optionally write) the servable format-2 manifest
+        for a designed model — the artifact ``python -m repro serve
+        --manifest`` replays."""
+        from .export import export_deployments, write_manifest
+        deployments = self.deployments_for(model, input_size, weight_bits)
+        manifest = export_deployments(deployments, self.hardware, name=name)
+        if path is not None:
+            write_manifest(manifest, path)
+        return manifest
 
     # ------------------------------------------------------------------
     def run(self, model: nn.Module, train_loader: DataLoader,

@@ -19,7 +19,7 @@ from .config import HardwareConfig, DEFAULT_CONFIG
 from .lut import ComponentLUT, DEFAULT_LUT
 from .simulator import NetworkReport
 
-__all__ = ["ChipFloorplan", "build_floorplan"]
+__all__ = ["ChipFloorplan", "build_floorplan", "chips_required"]
 
 
 @dataclass(frozen=True)
@@ -78,3 +78,36 @@ def build_floorplan(report: NetworkReport,
         num_epitome_layers=num_epitome,
         area_breakdown_um2=area,
     )
+
+
+def chips_required(report: NetworkReport,
+                   config: HardwareConfig = DEFAULT_CONFIG) -> int:
+    """Minimum chips a deployment needs at ``config.tiles_per_chip``.
+
+    Uses the placement tile convention (:func:`repro.pim.noc.layer_tiles`,
+    layers never share a tile) — the same accounting the serving shard
+    planner enforces, so ``plan_sharding(report, chips_required(report))``
+    always yields a fitting plan when one exists.
+    """
+    from .noc import layer_tiles
+
+    budget = config.tiles_per_chip
+    tiles = [layer_tiles(layer.num_crossbars, config)
+             for layer in report.layers]
+    if not tiles:
+        return 1
+    if max(tiles) > budget:
+        # A single layer busts the budget: unplaceable under the
+        # layers-don't-split rule; report the area lower bound.
+        return max(1, math.ceil(sum(tiles) / budget))
+    # Greedy left-to-right fill is optimal for the minimum number of
+    # contiguous parts under a per-part capacity.
+    chips = 1
+    used = 0
+    for t in tiles:
+        if used + t > budget:
+            chips += 1
+            used = t
+        else:
+            used += t
+    return chips

@@ -44,6 +44,10 @@ class HardwareConfig:
         Per-tile SRAM buffer sizes (accounting only).
     xbars_per_pe / pes_per_tile:
         Hierarchy used for area/allocation accounting.
+    tiles_per_chip:
+        Tile budget of one physical chip; deployments needing more tiles
+        must be sharded layer-wise across chips (see
+        :mod:`repro.serve.sharding`).
     """
 
     xbar_rows: int = 256
@@ -58,6 +62,7 @@ class HardwareConfig:
     output_buffer_kb: int = 64
     xbars_per_pe: int = 8
     pes_per_tile: int = 4
+    tiles_per_chip: int = 32
 
     def __post_init__(self):
         if self.xbar_rows < 1 or self.xbar_cols < 1:
@@ -68,6 +73,8 @@ class HardwareConfig:
             raise ValueError("dac_bits must be >= 1")
         if self.xbar_cols % self.adc_share != 0:
             raise ValueError("adc_share must divide xbar_cols")
+        if self.tiles_per_chip < 1:
+            raise ValueError("tiles_per_chip must be >= 1")
 
     @property
     def cells_per_xbar(self) -> int:

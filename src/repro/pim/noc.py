@@ -31,7 +31,20 @@ from .config import DEFAULT_CONFIG, HardwareConfig
 from .lut import DEFAULT_LUT, ComponentLUT
 from .simulator import NetworkReport
 
-__all__ = ["TilePlacement", "NocReport", "place_tiles", "analyze_noc"]
+__all__ = ["TilePlacement", "NocReport", "layer_tiles", "place_tiles",
+           "analyze_noc"]
+
+
+def layer_tiles(num_crossbars: int,
+                config: HardwareConfig = DEFAULT_CONFIG) -> int:
+    """Tiles one layer occupies: layers never share a tile (the MNSIM
+    placement convention), so even a single-crossbar layer takes one.
+
+    This is the capacity convention shared by :func:`place_tiles`, the
+    serving shard planner and :func:`repro.pim.accelerator.chips_required`.
+    """
+    per_tile = config.xbars_per_pe * config.pes_per_tile
+    return max(1, math.ceil(num_crossbars / per_tile))
 
 
 @dataclass(frozen=True)
@@ -111,11 +124,10 @@ def place_tiles(report: NetworkReport,
     (the MNSIM convention, consistent with the one-layer-per-crossbar
     mapping rule).
     """
-    per_tile = config.xbars_per_pe * config.pes_per_tile
     placements: List[TilePlacement] = []
     cursor = 0
     for layer in report.layers:
-        tiles = max(1, math.ceil(layer.num_crossbars / per_tile))
+        tiles = layer_tiles(layer.num_crossbars, config)
         placements.append(TilePlacement(
             layer_name=layer.name, first_tile=cursor, num_tiles=tiles,
             centroid=(0.0, 0.0)))   # placeholder, fixed below

@@ -37,6 +37,7 @@ from .mapping import CrossbarAllocation, map_matrix
 __all__ = [
     "LayerDeployment",
     "LayerReport",
+    "BatchReport",
     "NetworkReport",
     "simulate_layer",
     "simulate_network",
@@ -171,6 +172,40 @@ class LayerReport:
         return self.deployment.stored_rows * self.deployment.stored_cols
 
 
+@dataclass(frozen=True)
+class BatchReport:
+    """Timing/energy of one micro-batch streamed through a layer pipeline.
+
+    Weight-stationary PIM serves a batch by streaming images through the
+    already-programmed crossbars: the first image pays the full pipeline
+    fill latency, every further image enters one bottleneck-stage interval
+    later.  The interval is batch-size-dependent through the per-image
+    datapath cost (buffer swap at each stage handoff plus the index-table
+    reload on epitome stages) — the peripheral/runtime overhead the
+    Neural-PIM line of work flags as dominant once crossbar compute is
+    optimized.
+    """
+
+    batch_size: int
+    latency_ms: float           # first image in -> last image out
+    image_interval_ms: float    # steady-state spacing between images
+    energy_mj: float            # dynamic x batch + leakage over latency
+
+    @property
+    def throughput_fps(self) -> float:
+        """Achieved images/second for this batch in isolation."""
+        return self.batch_size / self.latency_ms * 1000.0 \
+            if self.latency_ms > 0 else float("inf")
+
+    @property
+    def amortized_latency_ms(self) -> float:
+        return self.latency_ms / self.batch_size
+
+    @property
+    def energy_per_image_mj(self) -> float:
+        return self.energy_mj / self.batch_size
+
+
 @dataclass
 class NetworkReport:
     """Whole-network hardware results (one Table 1 row).
@@ -228,6 +263,48 @@ class NetworkReport:
         """
         bottleneck = self.bottleneck_latency_ms
         return 1000.0 / bottleneck if bottleneck > 0 else float("inf")
+
+    @property
+    def datapath_overhead_ms(self) -> float:
+        """Per-image pipeline handoff cost: every stage swaps its input and
+        output buffer banks between consecutive images, and epitome stages
+        re-arm their IFAT/IFRT/OFAT walk.  Tiny per stage, but it scales
+        with batch size and network depth — the batch-dependent half of the
+        serving latency model."""
+        ns = sum(2.0 * self.lut.t_buffer_access
+                 + (self.lut.t_index_table
+                    if layer.deployment.style == "epitome" else 0.0)
+                 for layer in self.layers)
+        return ns * self.lut.latency_scale / 1e6
+
+    @property
+    def image_interval_ms(self) -> float:
+        """Steady-state spacing between pipelined images (bottleneck stage
+        time plus the per-image datapath overhead)."""
+        return self.bottleneck_latency_ms + self.datapath_overhead_ms
+
+    def batch_latency_ms(self, batch_size: int) -> float:
+        """First-in to last-out latency of a ``batch_size`` micro-batch.
+
+        Classic pipeline fill + drain: the first image traverses every
+        stage (``latency_ms``); each further image exits one
+        :attr:`image_interval_ms` later.
+        """
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        return self.latency_ms + (batch_size - 1) * self.image_interval_ms
+
+    def batch_report(self, batch_size: int) -> BatchReport:
+        """Full timing/energy summary for one micro-batch."""
+        latency = self.batch_latency_ms(batch_size)
+        leak_uw = self.lut.p_leak_per_xbar_uw * self.num_crossbars
+        static = leak_uw * latency * 1e-6 * self.lut.energy_scale
+        return BatchReport(
+            batch_size=batch_size,
+            latency_ms=latency,
+            image_interval_ms=self.image_interval_ms,
+            energy_mj=batch_size * self.dynamic_energy_mj + static,
+        )
 
     @property
     def utilization(self) -> float:

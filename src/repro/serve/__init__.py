@@ -1,0 +1,54 @@
+"""repro.serve — batched multi-chip inference serving on the EPIM simulator.
+
+The serving layer turns one-shot ``simulate_network()`` calls into an
+endpoint that answers request traffic:
+
+- :mod:`repro.serve.trace` — request records + Poisson trace synthesis;
+- :mod:`repro.serve.scheduler` — bounded-queue micro-batching (FIFO /
+  priority, batch-size and window knobs);
+- :mod:`repro.serve.sharding` — replica and layer-wise placement of a
+  deployment across N chips, chosen for pipelined throughput under the
+  per-chip tile budget;
+- :mod:`repro.serve.cache` — LRU cache of compiled deployments keyed by
+  (model spec, hardware config) fingerprints;
+- :mod:`repro.serve.engine` — the discrete-event serving loop;
+- :mod:`repro.serve.telemetry` — latency percentiles, queue depth, chip
+  utilization, rolling throughput;
+- :mod:`repro.serve.cli` — ``python -m repro serve`` trace replay.
+"""
+
+from .cache import (
+    DeploymentCache,
+    compile_deployment,
+    deployment_key,
+    hardware_fingerprint,
+    spec_fingerprint,
+)
+from .engine import ServingConfig, ServingEngine
+from .scheduler import Batch, MicroBatchScheduler, SchedulerConfig
+from .sharding import ChipShard, ShardPlan, partition_layers, plan_sharding
+from .telemetry import RequestRecord, TelemetryCollector
+from .trace import Request, load_trace, save_trace, synthetic_trace
+
+__all__ = [
+    "Request",
+    "synthetic_trace",
+    "save_trace",
+    "load_trace",
+    "SchedulerConfig",
+    "Batch",
+    "MicroBatchScheduler",
+    "ChipShard",
+    "ShardPlan",
+    "plan_sharding",
+    "partition_layers",
+    "DeploymentCache",
+    "compile_deployment",
+    "deployment_key",
+    "spec_fingerprint",
+    "hardware_fingerprint",
+    "RequestRecord",
+    "TelemetryCollector",
+    "ServingConfig",
+    "ServingEngine",
+]

@@ -1,0 +1,174 @@
+"""``python -m repro serve`` — replay a request trace against a deployment.
+
+Examples::
+
+    # 500-request synthetic trace on 2 chips against an epitome ResNet-18
+    python -m repro serve
+
+    # explicit manifest + recorded trace
+    python -m repro serve --manifest deploy.json --requests trace.json
+
+    # export the servable manifest for later replay
+    python -m repro serve --model resnet50 --export-manifest deploy.json
+
+With no ``--requests`` file a Poisson trace is generated; its rate
+defaults to 70% of the shard plan's aggregate throughput so the default
+run shows a loaded-but-stable system.  ``--json`` emits the telemetry
+summary as machine-readable JSON after the report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from ..core.designer import build_deployments, uniform_assignment
+from ..core.export import export_deployments, write_manifest
+from ..models.specs import get_network_spec
+from ..pim.config import DEFAULT_CONFIG
+from .engine import ServingConfig, ServingEngine
+from .scheduler import SchedulerConfig
+from .trace import load_trace, save_trace, synthetic_trace
+
+__all__ = ["add_serve_parser", "run_serve", "main"]
+
+MODEL_CHOICES = ["resnet18", "resnet34", "resnet50", "resnet101", "vgg16"]
+
+
+def add_serve_parser(subparsers) -> argparse.ArgumentParser:
+    """Register the ``serve`` subcommand on an existing subparser set."""
+    p = subparsers.add_parser(
+        "serve", help="replay a request trace against a deployed network")
+    src = p.add_argument_group("deployment source")
+    src.add_argument("--manifest", default=None,
+                     help="format-2 deployment manifest JSON to serve")
+    src.add_argument("--model", default="resnet18", choices=MODEL_CHOICES,
+                     help="network spec to compile when no manifest given")
+    src.add_argument("--baseline", action="store_true",
+                     help="deploy plain convolutions (no epitomes)")
+    src.add_argument("--weight-bits", type=int, default=9,
+                     help="deployment weight precision (designer path)")
+    src.add_argument("--export-manifest", default=None, metavar="PATH",
+                     help="write the compiled deployment manifest and use it")
+
+    fleet = p.add_argument_group("fleet")
+    fleet.add_argument("--num-chips", type=int, default=2,
+                       help="simulated chips to provision")
+    fleet.add_argument("--mode", default="auto",
+                       choices=["auto", "replica", "layer"],
+                       help="sharding mode across chips")
+
+    sched = p.add_argument_group("scheduler")
+    sched.add_argument("--max-batch", type=int, default=8,
+                       help="micro-batch size cap")
+    sched.add_argument("--window-ms", type=float, default=2.0,
+                       help="batching window (ms)")
+    sched.add_argument("--queue-depth", type=int, default=256,
+                       help="bounded queue capacity")
+    sched.add_argument("--policy", default="fifo",
+                       choices=["fifo", "priority"],
+                       help="batch formation order")
+
+    load = p.add_argument_group("workload")
+    load.add_argument("--requests", default=None,
+                      help="trace JSON to replay (see repro.serve.trace)")
+    load.add_argument("--num-requests", type=int, default=500,
+                      help="synthetic trace length")
+    load.add_argument("--rate-fps", type=float, default=None,
+                      help="synthetic offered load (default: 0.7x capacity)")
+    load.add_argument("--priority-levels", type=int, default=1,
+                      help="synthetic priority classes (with --policy priority)")
+    load.add_argument("--seed", type=int, default=0,
+                      help="synthetic trace RNG seed")
+    load.add_argument("--save-trace", default=None, metavar="PATH",
+                      help="write the (synthetic) trace before replaying")
+
+    p.add_argument("--json", action="store_true",
+                   help="also print the telemetry summary as JSON")
+    return p
+
+
+def _build_engine(args) -> ServingEngine:
+    serving = ServingConfig(
+        num_chips=args.num_chips,
+        mode=args.mode,
+        scheduler=SchedulerConfig(
+            max_batch_size=args.max_batch,
+            window_ms=args.window_ms,
+            queue_depth=args.queue_depth,
+            policy=args.policy,
+        ))
+    if args.manifest is not None:
+        return ServingEngine.from_manifest(args.manifest, serving)
+
+    # Designer path: compile the spec into a deployment manifest, then
+    # serve *from the manifest* — every run exercises the same artifact a
+    # production hand-off would replay.
+    spec = get_network_spec(args.model)
+    assignment = None if args.baseline else uniform_assignment(spec)
+    deployments = build_deployments(
+        spec, assignment, weight_bits=args.weight_bits,
+        activation_bits=9, use_wrapping=not args.baseline,
+        config=DEFAULT_CONFIG)
+    manifest = export_deployments(deployments, DEFAULT_CONFIG,
+                                  name=args.model)
+    if args.export_manifest is not None:
+        write_manifest(manifest, args.export_manifest)
+        print(f"wrote deployment manifest -> {args.export_manifest}")
+    return ServingEngine.from_manifest(manifest, serving)
+
+
+def run_serve(args) -> int:
+    try:
+        return _run_serve(args)
+    except (ValueError, KeyError, OSError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _run_serve(args) -> int:
+    engine = _build_engine(args)
+    print(engine.describe())
+    print()
+
+    if args.requests is not None:
+        trace = load_trace(args.requests)
+        print(f"replaying {len(trace)} recorded requests "
+              f"from {args.requests}")
+    else:
+        rate = args.rate_fps
+        if rate is None:
+            rate = 0.7 * engine.plan.throughput_fps
+        trace = synthetic_trace(args.num_requests, rate_rps=rate,
+                                seed=args.seed,
+                                priority_levels=args.priority_levels)
+        print(f"synthetic trace: {len(trace)} requests at "
+              f"{rate:.1f} req/s offered")
+        if args.save_trace is not None:
+            save_trace(trace, args.save_trace)
+            print(f"wrote trace -> {args.save_trace}")
+    print()
+
+    telemetry = engine.serve(trace)
+    print(telemetry.report())
+    if args.json:
+        print()
+        print(json.dumps(telemetry.summary(), indent=2))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Standalone entry (``python -m repro.serve.cli``)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve.cli",
+        description="EPIM serving runtime")
+    sub = parser.add_subparsers(dest="command", required=True)
+    add_serve_parser(sub)
+    args = parser.parse_args(argv)
+    return run_serve(args)
+
+
+if __name__ == "__main__":      # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,238 @@
+"""The serving engine: a deployed EPIM network behind a request queue.
+
+:class:`ServingEngine` turns a simulated deployment (a
+:class:`~repro.pim.simulator.NetworkReport`, a format-2 export manifest,
+or a model spec compiled on demand) into a servable endpoint: requests
+arrive on a simulated clock, the micro-batching scheduler forms batches,
+and a discrete-event loop executes them against the per-batch latency
+model on however many chips the shard plan provisions.
+
+Timing model.  Each replica group (one or more chips holding a full copy
+of the network, see :mod:`repro.serve.sharding`) is a pipelined executor:
+a batch dispatched at ``t`` emits its ``j``-th image at ``t + fill +
+j * interval`` and frees its first stage for the next batch at
+``t + batch * interval`` — so back-to-back batches overlap exactly as a
+weight-stationary layer pipeline does, and the engine's achieved
+throughput converges to the plan's ``pipelined_throughput_fps`` under
+saturation.  Everything is simulated time; no wall-clock sleeps.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+from ..core.designer import EpitomeAssignment, uniform_assignment
+from ..core.export import deployments_from_manifest
+from ..models.specs import NetworkSpec, get_network_spec
+from ..pim.config import DEFAULT_CONFIG, HardwareConfig
+from ..pim.lut import DEFAULT_LUT, ComponentLUT
+from ..pim.simulator import NetworkReport, simulate_network
+from .cache import DeploymentCache, compile_deployment
+from .scheduler import Batch, MicroBatchScheduler, SchedulerConfig
+from .sharding import ShardPlan, plan_sharding
+from .telemetry import RequestRecord, TelemetryCollector
+from .trace import Request
+
+__all__ = ["ServingConfig", "ServingEngine"]
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Engine-level knobs: fleet size, shard mode, batching policy."""
+
+    num_chips: int = 1
+    mode: str = "auto"                  # auto | replica | layer
+    scheduler: SchedulerConfig = field(default_factory=SchedulerConfig)
+
+    def __post_init__(self):
+        if self.num_chips < 1:
+            raise ValueError("num_chips must be >= 1")
+
+
+@dataclass
+class _Executor:
+    """One replica group's dispatch state."""
+
+    index: int
+    chip_ids: Tuple[int, ...]
+    plan: ShardPlan
+    free_at_ms: float = 0.0
+
+    def occupancy_ms(self, batch_size: int) -> float:
+        """Time until the first pipeline stage can accept the next batch."""
+        return batch_size * self.plan.image_interval_ms
+
+
+class ServingEngine:
+    """Serves request traces against a deployed network on N chips."""
+
+    def __init__(self, report: NetworkReport,
+                 config: ServingConfig = ServingConfig(),
+                 hardware: HardwareConfig = DEFAULT_CONFIG,
+                 lut: ComponentLUT = DEFAULT_LUT):
+        self.report = report
+        self.config = config
+        self.hardware = hardware
+        self.lut = lut
+        self.plan = plan_sharding(report, config.num_chips, mode=config.mode,
+                                  config=hardware, lut=lut)
+        if not self.plan.fits:
+            warnings.warn(
+                f"shard plan exceeds chip capacity "
+                f"({max(s.num_tiles for s in self.plan.shards)} tiles on a "
+                f"{hardware.tiles_per_chip}-tile chip with "
+                f"{config.num_chips} chip(s)); serving what-if timings for "
+                f"hardware that cannot be built — provision more chips or "
+                f"use mode='auto'/'layer'", stacklevel=2)
+        self.executors: List[_Executor] = []
+        chip = 0
+        for replica in range(self.plan.num_replicas):
+            ids = tuple(range(chip, chip + self.plan.chips_per_replica))
+            chip += self.plan.chips_per_replica
+            self.executors.append(_Executor(index=replica, chip_ids=ids,
+                                            plan=self.plan))
+
+    # ------------------------------------------------------------------
+    # Construction paths
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_manifest(cls, manifest, config: ServingConfig = ServingConfig(),
+                      lut: ComponentLUT = DEFAULT_LUT) -> "ServingEngine":
+        """Load a format-2 deployment manifest (dict or path) and serve it.
+
+        The manifest's embedded :class:`HardwareConfig` is used, so the
+        replayed timing matches the machine the manifest was exported for.
+        """
+        deployments, hardware = deployments_from_manifest(manifest)
+        report = simulate_network(deployments, hardware, lut)
+        return cls(report, config, hardware, lut)
+
+    @classmethod
+    def from_spec(cls, spec: Union[str, NetworkSpec],
+                  config: ServingConfig = ServingConfig(),
+                  assignment: Optional[EpitomeAssignment] = None,
+                  epitome: bool = True,
+                  weight_bits: Optional[int] = 9,
+                  activation_bits: Optional[int] = 9,
+                  use_wrapping: bool = True,
+                  epitome_rows: int = 1024, epitome_cols: int = 256,
+                  hardware: HardwareConfig = DEFAULT_CONFIG,
+                  lut: ComponentLUT = DEFAULT_LUT,
+                  cache: Optional[DeploymentCache] = None) -> "ServingEngine":
+        """Compile a deployment from a network spec (designer path).
+
+        ``cache`` short-circuits repeated deploys of the same
+        (spec, hardware, options) key — the serving tier's warm pool.
+        """
+        if isinstance(spec, str):
+            spec = get_network_spec(spec)
+        if assignment is None and epitome:
+            assignment = uniform_assignment(spec, epitome_rows, epitome_cols)
+        if cache is not None:
+            report = cache.deploy(spec, assignment, weight_bits=weight_bits,
+                                  activation_bits=activation_bits,
+                                  use_wrapping=use_wrapping,
+                                  config=hardware, lut=lut)
+        else:
+            report = compile_deployment(
+                spec, assignment, weight_bits=weight_bits,
+                activation_bits=activation_bits,
+                use_wrapping=use_wrapping, config=hardware, lut=lut)
+        return cls(report, config, hardware, lut)
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def serve(self, requests: Sequence[Request]) -> TelemetryCollector:
+        """Replay a trace through the scheduler/executors; returns the
+        telemetry of the whole run (simulated time)."""
+        trace = sorted(requests,
+                       key=lambda r: (r.arrival_ms, r.request_id))
+        scheduler = MicroBatchScheduler(self.config.scheduler)
+        telemetry = TelemetryCollector(num_chips=self.config.num_chips)
+        for ex in self.executors:
+            ex.free_at_ms = 0.0
+
+        i, n = 0, len(trace)
+        if n == 0:
+            return telemetry
+        now = trace[0].arrival_ms
+
+        while i < n or len(scheduler):
+            while i < n and trace[i].arrival_ms <= now + _EPS:
+                if not scheduler.submit(trace[i]):
+                    telemetry.record_rejection(trace[i].request_id)
+                i += 1
+
+            while scheduler.has_ready_batch(now):
+                free = [ex for ex in self.executors
+                        if ex.free_at_ms <= now + _EPS]
+                if not free:
+                    break
+                ex = min(free, key=lambda e: (e.free_at_ms, e.index))
+                batch = scheduler.next_batch(now)
+                self._execute(ex, batch, now, telemetry)
+            # Exactly one depth sample per event (the settled post-dispatch
+            # state) — asymmetric sampling would bias the mean.
+            telemetry.record_queue_depth(now, len(scheduler))
+
+            candidates = []
+            if i < n:
+                candidates.append(trace[i].arrival_ms)
+            if len(scheduler):
+                timeout = scheduler.next_timeout_ms()
+                if timeout is not None:
+                    candidates.append(timeout)
+                candidates.extend(ex.free_at_ms for ex in self.executors
+                                  if ex.free_at_ms > now + _EPS)
+            candidates = [c for c in candidates if c > now + _EPS]
+            if not candidates:
+                if i >= n and not len(scheduler):
+                    break
+                # Ready work with an expired window but nothing to wait
+                # for would be a scheduling bug; advance minimally.
+                now += _EPS
+                continue
+            now = min(candidates)
+        return telemetry
+
+    def _execute(self, executor: _Executor, batch: Batch, now: float,
+                 telemetry: TelemetryCollector) -> None:
+        size = batch.size
+        executor.free_at_ms = now + executor.occupancy_ms(size)
+        telemetry.record_batch(size)
+        for chip_id, shard in zip(executor.chip_ids, self.plan.shards):
+            telemetry.record_chip_busy(chip_id,
+                                       size * shard.image_interval_ms)
+        fill = self.plan.per_image_latency_ms
+        interval = self.plan.image_interval_ms
+        for j, request in enumerate(batch.requests):
+            finish = now + fill + j * interval
+            telemetry.record_completion(RequestRecord(
+                request_id=request.request_id,
+                arrival_ms=request.arrival_ms,
+                start_ms=now,
+                finish_ms=finish,
+                chip_ids=executor.chip_ids,
+                batch_size=size,
+                priority=request.priority,
+            ))
+
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        """One-paragraph engine summary (deployment + shard plan)."""
+        r = self.report
+        return "\n".join([
+            f"deployment: {len(r.layers)} layers, {r.num_crossbars} "
+            f"crossbars, fill latency {r.latency_ms:.3f} ms, "
+            f"image interval {r.image_interval_ms:.3f} ms",
+            self.plan.summary(),
+            f"scheduler: max_batch={self.config.scheduler.max_batch_size} "
+            f"window={self.config.scheduler.window_ms} ms "
+            f"queue_depth={self.config.scheduler.queue_depth} "
+            f"policy={self.config.scheduler.policy}",
+        ])

@@ -1,0 +1,159 @@
+"""Micro-batching scheduler: bounded queue + batch formation policy.
+
+Requests accumulate in a bounded queue; a batch is released when it is
+*full* (``max_batch_size`` requests) or the *batching window* has elapsed
+since the oldest queued request arrived — the standard
+latency-vs-throughput knob of serving systems (larger windows mean fuller
+batches and better amortization of the pipeline fill latency, at the cost
+of queueing delay).  Two ordering policies:
+
+- ``"fifo"`` — strict arrival order;
+- ``"priority"`` — higher :attr:`~repro.serve.trace.Request.priority`
+  first, arrival order within a class (the window is still anchored to the
+  oldest queued request of *any* class, so low-priority work cannot starve
+  the window clock).
+
+When the queue is full new requests are rejected (load shedding); the
+engine records them in telemetry rather than letting the queue — and every
+latency percentile — grow without bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from .trace import Request
+
+__all__ = ["SchedulerConfig", "Batch", "MicroBatchScheduler"]
+
+POLICIES = ("fifo", "priority")
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Batching/queueing knobs.
+
+    Attributes
+    ----------
+    max_batch_size:
+        Upper bound on requests per micro-batch.
+    window_ms:
+        Maximum time the oldest queued request may wait before a partial
+        batch is released (0 releases immediately).
+    queue_depth:
+        Bounded queue capacity; submissions beyond it are rejected.
+    policy:
+        ``"fifo"`` or ``"priority"``.
+    """
+
+    max_batch_size: int = 8
+    window_ms: float = 2.0
+    queue_depth: int = 256
+    policy: str = "fifo"
+
+    def __post_init__(self):
+        if self.max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if self.window_ms < 0:
+            raise ValueError("window_ms must be >= 0")
+        if self.queue_depth < 1:
+            raise ValueError("queue_depth must be >= 1")
+        if self.policy not in POLICIES:
+            raise ValueError(f"policy must be one of {POLICIES}")
+
+
+@dataclass(frozen=True)
+class Batch:
+    """One micro-batch released to an executor."""
+
+    requests: Tuple[Request, ...]
+    formed_ms: float
+
+    @property
+    def size(self) -> int:
+        return len(self.requests)
+
+    @property
+    def oldest_arrival_ms(self) -> float:
+        return min(r.arrival_ms for r in self.requests)
+
+
+class MicroBatchScheduler:
+    """Bounded-queue micro-batcher (simulated-time, event-driven).
+
+    The engine drives it with explicit timestamps where time matters:
+    ``next_batch(now)`` to release a ready batch, ``next_timeout_ms()``
+    to learn when the window next expires (the engine's wake-up event
+    when no arrival or chip-free event comes sooner).  ``submit`` is
+    timestamp-free — the window is anchored to request *arrival* times.
+    """
+
+    def __init__(self, config: SchedulerConfig = SchedulerConfig()):
+        self.config = config
+        self._queue: List[Tuple[Tuple, Request]] = []
+        self._seq = 0
+        self.num_rejected = 0
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def empty(self) -> bool:
+        return not self._queue
+
+    def _sort_key(self, request: Request) -> Tuple:
+        if self.config.policy == "priority":
+            return (-request.priority, self._seq)
+        return (self._seq,)
+
+    # ------------------------------------------------------------------
+    def submit(self, request: Request) -> bool:
+        """Enqueue a request; False when the bounded queue sheds it."""
+        if len(self._queue) >= self.config.queue_depth:
+            self.num_rejected += 1
+            return False
+        self._queue.append((self._sort_key(request), request))
+        self._seq += 1
+        return True
+
+    # ------------------------------------------------------------------
+    def oldest_arrival_ms(self) -> Optional[float]:
+        """Arrival time of the oldest queued request (window anchor)."""
+        if not self._queue:
+            return None
+        return min(r.arrival_ms for _, r in self._queue)
+
+    def next_timeout_ms(self) -> Optional[float]:
+        """When the batching window expires for the current queue head."""
+        oldest = self.oldest_arrival_ms()
+        if oldest is None:
+            return None
+        return oldest + self.config.window_ms
+
+    def has_ready_batch(self, now_ms: float) -> bool:
+        """Full batch queued, or the window has expired on a partial one."""
+        if not self._queue:
+            return False
+        if len(self._queue) >= self.config.max_batch_size:
+            return True
+        return now_ms >= self.next_timeout_ms()
+
+    def next_batch(self, now_ms: float, force: bool = False
+                   ) -> Optional[Batch]:
+        """Release the next micro-batch, or None if nothing is ready.
+
+        ``force=True`` drains a partial batch regardless of the window —
+        a shutdown/flush hook for callers that want to empty the queue
+        early.  The engine itself never forces: end-of-trace partial
+        batches drain through normal window expiry.
+        """
+        if not self._queue:
+            return None
+        if not force and not self.has_ready_batch(now_ms):
+            return None
+        self._queue.sort(key=lambda item: item[0])
+        take = min(self.config.max_batch_size, len(self._queue))
+        released = [r for _, r in self._queue[:take]]
+        self._queue = self._queue[take:]
+        return Batch(requests=tuple(released), formed_ms=now_ms)

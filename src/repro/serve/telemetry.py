@@ -1,0 +1,215 @@
+"""Serving telemetry: per-request latency percentiles, queue depth, chip
+utilization and rolling throughput.
+
+The collector is deliberately simulation-agnostic: the engine feeds it
+completion records, queue-depth samples and per-chip busy time in simulated
+milliseconds, and it reduces them into the metrics a serving operator
+watches (p50/p95/p99 latency, achieved vs offered throughput, utilization).
+``report()`` renders everything with :class:`repro.analysis.tables.Table`
+so serving output visually matches the paper-artefact tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..analysis.tables import Table
+
+__all__ = ["RequestRecord", "TelemetryCollector"]
+
+
+@dataclass(frozen=True)
+class RequestRecord:
+    """Lifecycle of one completed request (simulated milliseconds)."""
+
+    request_id: int
+    arrival_ms: float
+    start_ms: float
+    finish_ms: float
+    chip_ids: Tuple[int, ...]
+    batch_size: int
+    priority: int = 0
+
+    @property
+    def latency_ms(self) -> float:
+        """End-to-end: arrival to completion (queue wait + service)."""
+        return self.finish_ms - self.arrival_ms
+
+    @property
+    def wait_ms(self) -> float:
+        return self.start_ms - self.arrival_ms
+
+    @property
+    def service_ms(self) -> float:
+        return self.finish_ms - self.start_ms
+
+
+class TelemetryCollector:
+    """Accumulates serving events and reduces them to operator metrics."""
+
+    def __init__(self, num_chips: int = 1):
+        self.num_chips = num_chips
+        self.records: List[RequestRecord] = []
+        self.rejected: List[int] = []
+        self.queue_samples: List[Tuple[float, int]] = []
+        self.chip_busy_ms: Dict[int, float] = {c: 0.0 for c in range(num_chips)}
+        self.batch_sizes: List[int] = []
+
+    # ---- event ingestion ---------------------------------------------
+    def record_completion(self, record: RequestRecord) -> None:
+        self.records.append(record)
+
+    def record_rejection(self, request_id: int) -> None:
+        """A request shed because the bounded queue was full."""
+        self.rejected.append(request_id)
+
+    def record_queue_depth(self, now_ms: float, depth: int) -> None:
+        self.queue_samples.append((now_ms, depth))
+
+    def record_chip_busy(self, chip_id: int, busy_ms: float) -> None:
+        self.chip_busy_ms[chip_id] = \
+            self.chip_busy_ms.get(chip_id, 0.0) + busy_ms
+
+    def record_batch(self, batch_size: int) -> None:
+        self.batch_sizes.append(batch_size)
+
+    # ---- reductions ---------------------------------------------------
+    @property
+    def num_completed(self) -> int:
+        return len(self.records)
+
+    @property
+    def num_rejected(self) -> int:
+        return len(self.rejected)
+
+    @property
+    def makespan_ms(self) -> float:
+        """First arrival to last completion."""
+        if not self.records:
+            return 0.0
+        first = min(r.arrival_ms for r in self.records)
+        last = max(r.finish_ms for r in self.records)
+        return last - first
+
+    def latency_percentile(self, q: float) -> float:
+        """Latency percentile over completed requests (q in [0, 100])."""
+        if not self.records:
+            return float("nan")
+        latencies = np.array([r.latency_ms for r in self.records])
+        return float(np.percentile(latencies, q))
+
+    def latency_percentiles(self) -> Dict[str, float]:
+        return {"p50": self.latency_percentile(50.0),
+                "p95": self.latency_percentile(95.0),
+                "p99": self.latency_percentile(99.0)}
+
+    def mean_latency_ms(self) -> float:
+        if not self.records:
+            return float("nan")
+        return float(np.mean([r.latency_ms for r in self.records]))
+
+    def throughput_fps(self) -> float:
+        """Achieved completions/second over the whole run."""
+        span = self.makespan_ms
+        return self.num_completed / span * 1000.0 if span > 0 else 0.0
+
+    def rolling_throughput(self, window_ms: float = 1000.0
+                           ) -> List[Tuple[float, float]]:
+        """Completions/second in consecutive ``window_ms`` buckets,
+        returned as ``(bucket_end_ms, fps)`` pairs."""
+        if not self.records or window_ms <= 0:
+            return []
+        finishes = sorted(r.finish_ms for r in self.records)
+        start = min(r.arrival_ms for r in self.records)
+        out: List[Tuple[float, float]] = []
+        edge = start + window_ms
+        count = 0
+        i = 0
+        while i < len(finishes):
+            if finishes[i] <= edge:
+                count += 1
+                i += 1
+            else:
+                out.append((edge, count / window_ms * 1000.0))
+                edge += window_ms
+                count = 0
+        out.append((edge, count / window_ms * 1000.0))
+        return out
+
+    def chip_utilization(self) -> Dict[int, float]:
+        """Busy fraction per chip over the makespan (0 when idle run)."""
+        span = self.makespan_ms
+        if span <= 0:
+            return {chip: 0.0 for chip in self.chip_busy_ms}
+        return {chip: min(1.0, busy / span)
+                for chip, busy in sorted(self.chip_busy_ms.items())}
+
+    def mean_queue_depth(self) -> float:
+        if not self.queue_samples:
+            return 0.0
+        return float(np.mean([d for _, d in self.queue_samples]))
+
+    def max_queue_depth(self) -> int:
+        if not self.queue_samples:
+            return 0
+        return max(d for _, d in self.queue_samples)
+
+    def mean_batch_size(self) -> float:
+        if not self.batch_sizes:
+            return 0.0
+        return float(np.mean(self.batch_sizes))
+
+    # ---- presentation -------------------------------------------------
+    def summary(self) -> Dict[str, Optional[float]]:
+        """Flat metric dict (the JSON output of the serve CLI).
+
+        Metrics undefined for the run (e.g. latency percentiles with zero
+        completions) are ``None``, not NaN — the output must stay valid
+        JSON for strict consumers (jq, JSON.parse).
+        """
+        pct = self.latency_percentiles()
+        out = {
+            "completed": float(self.num_completed),
+            "rejected": float(self.num_rejected),
+            "makespan_ms": self.makespan_ms,
+            "throughput_fps": self.throughput_fps(),
+            "latency_mean_ms": self.mean_latency_ms(),
+            "latency_p50_ms": pct["p50"],
+            "latency_p95_ms": pct["p95"],
+            "latency_p99_ms": pct["p99"],
+            "mean_batch_size": self.mean_batch_size(),
+            "mean_queue_depth": self.mean_queue_depth(),
+            "max_queue_depth": float(self.max_queue_depth()),
+        }
+        for chip, util in self.chip_utilization().items():
+            out[f"chip{chip}_utilization"] = util
+        return {key: None if isinstance(value, float) and np.isnan(value)
+                else value
+                for key, value in out.items()}
+
+    def report(self) -> str:
+        """Operator-facing text report (latency, throughput, chips)."""
+        pct = self.latency_percentiles()
+        latency = Table(["metric", "value"], title="request latency (ms)")
+        latency.add_row("mean", self.mean_latency_ms())
+        latency.add_row("p50", pct["p50"])
+        latency.add_row("p95", pct["p95"])
+        latency.add_row("p99", pct["p99"])
+
+        load = Table(["metric", "value"], title="load")
+        load.add_row("completed", self.num_completed)
+        load.add_row("rejected", self.num_rejected)
+        load.add_row("throughput (req/s)", self.throughput_fps())
+        load.add_row("mean batch size", self.mean_batch_size())
+        load.add_row("mean queue depth", self.mean_queue_depth())
+        load.add_row("max queue depth", self.max_queue_depth())
+
+        chips = Table(["chip", "busy_ms", "utilization"],
+                      title="chip utilization")
+        for chip, util in self.chip_utilization().items():
+            chips.add_row(chip, self.chip_busy_ms.get(chip, 0.0), util)
+
+        return "\n\n".join([latency.render(), load.render(), chips.render()])

@@ -1,0 +1,91 @@
+"""Request traces: the workload a serving run replays.
+
+A trace is an ordered list of :class:`Request` records — arrival time in
+simulated milliseconds, plus an optional priority class.  Synthetic traces
+use Poisson arrivals (exponential inter-arrival gaps at a configured
+offered load), the standard open-loop model for serving benchmarks; traces
+round-trip through JSON so a run is exactly reproducible from a file
+(``python -m repro serve --requests trace.json``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Sequence, Union
+
+import numpy as np
+
+__all__ = ["Request", "synthetic_trace", "save_trace", "load_trace"]
+
+
+@dataclass(frozen=True)
+class Request:
+    """One inference request.
+
+    Attributes
+    ----------
+    request_id:
+        Unique id within the trace.
+    arrival_ms:
+        Simulated arrival time (milliseconds from trace start).
+    priority:
+        Larger = more urgent; only consulted by the ``"priority"``
+        scheduling policy.
+    """
+
+    request_id: int
+    arrival_ms: float
+    priority: int = 0
+
+    def __post_init__(self):
+        if self.arrival_ms < 0:
+            raise ValueError("arrival_ms must be >= 0")
+
+
+def synthetic_trace(num_requests: int, rate_rps: float, seed: int = 0,
+                    priority_levels: int = 1,
+                    start_ms: float = 0.0) -> List[Request]:
+    """Poisson arrival trace at an offered load of ``rate_rps`` req/s.
+
+    ``priority_levels > 1`` draws each request's priority uniformly from
+    ``0..priority_levels-1`` (higher is more urgent).
+    """
+    if num_requests < 1:
+        raise ValueError("num_requests must be >= 1")
+    if rate_rps <= 0:
+        raise ValueError("rate_rps must be > 0")
+    if priority_levels < 1:
+        raise ValueError("priority_levels must be >= 1")
+    rng = np.random.default_rng(seed)
+    gaps_ms = rng.exponential(1000.0 / rate_rps, size=num_requests)
+    arrivals = start_ms + np.cumsum(gaps_ms)
+    if priority_levels > 1:
+        priorities = rng.integers(0, priority_levels, size=num_requests)
+    else:
+        priorities = np.zeros(num_requests, dtype=int)
+    return [Request(request_id=i, arrival_ms=float(arrivals[i]),
+                    priority=int(priorities[i]))
+            for i in range(num_requests)]
+
+
+def save_trace(requests: Sequence[Request], path: Union[str, Path]) -> None:
+    """Write a trace as JSON (``{"requests": [...]}``)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload: Dict = {"requests": [
+        {"id": r.request_id, "arrival_ms": r.arrival_ms,
+         "priority": r.priority}
+        for r in requests]}
+    path.write_text(json.dumps(payload, indent=2))
+
+
+def load_trace(path: Union[str, Path]) -> List[Request]:
+    """Read a trace written by :func:`save_trace` (extra keys ignored)."""
+    payload = json.loads(Path(path).read_text())
+    requests = [Request(request_id=int(entry["id"]),
+                        arrival_ms=float(entry["arrival_ms"]),
+                        priority=int(entry.get("priority", 0)))
+                for entry in payload["requests"]]
+    return sorted(requests, key=lambda r: (r.arrival_ms, r.request_id))

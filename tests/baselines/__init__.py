@@ -1,0 +1,1 @@
+"""EPIM reproduction test package."""

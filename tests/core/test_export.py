@@ -5,10 +5,25 @@ import json
 import numpy as np
 import pytest
 
-from repro.core.designer import convert_model, epitome_layers
+from repro.core.designer import (
+    build_deployments,
+    convert_model,
+    epitome_layers,
+    uniform_assignment,
+)
 from repro.core.equant import EpitomeQuantConfig
-from repro.core.export import export_manifest, manifest_summary, write_manifest
+from repro.core.export import (
+    deployments_from_manifest,
+    export_deployments,
+    export_manifest,
+    load_manifest,
+    manifest_summary,
+    write_manifest,
+)
 from repro.models.resnet import resnet20
+from repro.models.specs import resnet18_spec
+from repro.pim.config import DEFAULT_CONFIG
+from repro.pim.simulator import simulate_network
 
 
 @pytest.fixture(scope="module")
@@ -67,4 +82,67 @@ class TestExportManifest:
     def test_summary_renders(self, converted_model):
         text = manifest_summary(export_manifest(converted_model))
         assert "EPIM deployment manifest" in text
+        assert "XBs" in text
+
+
+@pytest.fixture(scope="module")
+def resnet18_deployments():
+    spec = resnet18_spec()
+    return build_deployments(spec, uniform_assignment(spec),
+                             weight_bits=9, activation_bits=9,
+                             use_wrapping=True)
+
+
+class TestDeploymentManifestRoundTrip:
+    """Format 2: the servable manifest must reload losslessly."""
+
+    def test_roundtrip_is_exact(self, resnet18_deployments):
+        manifest = export_deployments(resnet18_deployments, DEFAULT_CONFIG,
+                                      name="resnet18")
+        reloaded, config = deployments_from_manifest(
+            json.loads(json.dumps(manifest)))
+        assert reloaded == resnet18_deployments
+        assert config == DEFAULT_CONFIG
+
+    def test_roundtrip_preserves_simulation(self, resnet18_deployments):
+        manifest = export_deployments(resnet18_deployments, DEFAULT_CONFIG)
+        reloaded, config = deployments_from_manifest(manifest)
+        original = simulate_network(resnet18_deployments)
+        replayed = simulate_network(reloaded, config)
+        assert replayed.latency_ms == original.latency_ms
+        assert replayed.energy_mj == original.energy_mj
+        assert replayed.num_crossbars == original.num_crossbars
+
+    def test_roundtrip_through_file(self, resnet18_deployments, tmp_path):
+        manifest = export_deployments(resnet18_deployments, DEFAULT_CONFIG)
+        path = tmp_path / "deploy.json"
+        write_manifest(manifest, path)
+        assert load_manifest(path)["format"] == manifest["format"]
+        reloaded, _ = deployments_from_manifest(path)
+        assert reloaded == resnet18_deployments
+
+    def test_nondefault_hardware_roundtrips(self, resnet18_deployments):
+        config = DEFAULT_CONFIG.with_(xbar_rows=128, tiles_per_chip=8)
+        manifest = export_deployments(resnet18_deployments, config)
+        _, reloaded_config = deployments_from_manifest(manifest)
+        assert reloaded_config == config
+
+    def test_counts_and_styles(self, resnet18_deployments):
+        manifest = export_deployments(resnet18_deployments, DEFAULT_CONFIG)
+        assert manifest["num_layers"] == len(resnet18_deployments)
+        styles = {e["style"] for e in manifest["layers"]}
+        assert styles == {"conv", "epitome"}
+        assert manifest["total_crossbars"] > 0
+
+    def test_format1_manifest_rejected(self, converted_model):
+        manifest = export_manifest(converted_model)
+        with pytest.raises(ValueError, match="format"):
+            deployments_from_manifest(manifest)
+
+    def test_summary_renders_format2(self, resnet18_deployments):
+        text = manifest_summary(export_deployments(resnet18_deployments,
+                                                   DEFAULT_CONFIG,
+                                                   name="resnet18"))
+        assert "servable deployment" in text
+        assert "resnet18" in text
         assert "XBs" in text

@@ -9,7 +9,7 @@ from repro.core.layers import EpitomeConv2d, EpitomeLinear
 from repro.nn import functional as F
 from repro.nn.tensor import Tensor
 
-from ..conftest import gradcheck
+from tests.helpers import gradcheck
 
 
 def make_layer(co=12, ci=16, k=3, rows=72, cols=8, **kwargs):

@@ -7,7 +7,7 @@ from repro import nn
 from repro.nn import functional as F
 from repro.nn.tensor import Tensor
 
-from ..conftest import gradcheck
+from tests.helpers import gradcheck
 
 
 def t(data):

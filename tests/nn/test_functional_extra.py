@@ -6,7 +6,7 @@ import pytest
 from repro.nn import functional as F
 from repro.nn.tensor import Tensor
 
-from ..conftest import gradcheck
+from tests.helpers import gradcheck
 
 
 def t(data):

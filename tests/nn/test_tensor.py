@@ -6,7 +6,7 @@ import pytest
 from repro import nn
 from repro.nn.tensor import Tensor, no_grad, unbroadcast
 
-from ..conftest import gradcheck
+from tests.helpers import gradcheck
 
 
 def t(data, requires_grad=True):

@@ -1,0 +1,101 @@
+"""Regression tests for the pipelined-throughput and batch latency model
+(repro.pim.simulator) — the quantities the serving scheduler builds on."""
+
+import pytest
+
+from repro.models.specs import LayerSpec, resnet18_spec
+from repro.pim.simulator import baseline_deployment, simulate_network
+
+
+def make_spec(name="l", cout=16, size=8, cin=16):
+    return LayerSpec(name=name, kind="conv", in_channels=cin,
+                     out_channels=cout, kernel_size=(3, 3), stride=1,
+                     in_size=(size, size), out_size=(size, size))
+
+
+@pytest.fixture(scope="module")
+def resnet18_report():
+    return simulate_network([baseline_deployment(l, 9, 9)
+                             for l in resnet18_spec()])
+
+
+class TestBottleneckLatency:
+    def test_bottleneck_is_max_layer_latency(self, resnet18_report):
+        expected = max(l.latency_ns for l in resnet18_report.layers) / 1e6
+        assert resnet18_report.bottleneck_latency_ms == pytest.approx(expected)
+        assert resnet18_report.bottleneck_latency_ms \
+            <= resnet18_report.latency_ms
+
+    def test_adding_a_layer_never_lowers_bottleneck(self):
+        small = simulate_network([baseline_deployment(make_spec("a"), 9, 9)])
+        grown = simulate_network([
+            baseline_deployment(make_spec("a"), 9, 9),
+            baseline_deployment(make_spec("b", size=16), 9, 9)])
+        assert grown.bottleneck_latency_ms >= small.bottleneck_latency_ms
+        assert grown.latency_ms > small.latency_ms
+
+    def test_single_layer_network(self):
+        report = simulate_network([baseline_deployment(make_spec(), 9, 9)])
+        assert report.bottleneck_latency_ms == pytest.approx(
+            report.latency_ms)
+
+
+class TestPipelinedThroughput:
+    def test_value_is_inverse_bottleneck(self, resnet18_report):
+        assert resnet18_report.pipelined_throughput_fps == pytest.approx(
+            1000.0 / resnet18_report.bottleneck_latency_ms)
+
+    def test_monotone_under_added_layers(self):
+        """Deepening the network can only keep or worsen the bottleneck,
+        so pipelined throughput must not increase."""
+        layers = []
+        prev_fps = float("inf")
+        for i, size in enumerate((8, 16, 12, 16)):
+            layers.append(baseline_deployment(
+                make_spec(f"l{i}", size=size), 9, 9))
+            fps = simulate_network(layers).pipelined_throughput_fps
+            assert fps <= prev_fps + 1e-9
+            prev_fps = fps
+
+    def test_resnet18_throughput_regression(self, resnet18_report):
+        """Calibrated value (W9/A9 baseline): ~232 fps.  Guards the LUT /
+        latency model against silent drift that would skew every serving
+        result built on it."""
+        assert resnet18_report.pipelined_throughput_fps == pytest.approx(
+            232.4, rel=0.05)
+
+
+class TestBatchModel:
+    def test_batch_one_equals_network_latency(self, resnet18_report):
+        assert resnet18_report.batch_latency_ms(1) == pytest.approx(
+            resnet18_report.latency_ms)
+
+    def test_batch_latency_linear_in_interval(self, resnet18_report):
+        r = resnet18_report
+        assert r.batch_latency_ms(8) == pytest.approx(
+            r.latency_ms + 7 * r.image_interval_ms)
+
+    def test_interval_exceeds_bottleneck_by_datapath_cost(self,
+                                                          resnet18_report):
+        r = resnet18_report
+        assert r.image_interval_ms > r.bottleneck_latency_ms
+        assert r.datapath_overhead_ms == pytest.approx(
+            r.image_interval_ms - r.bottleneck_latency_ms)
+
+    def test_batching_amortizes_latency(self, resnet18_report):
+        r = resnet18_report
+        amortized = [r.batch_report(b).amortized_latency_ms
+                     for b in (1, 2, 4, 8, 16)]
+        assert amortized == sorted(amortized, reverse=True)
+        assert r.batch_report(16).throughput_fps \
+            > r.batch_report(1).throughput_fps
+
+    def test_batch_energy_scales_dynamic_plus_leakage(self, resnet18_report):
+        r = resnet18_report
+        b8 = r.batch_report(8)
+        assert b8.energy_mj > 8 * r.dynamic_energy_mj
+        assert b8.energy_per_image_mj < r.energy_mj  # leakage amortized
+
+    def test_invalid_batch_size(self, resnet18_report):
+        with pytest.raises(ValueError):
+            resnet18_report.batch_latency_ms(0)

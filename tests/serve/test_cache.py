@@ -1,0 +1,100 @@
+"""Tests for the compiled-deployment LRU cache (repro.serve.cache)."""
+
+import pytest
+
+from repro.core.designer import uniform_assignment
+from repro.models.specs import resnet18_spec, resnet34_spec
+from repro.pim.config import DEFAULT_CONFIG
+from repro.serve.cache import (
+    DeploymentCache,
+    deployment_key,
+    hardware_fingerprint,
+    spec_fingerprint,
+)
+
+
+class TestFingerprints:
+    def test_spec_fingerprint_is_stable(self):
+        assert spec_fingerprint(resnet18_spec()) == \
+            spec_fingerprint(resnet18_spec())
+
+    def test_spec_fingerprint_distinguishes_models(self):
+        assert spec_fingerprint(resnet18_spec()) != \
+            spec_fingerprint(resnet34_spec())
+
+    def test_hardware_fingerprint_tracks_fields(self):
+        base = hardware_fingerprint(DEFAULT_CONFIG)
+        assert base == hardware_fingerprint(DEFAULT_CONFIG)
+        assert base != hardware_fingerprint(DEFAULT_CONFIG.with_(
+            xbar_rows=128))
+
+    def test_deployment_key_tracks_options(self):
+        spec = resnet18_spec()
+        k1 = deployment_key(spec, weight_bits=9)
+        assert k1 == deployment_key(spec, weight_bits=9)
+        assert k1 != deployment_key(spec, weight_bits=5)
+        assert k1 != deployment_key(spec, weight_bits=9, use_wrapping=True)
+        assert k1 != deployment_key(spec, weight_bits=9,
+                                    assignment=uniform_assignment(spec))
+
+
+class TestDeploymentCache:
+    def test_repeat_deploy_hits(self):
+        cache = DeploymentCache(capacity=4)
+        spec = resnet18_spec()
+        first = cache.deploy(spec, weight_bits=9)
+        second = cache.deploy(spec, weight_bits=9)
+        assert first is second
+        assert cache.stats == {"hits": 1, "misses": 1, "evictions": 0,
+                               "size": 1}
+
+    def test_option_change_misses(self):
+        cache = DeploymentCache(capacity=4)
+        spec = resnet18_spec()
+        a = cache.deploy(spec, weight_bits=9)
+        b = cache.deploy(spec, weight_bits=5)
+        assert a is not b
+        assert cache.stats["misses"] == 2
+
+    def test_hardware_change_misses(self):
+        cache = DeploymentCache(capacity=4)
+        spec = resnet18_spec()
+        cache.deploy(spec, weight_bits=9)
+        cache.deploy(spec, weight_bits=9,
+                     config=DEFAULT_CONFIG.with_(xbar_rows=128))
+        assert cache.stats["misses"] == 2
+
+    def test_lut_change_misses(self):
+        """A LUT sweep must not be served stale timings from the cache."""
+        from repro.pim.lut import DEFAULT_LUT
+        cache = DeploymentCache(capacity=4)
+        spec = resnet18_spec()
+        fast = cache.deploy(spec, weight_bits=9)
+        slow = cache.deploy(spec, weight_bits=9,
+                            lut=DEFAULT_LUT.scaled(latency_scale=10.0))
+        assert cache.stats["misses"] == 2
+        assert slow.latency_ms > fast.latency_ms
+
+    def test_lru_eviction_order(self):
+        cache = DeploymentCache(capacity=2)
+        builds = []
+
+        def builder(tag):
+            def build():
+                builds.append(tag)
+                return tag          # any object works as the cached value
+            return build
+
+        cache.get_or_build("a", builder("a"))
+        cache.get_or_build("b", builder("b"))
+        cache.get_or_build("a", builder("a"))   # refresh a's recency
+        cache.get_or_build("c", builder("c"))   # evicts b (LRU)
+        assert "b" not in cache
+        assert "a" in cache and "c" in cache
+        cache.get_or_build("b", builder("b"))   # rebuild
+        assert builds == ["a", "b", "c", "b"]
+        assert cache.evictions == 2
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            DeploymentCache(capacity=0)

@@ -1,0 +1,48 @@
+"""Tests for the serve CLI (repro.serve.cli via python -m repro)."""
+
+import json
+
+import pytest
+
+from repro.analysis.cli import main
+from repro.serve.trace import save_trace, synthetic_trace
+
+
+class TestServeCommand:
+    def test_default_run_reports_everything(self, capsys):
+        assert main(["serve", "--num-requests", "60", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        for token in ("p50", "p95", "p99", "throughput", "chip utilization"):
+            assert token in out
+
+    def test_replays_recorded_trace(self, tmp_path, capsys):
+        path = tmp_path / "trace.json"
+        save_trace(synthetic_trace(40, 200.0, seed=0), path)
+        assert main(["serve", "--requests", str(path),
+                     "--num-chips", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "replaying 40 recorded requests" in out
+
+    def test_manifest_export_and_replay(self, tmp_path, capsys):
+        manifest = tmp_path / "deploy.json"
+        assert main(["serve", "--export-manifest", str(manifest),
+                     "--num-requests", "30"]) == 0
+        assert manifest.exists()
+        capsys.readouterr()
+        assert main(["serve", "--manifest", str(manifest),
+                     "--num-requests", "30"]) == 0
+        assert "p99" in capsys.readouterr().out
+
+    def test_json_summary(self, capsys):
+        assert main(["serve", "--num-requests", "30", "--json"]) == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out[out.index("{"):])
+        assert payload["completed"] == 30.0
+        assert "latency_p99_ms" in payload
+        assert "chip0_utilization" in payload
+
+    def test_baseline_and_mode_flags(self, capsys):
+        assert main(["serve", "--model", "resnet18", "--baseline",
+                     "--mode", "layer", "--num-chips", "2",
+                     "--num-requests", "30"]) == 0
+        assert "sharding" in capsys.readouterr().out

@@ -1,0 +1,131 @@
+"""Tests for multi-chip shard planning (repro.serve.sharding)."""
+
+import pytest
+
+from repro.core.designer import build_deployments, uniform_assignment
+from repro.models.specs import resnet18_spec, resnet50_spec
+from repro.pim.config import DEFAULT_CONFIG
+from repro.pim.simulator import baseline_deployment, simulate_network
+from repro.serve.sharding import partition_layers, plan_sharding
+
+
+@pytest.fixture(scope="module")
+def small_report():
+    """ResNet-18 epitome deployment: fits one default chip."""
+    spec = resnet18_spec()
+    deployments = build_deployments(spec, uniform_assignment(spec),
+                                    weight_bits=9, activation_bits=9,
+                                    use_wrapping=True)
+    return simulate_network(deployments)
+
+
+@pytest.fixture(scope="module")
+def big_report():
+    """ResNet-50 epitome deployment: needs multiple default chips."""
+    spec = resnet50_spec()
+    deployments = build_deployments(spec, uniform_assignment(spec),
+                                    weight_bits=9, activation_bits=9,
+                                    use_wrapping=True)
+    return simulate_network(deployments)
+
+
+class TestPartitionLayers:
+    def test_partition_is_contiguous_and_complete(self, big_report):
+        parts = partition_layers(big_report, 4)
+        flat = [i for part in parts for i in part]
+        assert flat == list(range(len(big_report.layers)))
+        assert all(part for part in parts)
+
+    def test_partition_balances_latency(self, big_report):
+        parts = partition_layers(big_report, 3)
+        lat = [layer.latency_ns for layer in big_report.layers]
+        shard_lat = [sum(lat[i] for i in part) for part in parts]
+        # DP optimum: the bottleneck shard is far below the full network
+        # and at least the heaviest single layer.
+        assert max(shard_lat) < sum(lat)
+        assert max(shard_lat) >= max(lat)
+
+    def test_single_part_is_whole_network(self, big_report):
+        parts = partition_layers(big_report, 1)
+        assert parts == [list(range(len(big_report.layers)))]
+
+    def test_too_many_parts_raises(self, small_report):
+        with pytest.raises(ValueError):
+            partition_layers(small_report, len(small_report.layers) + 1)
+
+
+class TestPlanSharding:
+    def test_small_model_auto_replicates(self, small_report):
+        plan = plan_sharding(small_report, num_chips=2)
+        assert plan.mode == "replica"
+        assert plan.num_replicas == 2
+        assert plan.chips_per_replica == 1
+        assert plan.fits
+        # replica throughput scales linearly with chips
+        single = plan_sharding(small_report, num_chips=1)
+        assert plan.throughput_fps == pytest.approx(
+            2 * single.throughput_fps)
+
+    def test_big_model_auto_goes_layer_wise(self, big_report):
+        plan = plan_sharding(big_report, num_chips=2)
+        assert plan.mode == "layer"
+        assert plan.chips_per_replica == 2
+        assert plan.fits
+        assert all(s.num_tiles <= DEFAULT_CONFIG.tiles_per_chip
+                   for s in plan.shards)
+        # shards cover every layer in order
+        names = [n for s in plan.shards for n in s.layer_names]
+        assert names == [layer.name for layer in big_report.layers]
+
+    def test_auto_replicates_layer_groups(self, big_report):
+        plan = plan_sharding(big_report, num_chips=4)
+        assert plan.mode == "layer"
+        assert plan.chips_per_replica == 2
+        assert plan.num_replicas == 2
+        two_chip = plan_sharding(big_report, num_chips=2)
+        assert plan.throughput_fps == pytest.approx(
+            2 * two_chip.throughput_fps)
+
+    def test_layer_mode_pays_interchip_transfer(self, big_report):
+        plan = plan_sharding(big_report, num_chips=2, mode="layer")
+        assert plan.interchip_latency_ms > 0
+        assert plan.per_image_latency_ms > big_report.latency_ms
+
+    def test_forced_replica_flags_capacity_overflow(self, big_report):
+        plan = plan_sharding(big_report, num_chips=2, mode="replica")
+        assert plan.mode == "replica"
+        assert not plan.fits
+
+    def test_auto_picks_max_throughput_fitting_plan(self, small_report):
+        auto = plan_sharding(small_report, num_chips=2, mode="auto")
+        layer = plan_sharding(small_report, num_chips=2, mode="layer")
+        assert auto.fits
+        assert auto.throughput_fps >= layer.throughput_fps
+
+    def test_baseline_fp32_resnet50_spreads(self):
+        spec = resnet50_spec()
+        report = simulate_network([baseline_deployment(l) for l in spec])
+        plan = plan_sharding(report, num_chips=8)
+        assert plan.fits
+        assert plan.chips_per_replica > 1
+
+    def test_validation(self, small_report):
+        with pytest.raises(ValueError):
+            plan_sharding(small_report, num_chips=0)
+        with pytest.raises(ValueError):
+            plan_sharding(small_report, 2, mode="diagonal")
+
+    def test_summary_renders(self, big_report):
+        text = plan_sharding(big_report, num_chips=2).summary()
+        assert "sharding" in text
+        assert "throughput" in text
+
+    def test_agrees_with_chips_required(self, small_report, big_report):
+        """Provisioning exactly chips_required() chips must always yield a
+        fitting plan — both APIs share the placement tile convention."""
+        from repro.pim.accelerator import chips_required
+        for report in (small_report, big_report):
+            need = chips_required(report)
+            plan = plan_sharding(report, num_chips=need)
+            assert plan.fits
+            assert plan.chips_per_replica == need

@@ -1,0 +1,120 @@
+"""Tests for serving telemetry (repro.serve.telemetry)."""
+
+import numpy as np
+import pytest
+
+from repro.serve.telemetry import RequestRecord, TelemetryCollector
+
+
+def record(i, arrival, start, finish, chip=0, batch=1):
+    return RequestRecord(request_id=i, arrival_ms=arrival, start_ms=start,
+                         finish_ms=finish, chip_ids=(chip,),
+                         batch_size=batch)
+
+
+class TestRequestRecord:
+    def test_latency_decomposition(self):
+        rec = record(0, arrival=1.0, start=3.0, finish=10.0)
+        assert rec.latency_ms == pytest.approx(9.0)
+        assert rec.wait_ms == pytest.approx(2.0)
+        assert rec.service_ms == pytest.approx(7.0)
+
+
+class TestPercentiles:
+    def test_matches_numpy(self):
+        telemetry = TelemetryCollector(num_chips=1)
+        latencies = [float(v) for v in range(1, 101)]
+        for i, lat in enumerate(latencies):
+            telemetry.record_completion(record(i, 0.0, 0.0, lat))
+        for q in (50.0, 95.0, 99.0):
+            assert telemetry.latency_percentile(q) == pytest.approx(
+                float(np.percentile(np.array(latencies), q)))
+        pct = telemetry.latency_percentiles()
+        assert pct["p50"] <= pct["p95"] <= pct["p99"]
+
+    def test_empty_collector_is_nan(self):
+        telemetry = TelemetryCollector()
+        assert np.isnan(telemetry.latency_percentile(50.0))
+
+
+class TestThroughputAndUtilization:
+    def test_throughput_over_makespan(self):
+        telemetry = TelemetryCollector(num_chips=1)
+        # 10 requests arriving at t=0, last finishes at t=1000ms
+        for i in range(10):
+            telemetry.record_completion(record(i, 0.0, 0.0, 100.0 * (i + 1)))
+        assert telemetry.makespan_ms == pytest.approx(1000.0)
+        assert telemetry.throughput_fps() == pytest.approx(10.0)
+
+    def test_chip_utilization_fraction(self):
+        telemetry = TelemetryCollector(num_chips=2)
+        telemetry.record_completion(record(0, 0.0, 0.0, 100.0))
+        telemetry.record_chip_busy(0, 50.0)
+        telemetry.record_chip_busy(0, 25.0)
+        util = telemetry.chip_utilization()
+        assert util[0] == pytest.approx(0.75)
+        assert util[1] == pytest.approx(0.0)   # provisioned but idle
+
+    def test_utilization_capped_at_one(self):
+        telemetry = TelemetryCollector(num_chips=1)
+        telemetry.record_completion(record(0, 0.0, 0.0, 10.0))
+        telemetry.record_chip_busy(0, 1000.0)
+        assert telemetry.chip_utilization()[0] == 1.0
+
+    def test_rolling_throughput_buckets(self):
+        telemetry = TelemetryCollector(num_chips=1)
+        # one completion per 100ms for 1 second
+        for i in range(10):
+            telemetry.record_completion(record(i, 0.0, 0.0,
+                                               100.0 * i + 50.0))
+        buckets = telemetry.rolling_throughput(window_ms=500.0)
+        assert len(buckets) == 2
+        assert buckets[0][1] == pytest.approx(10.0)  # 5 per 500ms window
+
+
+class TestQueueAndBatchStats:
+    def test_queue_depth_stats(self):
+        telemetry = TelemetryCollector()
+        for t, d in [(0.0, 1), (1.0, 3), (2.0, 2)]:
+            telemetry.record_queue_depth(t, d)
+        assert telemetry.mean_queue_depth() == pytest.approx(2.0)
+        assert telemetry.max_queue_depth() == 3
+
+    def test_rejections_counted(self):
+        telemetry = TelemetryCollector()
+        telemetry.record_rejection(7)
+        telemetry.record_rejection(8)
+        assert telemetry.num_rejected == 2
+
+    def test_mean_batch_size(self):
+        telemetry = TelemetryCollector()
+        for b in (1, 4, 7):
+            telemetry.record_batch(b)
+        assert telemetry.mean_batch_size() == pytest.approx(4.0)
+
+
+class TestPresentation:
+    def _loaded(self):
+        telemetry = TelemetryCollector(num_chips=2)
+        for i in range(20):
+            telemetry.record_completion(record(i, float(i), float(i) + 1.0,
+                                               float(i) + 11.0,
+                                               chip=i % 2, batch=2))
+            telemetry.record_chip_busy(i % 2, 5.0)
+        telemetry.record_batch(2)
+        telemetry.record_queue_depth(0.0, 1)
+        return telemetry
+
+    def test_summary_keys(self):
+        summary = self._loaded().summary()
+        for key in ("completed", "throughput_fps", "latency_p50_ms",
+                    "latency_p95_ms", "latency_p99_ms",
+                    "chip0_utilization", "chip1_utilization"):
+            assert key in summary
+        assert summary["completed"] == 20.0
+
+    def test_report_renders(self):
+        text = self._loaded().report()
+        assert "p99" in text
+        assert "chip utilization" in text
+        assert "throughput" in text

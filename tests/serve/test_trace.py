@@ -1,0 +1,50 @@
+"""Tests for request traces (repro.serve.trace)."""
+
+import pytest
+
+from repro.serve.trace import Request, load_trace, save_trace, synthetic_trace
+
+
+class TestSyntheticTrace:
+    def test_length_and_monotone_arrivals(self):
+        trace = synthetic_trace(200, rate_rps=100.0, seed=1)
+        assert len(trace) == 200
+        arrivals = [r.arrival_ms for r in trace]
+        assert arrivals == sorted(arrivals)
+        assert all(a > 0 for a in arrivals)
+
+    def test_rate_controls_span(self):
+        fast = synthetic_trace(500, rate_rps=1000.0, seed=0)
+        slow = synthetic_trace(500, rate_rps=10.0, seed=0)
+        assert fast[-1].arrival_ms < slow[-1].arrival_ms
+        # mean inter-arrival approximates 1000/rate ms
+        mean_gap = slow[-1].arrival_ms / 500
+        assert mean_gap == pytest.approx(100.0, rel=0.2)
+
+    def test_deterministic_by_seed(self):
+        assert synthetic_trace(50, 100.0, seed=3) == \
+            synthetic_trace(50, 100.0, seed=3)
+        assert synthetic_trace(50, 100.0, seed=3) != \
+            synthetic_trace(50, 100.0, seed=4)
+
+    def test_priority_levels(self):
+        flat = synthetic_trace(50, 100.0, seed=0)
+        assert all(r.priority == 0 for r in flat)
+        tiered = synthetic_trace(200, 100.0, seed=0, priority_levels=3)
+        assert {r.priority for r in tiered} == {0, 1, 2}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            synthetic_trace(0, 100.0)
+        with pytest.raises(ValueError):
+            synthetic_trace(10, 0.0)
+        with pytest.raises(ValueError):
+            Request(request_id=0, arrival_ms=-1.0)
+
+
+class TestTraceRoundTrip:
+    def test_save_and_load(self, tmp_path):
+        trace = synthetic_trace(100, 200.0, seed=2, priority_levels=2)
+        path = tmp_path / "traces" / "t.json"
+        save_trace(trace, path)
+        assert load_trace(path) == trace
