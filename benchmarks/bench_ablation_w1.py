@@ -14,7 +14,6 @@ moderate ``w1`` minimises the weighted error; ``w1 = 1`` over-clips.
 """
 
 import numpy as np
-import pytest
 
 from repro.core.epitome import EpitomeShape
 from repro.core.equant import EpitomeQuantConfig, make_epitome_quant_hook

@@ -8,7 +8,6 @@ bench sweeps the array size for both the baseline and the uniform-epitome
 ResNet-50 deployment at W9A9.
 """
 
-import pytest
 
 from repro.core.designer import build_deployments, uniform_assignment
 from repro.models.specs import resnet50_spec

@@ -8,7 +8,6 @@ up here.
 """
 
 import numpy as np
-import pytest
 
 from repro import nn
 from repro.core.epitome import EpitomeShape, build_plan

@@ -8,7 +8,6 @@ saves almost nothing yet pays a large relative overhead — the motivation
 for layer-wise design (section 5.2).
 """
 
-import pytest
 
 from repro.analysis.experiments import run_figure3
 

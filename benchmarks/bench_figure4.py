@@ -7,7 +7,6 @@ similar compression: up to 3.07x speedup, 2.36x energy savings, 7.13x EDP
 reduction.
 """
 
-import pytest
 
 from repro.analysis.experiments import run_figure4
 from repro.core.search import EvoSearchConfig
@@ -40,7 +39,7 @@ def test_figure4_latency_energy_edp(benchmark):
     print(f"\n  EPIM-Opt vs Uniform at CR={last.compression:.1f}: "
           f"{speedup:.2f}x faster, {energy_gain:.2f}x less energy, "
           f"{edp_gain:.2f}x lower EDP "
-          f"(paper: up to 3.07x / 2.36x / 7.13x)")
+          "(paper: up to 3.07x / 2.36x / 7.13x)")
     assert speedup > 2.0
     assert energy_gain > 1.8
     assert edp_gain > 5.0

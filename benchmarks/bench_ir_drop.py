@@ -11,7 +11,6 @@ IR drop.
 """
 
 import numpy as np
-import pytest
 
 from repro.core.epitome import EpitomeShape, build_plan
 from repro.pim.config import DEFAULT_CONFIG

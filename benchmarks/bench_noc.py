@@ -8,7 +8,6 @@ the mesh and the average hop distance — so communication energy falls even
 though the feature-map volume is unchanged.
 """
 
-import pytest
 
 from repro.core.designer import build_deployments, uniform_assignment
 from repro.models.specs import resnet50_spec

@@ -8,11 +8,8 @@ EPIM framework enables for free.
 """
 
 import numpy as np
-import pytest
 
-from repro import nn
 from repro.core.epitome import EpitomeShape, build_plan
-from repro.nn import functional as F
 from repro.pim.config import DEFAULT_CONFIG
 from repro.pim.datapath import execute_epitome_conv
 

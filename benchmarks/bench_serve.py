@@ -1,104 +1,31 @@
 """Benchmark: serving throughput and tail latency under offered load.
 
-The serving-runtime extension study: replay Poisson request traces against
-an epitome ResNet-18 deployment on 1/2/4 simulated chips at offered loads
-below, near, and above each fleet's capacity, and record achieved
-throughput, p50/p99 latency, shed requests and chip utilization.  The
-structural expectations:
-
-- below saturation, achieved ~= offered and p99 stays near the pipeline
-  fill latency + batching window;
-- past saturation, achieved plateaus at the shard plan's pipelined
-  throughput while p99 explodes against the bounded queue;
-- chips scale capacity: the 4-chip fleet sustains offered loads that
-  overload the 1-chip fleet.
+The sweep itself lives in :mod:`repro.bench.suites.serve` (registered on
+the unified harness as ``serve.offered_load_sweep``); this file keeps the
+standalone entry point and the pytest-benchmark hook.
 
 Runs standalone too (CI smoke)::
 
     PYTHONPATH=src python benchmarks/bench_serve.py --fast
+
+Prefer the harness for trajectory-tracked numbers::
+
+    python -m repro bench run --suite serve --fast
 """
 
 from __future__ import annotations
 
 import argparse
-from typing import Dict, List, Sequence
 
-from repro.analysis.tables import Table
-from repro.serve import (
-    SchedulerConfig,
-    ServingConfig,
-    ServingEngine,
-    synthetic_trace,
+# Re-exported so existing imports of this module keep working.
+from repro.bench.suites.serve import (  # noqa: F401
+    CHIP_COUNTS,
+    LOAD_FACTORS,
+    build_engine,
+    check_structure,
+    render,
+    run_sweep,
 )
-
-CHIP_COUNTS = (1, 2, 4)
-LOAD_FACTORS = (0.5, 0.9, 1.3)      # x single-replica capacity per chip
-
-
-def build_engine(num_chips: int, queue_depth: int = 512) -> ServingEngine:
-    return ServingEngine.from_spec(
-        "resnet18",
-        ServingConfig(num_chips=num_chips,
-                      scheduler=SchedulerConfig(max_batch_size=8,
-                                                window_ms=2.0,
-                                                queue_depth=queue_depth)))
-
-
-def run_sweep(num_requests: int = 500,
-              chip_counts: Sequence[int] = CHIP_COUNTS,
-              load_factors: Sequence[float] = LOAD_FACTORS) -> List[Dict]:
-    rows: List[Dict] = []
-    for chips in chip_counts:
-        engine = build_engine(chips)
-        capacity = engine.plan.throughput_fps
-        for factor in load_factors:
-            offered = factor * capacity
-            trace = synthetic_trace(num_requests, rate_rps=offered,
-                                    seed=17)
-            telemetry = engine.serve(trace)
-            utils = telemetry.chip_utilization()
-            rows.append({
-                "chips": chips,
-                "offered_fps": offered,
-                "achieved_fps": telemetry.throughput_fps(),
-                "p50_ms": telemetry.latency_percentile(50.0),
-                "p99_ms": telemetry.latency_percentile(99.0),
-                "shed": telemetry.num_rejected,
-                "mean_util": sum(utils.values()) / len(utils),
-                "capacity_fps": capacity,
-            })
-    return rows
-
-
-def render(rows: Sequence[Dict]) -> str:
-    table = Table(["chips", "offered_fps", "achieved_fps", "p50_ms",
-                   "p99_ms", "shed", "mean_util"],
-                  title="serving: offered load vs achieved throughput "
-                        "(epitome ResNet-18, W9)")
-    for row in rows:
-        table.add_dict_row(row)
-    return table.render()
-
-
-def check_structure(rows: Sequence[Dict]) -> None:
-    """The structural claims the benchmark exists to demonstrate."""
-    by = {(r["chips"], round(r["offered_fps"] / r["capacity_fps"], 1)): r
-          for r in rows}
-    factors = sorted({round(r["offered_fps"] / r["capacity_fps"], 1)
-                      for r in rows})
-    low, high = factors[0], factors[-1]
-    chip_counts = sorted({r["chips"] for r in rows})
-    for chips in chip_counts:
-        under, over = by[(chips, low)], by[(chips, high)]
-        # under light load the system keeps up...
-        assert under["achieved_fps"] >= 0.8 * under["offered_fps"]
-        # ...and saturation caps throughput at ~capacity with worse tails
-        assert over["achieved_fps"] <= 1.1 * over["capacity_fps"]
-        assert over["p99_ms"] > under["p99_ms"]
-    if len(chip_counts) > 1:
-        small, large = chip_counts[0], chip_counts[-1]
-        assert by[(large, high)]["achieved_fps"] \
-            > 1.5 * by[(small, high)]["achieved_fps"]
 
 
 def test_offered_load_vs_achieved(benchmark):

@@ -6,7 +6,6 @@ measured on the synthetic substrate at the configured preset (see
 conftest).  The printed tables parallel the paper's Table 1 row for row.
 """
 
-import pytest
 
 from repro.analysis.experiments import run_table1
 from repro.analysis.hardware import table1_hardware_rows

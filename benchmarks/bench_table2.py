@@ -6,7 +6,6 @@ is a monotone improvement along the columns (e.g. 69.95 -> 71.35 -> 71.59
 for 3-bit ResNet-50).
 """
 
-import pytest
 
 from repro.analysis.experiments import run_table2
 

@@ -6,7 +6,6 @@ the highest parameter compression at a modest accuracy cost; PIM-Prune is
 dominated at matched compression.
 """
 
-import pytest
 
 from repro.analysis.experiments import run_table3
 from repro.baselines.pim_prune import pim_prune_network

@@ -36,7 +36,7 @@ def main():
 
     reps = plan.repetition_counts()
     spatial = reps.sum(axis=(0, 1))
-    print(f"\nspatial repetition profile (Fig. 2c — centre repeated more):")
+    print("\nspatial repetition profile (Fig. 2c — centre repeated more):")
     for row in spatial:
         print("   " + " ".join(f"{v:7d}" for v in row))
 
@@ -62,9 +62,9 @@ def main():
     sw = F.conv2d(nn.Tensor(x_int.astype(np.float64)),
                   nn.Tensor(w_virtual.astype(np.float64)),
                   None, 1, 1).data.astype(np.int64)
-    print(f"\nfunctional check: datapath == software conv: "
+    print("\nfunctional check: datapath == software conv: "
           f"{np.array_equal(hw, sw)}")
-    print(f"functional check: wrapped == unwrapped:        "
+    print("functional check: wrapped == unwrapped:        "
           f"{np.array_equal(hw, hw_wrapped)}")
 
 

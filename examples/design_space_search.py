@@ -14,7 +14,6 @@ Run:  python examples/design_space_search.py
 from repro.core import (
     EvoSearchConfig,
     build_candidate_grid,
-    evaluate_assignment,
     evolution_search,
     uniform_assignment,
     build_deployments,

@@ -16,7 +16,6 @@ from pathlib import Path
 
 import numpy as np
 
-from repro import nn
 from repro.core import (
     EpitomeQuantConfig,
     convert_model,

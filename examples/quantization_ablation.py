@@ -28,7 +28,7 @@ def main():
 
     _, fp_acc = bench.epitome_fp()
     print(f"FP32 epitome accuracy: {fp_acc * 100:.1f}%")
-    print(f"epitome parameter compression: "
+    print("epitome parameter compression: "
           f"{bench.epitome_param_compression():.2f}x\n")
 
     print("3-bit quantization (QAT fine-tuned):")
@@ -45,7 +45,7 @@ def main():
     mp_acc = bench.quantized_accuracy(3, bit_map=bit_map,
                                       cache_key="ex-t2-mp")
     print(f"  W3mp accuracy: {mp_acc * 100:.1f}%  "
-          f"(uniform 3-bit: "
+          "(uniform 3-bit: "
           f"{bench.quantized_accuracy(3, cache_key='ex-t2-crossbar_overlap3') * 100:.1f}%)")
     print("\npaper reference (ImageNet ResNet-50): "
           "69.95 -> 71.35 -> 71.59 at 3-bit; W3mp 72.98")

@@ -12,7 +12,6 @@ Run:  python examples/quickstart.py
 
 import numpy as np
 
-from repro import nn
 from repro.core import (
     EpimPipeline,
     EpimPipelineConfig,
@@ -52,7 +51,7 @@ def main():
     # 4. Report.
     print(f"epitome parameters:  {int(result.compression['params']):,} "
           f"({result.compression['compression']:.2f}x compression)")
-    print(f"top-1 accuracy (3-bit, epitome-aware quant): "
+    print("top-1 accuracy (3-bit, epitome-aware quant): "
           f"{result.accuracy * 100:.1f}%")
     report = result.report
     print(f"PIM deployment: {report.num_crossbars} crossbars, "

@@ -11,7 +11,8 @@ Full from-scratch reproduction of Wang et al., DAC 2024 (arXiv:2311.07620):
   channel wrapping, epitome-aware quantization, evolutionary layer-wise design,
 - :mod:`repro.baselines` — PIM-Prune and element pruning baselines,
 - :mod:`repro.analysis` — experiment runners regenerating every table/figure,
-- :mod:`repro.serve` — batched multi-chip inference serving runtime.
+- :mod:`repro.serve` — batched multi-chip inference serving runtime,
+- :mod:`repro.bench` — unified benchmark harness + perf-trajectory tooling.
 """
 
 __version__ = "1.0.0"
@@ -26,4 +27,5 @@ __all__ = [
     "baselines",
     "analysis",
     "serve",
+    "bench",
 ]

@@ -1,4 +1,4 @@
-"""Entry point: ``python -m repro <table1|table2|table3|figure3|figure4|summary|serve>``.
+"""Entry point: ``python -m repro <table1|table2|table3|figure3|figure4|summary|serve|bench>``.
 
 Also installed as the ``repro`` console script (see pyproject.toml).
 """

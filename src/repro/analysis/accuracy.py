@@ -19,19 +19,17 @@ Presets control cost:
 
 from __future__ import annotations
 
-import copy
-from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
 
 from .. import nn
-from ..baselines.element_prune import Pruner, pruned_compression
+from ..baselines.element_prune import Pruner
 from ..core.designer import (
     convert_model,
     model_compression_summary,
     spec_from_model,
-    uniform_assignment,
 )
 from ..core.equant import EpitomeQuantConfig, apply_epitome_quantization
 from ..core.search import (

@@ -9,6 +9,7 @@ Usage::
     python -m repro figure4 [--model resnet50]
     python -m repro summary            # hardware-only overview, no training
     python -m repro serve [...]        # serving runtime (repro.serve.cli)
+    python -m repro bench [...]        # benchmark harness (repro.bench.cli)
 
 ``--preset`` controls the accuracy-side cost (smoke | default | full); the
 hardware columns are always exact.  ``--no-accuracy`` skips training
@@ -21,8 +22,9 @@ import argparse
 import sys
 from typing import List, Optional
 
-from .accuracy import PRESETS, AccuracyWorkbench
+from .accuracy import PRESETS
 from .experiments import run_figure3, run_figure4, run_table1, run_table2, run_table3
+from ..bench.cli import add_bench_parser, run_bench
 from ..serve.cli import add_serve_parser, run_serve
 
 __all__ = ["main", "build_parser"]
@@ -67,6 +69,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_common(s, model=True)
 
     add_serve_parser(sub)
+    add_bench_parser(sub)
     return parser
 
 
@@ -92,6 +95,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         run_figure4(args.model)
     elif args.command == "serve":
         return run_serve(args)
+    elif args.command == "bench":
+        return run_bench(args)
     return 0
 
 

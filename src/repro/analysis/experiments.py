@@ -13,11 +13,9 @@ substitution).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
-from ..baselines.pim_prune import pim_prune_network
-from ..models.specs import get_network_spec
 from .accuracy import PRESETS, AccuracyPreset, AccuracyWorkbench
 from .hardware import (
     Figure4Point,

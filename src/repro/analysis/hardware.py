@@ -13,24 +13,21 @@ utilization are functions of shapes and the mapping only, so these are the
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-import numpy as np
 
 from ..baselines.pim_prune import pim_prune_network
-from ..core.designer import build_deployments, choose_epitome_shape, uniform_assignment
+from ..core.designer import build_deployments, uniform_assignment
 from ..core.search import (
     EvoSearchConfig,
     build_candidate_grid,
-    evaluate_assignment,
     evolution_search,
 )
 from ..models.specs import NetworkSpec, get_network_spec
 from ..pim.config import DEFAULT_CONFIG, HardwareConfig
 from ..pim.lut import DEFAULT_LUT, ComponentLUT
-from ..pim.simulator import NetworkReport, baseline_deployment, simulate_network
+from ..pim.simulator import NetworkReport, simulate_network
 from ..quant.hawq import LayerSensitivity, allocate_bits
 
 __all__ = [

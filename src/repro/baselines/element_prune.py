@@ -16,7 +16,7 @@ overhead of 1/16 parameter-equivalent per original weight — which is why
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import List, Tuple
 
 import numpy as np
 

@@ -26,11 +26,11 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional
 
 import numpy as np
 
-from ..models.specs import LayerSpec, NetworkSpec
+from ..models.specs import NetworkSpec
 from ..pim.config import DEFAULT_CONFIG, HardwareConfig
 from .element_prune import pruned_compression
 

@@ -1,0 +1,146 @@
+"""Benchmark registry: ``@benchmark``-decorated workload factories.
+
+A benchmark is a *factory*: it receives ``fast`` (smoke mode) and returns a
+:class:`Workload` whose ``fn`` is the timed region.  Setup (building models,
+compiling deployments, synthesising traces) happens inside the factory and is
+therefore excluded from timing — the runner only times ``Workload.fn``.
+
+The registry is keyed by unique benchmark name (``"<suite>.<what>"`` by
+convention); duplicate registration is an error so two suites can never
+silently shadow each other's numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+__all__ = [
+    "Workload",
+    "Benchmark",
+    "BenchmarkRegistry",
+    "DEFAULT_REGISTRY",
+    "benchmark",
+    "load_suites",
+]
+
+
+@dataclass
+class Workload:
+    """What a benchmark factory hands the runner.
+
+    Attributes
+    ----------
+    fn:
+        The timed callable (no arguments).
+    items:
+        Work units performed per ``fn()`` call, used for throughput
+        (``items`` divided by the best sampled per-call time).
+    unit:
+        Human label for ``items`` (``"images"``, ``"MACs"``, ``"layers"``).
+    counters:
+        Optional post-run sampler returning work counters (e.g. the PIM
+        simulator's op/tile counters) — evidence of *work done*, not just
+        seconds.  Must report the work of a **single** ``fn()`` call:
+        reset any global counters inside ``fn`` itself, since the runner
+        samples once after an unspecified number of warmup/autorange
+        calls.
+    """
+
+    fn: Callable[[], Any]
+    items: float = 1.0
+    unit: str = "iters"
+    counters: Optional[Callable[[], Dict[str, float]]] = None
+
+
+@dataclass(frozen=True)
+class Benchmark:
+    """A registered benchmark: name, suite, factory and run discipline."""
+
+    name: str
+    suite: str
+    factory: Callable[[bool], Workload]
+    description: str = ""
+    warmup: Optional[int] = None     # None = runner default
+    repeats: Optional[int] = None    # None = runner default
+    min_sample_ms: Optional[float] = None
+    """Autorange override (None = runner default).  Set to 0.0 for
+    expensive one-pass workloads that must run exactly once per sample."""
+
+
+@dataclass
+class BenchmarkRegistry:
+    """Mutable name -> :class:`Benchmark` mapping with dedup enforcement."""
+
+    _benchmarks: Dict[str, Benchmark] = field(default_factory=dict)
+
+    def register(self, bench: Benchmark) -> Benchmark:
+        if bench.name in self._benchmarks:
+            raise ValueError(
+                f"benchmark {bench.name!r} is already registered "
+                f"(suite {self._benchmarks[bench.name].suite!r})")
+        self._benchmarks[bench.name] = bench
+        return bench
+
+    def get(self, name: str) -> Benchmark:
+        try:
+            return self._benchmarks[name]
+        except KeyError:
+            raise KeyError(f"no benchmark named {name!r}; "
+                           f"known: {sorted(self._benchmarks)}") from None
+
+    def names(self) -> List[str]:
+        return sorted(self._benchmarks)
+
+    def suites(self) -> List[str]:
+        return sorted({b.suite for b in self._benchmarks.values()})
+
+    def select(self, suites: Optional[List[str]] = None,
+               names: Optional[List[str]] = None) -> List[Benchmark]:
+        """Benchmarks filtered by suite and/or name, in name order."""
+        if suites:
+            unknown = set(suites) - set(self.suites())
+            if unknown:
+                raise KeyError(f"unknown suite(s) {sorted(unknown)}; "
+                               f"known: {self.suites()}")
+        picked = [self._benchmarks[n] for n in self.names()]
+        if suites:
+            picked = [b for b in picked if b.suite in suites]
+        if names:
+            for n in names:
+                self.get(n)     # raise on unknown names
+            picked = [b for b in picked if b.name in names]
+        return picked
+
+    def __len__(self) -> int:
+        return len(self._benchmarks)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._benchmarks
+
+
+DEFAULT_REGISTRY = BenchmarkRegistry()
+
+
+def benchmark(name: str, suite: str, description: str = "",
+              warmup: Optional[int] = None, repeats: Optional[int] = None,
+              min_sample_ms: Optional[float] = None,
+              registry: Optional[BenchmarkRegistry] = None):
+    """Decorator registering ``factory(fast) -> Workload`` as a benchmark."""
+    reg = registry if registry is not None else DEFAULT_REGISTRY
+
+    def decorate(factory: Callable[[bool], Workload]):
+        reg.register(Benchmark(name=name, suite=suite, factory=factory,
+                               description=description, warmup=warmup,
+                               repeats=repeats,
+                               min_sample_ms=min_sample_ms))
+        return factory
+
+    return decorate
+
+
+def load_suites() -> BenchmarkRegistry:
+    """Import every first-class suite module (idempotent) and return the
+    populated default registry."""
+    from .suites import nn, pim, pipeline, serve  # noqa: F401
+    return DEFAULT_REGISTRY

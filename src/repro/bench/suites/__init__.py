@@ -1,0 +1,14 @@
+"""First-class benchmark suites, one module per layer of the system:
+
+- :mod:`repro.bench.suites.nn` — autodiff engine hot paths (matmul,
+  conv forward, full training step);
+- :mod:`repro.bench.suites.pim` — behaviour-level simulator
+  (``simulate_network``) and multi-chip shard planning;
+- :mod:`repro.bench.suites.pipeline` — epitome compile + deployment
+  manifest export round-trip;
+- :mod:`repro.bench.suites.serve` — serving runtime offered-load sweep
+  (the former ``benchmarks/bench_serve.py``, now harness-registered).
+
+Importing a module registers its benchmarks on the default registry;
+:func:`repro.bench.registry.load_suites` imports all of them.
+"""

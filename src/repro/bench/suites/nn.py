@@ -1,0 +1,74 @@
+"""Benchmarks for the numpy autodiff engine (``repro.nn``).
+
+Three hot paths every accuracy-side experiment leans on: the raw tensor
+matmul (autograd graph build + numpy GEMM), the im2col convolution forward,
+and a full supervised training step (forward, cross-entropy, backward, SGD
+update) on a small conv net.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ... import nn
+from ...nn import functional as F
+from ..registry import Workload, benchmark
+
+__all__ = ["matmul_factory", "conv2d_factory", "train_step_factory"]
+
+
+@benchmark("nn.matmul", suite="nn",
+           description="autograd tensor matmul (forward)")
+def matmul_factory(fast: bool) -> Workload:
+    n = 96 if fast else 256
+    rng = np.random.default_rng(0)
+    a = nn.Tensor(rng.standard_normal((n, n)).astype(np.float64))
+    b = nn.Tensor(rng.standard_normal((n, n)).astype(np.float64))
+
+    def fn():
+        return a @ b
+
+    return Workload(fn=fn, items=2.0 * n ** 3, unit="flops")
+
+
+@benchmark("nn.conv2d_forward", suite="nn",
+           description="im2col conv2d forward pass")
+def conv2d_factory(fast: bool) -> Workload:
+    batch = 2 if fast else 8
+    cin, cout, size, kernel = 8, 16, 16, 3
+    rng = np.random.default_rng(1)
+    x = nn.Tensor(rng.standard_normal((batch, cin, size, size)))
+    weight = nn.Tensor(rng.standard_normal((cout, cin, kernel, kernel)) * 0.1)
+
+    def fn():
+        return F.conv2d(x, weight, padding=1)
+
+    macs = batch * cout * cin * kernel * kernel * size * size
+    return Workload(fn=fn, items=float(macs), unit="MACs")
+
+
+@benchmark("nn.train_step", suite="nn",
+           description="conv-net forward + backward + SGD step")
+def train_step_factory(fast: bool) -> Workload:
+    batch = 4 if fast else 16
+    rng = np.random.default_rng(2)
+    model = nn.Sequential(
+        nn.Conv2d(3, 8, 3, padding=1, rng=rng),
+        nn.ReLU(),
+        nn.Conv2d(8, 8, 3, padding=1, rng=rng),
+        nn.ReLU(),
+        nn.GlobalAvgPool2d(),
+        nn.Linear(8, 10, rng=rng),
+    )
+    optimizer = nn.SGD(model.parameters(), lr=0.01)
+    x = nn.Tensor(rng.standard_normal((batch, 3, 16, 16)))
+    targets = rng.integers(0, 10, size=batch)
+
+    def fn():
+        optimizer.zero_grad()
+        loss = F.cross_entropy(model(x), targets)
+        loss.backward()
+        optimizer.step()
+        return loss
+
+    return Workload(fn=fn, items=float(batch), unit="images")

@@ -1,0 +1,57 @@
+"""Benchmarks for the behaviour-level PIM simulator (``repro.pim``).
+
+``pim.simulate_network`` times the full per-layer performance model over an
+epitome ResNet-18 deployment and reports the simulator's own work counters
+(activation rounds, analog MAC ops, crossbar tiles) so a faster number that
+silently models less work is visible.  ``pim.multi_chip_plan`` times shard
+planning across chip counts — the fleet-sizing path the serving runtime
+calls on every deployment compile.
+"""
+
+from __future__ import annotations
+
+from ...core.designer import build_deployments, uniform_assignment
+from ...models.specs import get_network_spec
+from ...pim.simulator import (
+    reset_sim_counters,
+    sim_counters,
+    simulate_network,
+)
+from ...serve.sharding import plan_sharding
+from ..registry import Workload, benchmark
+
+__all__ = ["simulate_network_factory", "multi_chip_plan_factory"]
+
+
+def _deployments(model: str):
+    spec = get_network_spec(model)
+    return build_deployments(spec, uniform_assignment(spec),
+                             weight_bits=9, activation_bits=9,
+                             use_wrapping=True)
+
+
+@benchmark("pim.simulate_network", suite="pim",
+           description="per-layer performance model, epitome ResNet")
+def simulate_network_factory(fast: bool) -> Workload:
+    deployments = _deployments("resnet18" if fast else "resnet50")
+
+    def fn():
+        # Reset per call so the sampled counters report one call's work
+        # regardless of warmup/repeat/autorange discipline.
+        reset_sim_counters()
+        return simulate_network(deployments)
+
+    return Workload(fn=fn, items=float(len(deployments)), unit="layers",
+                    counters=lambda: dict(sim_counters().as_dict()))
+
+
+@benchmark("pim.multi_chip_plan", suite="pim",
+           description="shard planning across chip counts")
+def multi_chip_plan_factory(fast: bool) -> Workload:
+    chip_counts = (1, 2) if fast else (1, 2, 4, 8)
+    report = simulate_network(_deployments("resnet18"))
+
+    def fn():
+        return [plan_sharding(report, chips) for chips in chip_counts]
+
+    return Workload(fn=fn, items=float(len(chip_counts)), unit="plans")

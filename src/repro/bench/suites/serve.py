@@ -1,0 +1,139 @@
+"""Benchmark for the serving runtime: offered load vs achieved throughput.
+
+The sweep (formerly ``benchmarks/bench_serve.py``, which now shims onto
+this module) replays Poisson request traces against an epitome ResNet-18
+deployment on 1/2/4 simulated chips at offered loads below, near and above
+each fleet's capacity, recording achieved throughput, p50/p99 latency,
+shed requests and chip utilization.  Structural expectations:
+
+- below saturation, achieved ~= offered and p99 stays near the pipeline
+  fill latency + batching window;
+- past saturation, achieved plateaus at the shard plan's pipelined
+  throughput while p99 explodes against the bounded queue;
+- chips scale capacity: the 4-chip fleet sustains offered loads that
+  overload the 1-chip fleet.
+
+``check_structure`` asserts those claims, so the benchmark doubles as a
+correctness smoke while its wall time feeds the perf trajectory.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ...analysis.tables import Table
+from ...serve import (
+    SchedulerConfig,
+    ServingConfig,
+    ServingEngine,
+    synthetic_trace,
+)
+from ..registry import Workload, benchmark
+
+__all__ = [
+    "CHIP_COUNTS",
+    "LOAD_FACTORS",
+    "build_engine",
+    "run_sweep",
+    "render",
+    "check_structure",
+    "offered_load_factory",
+]
+
+CHIP_COUNTS = (1, 2, 4)
+LOAD_FACTORS = (0.5, 0.9, 1.3)      # x single-replica capacity per chip
+
+
+def build_engine(num_chips: int, queue_depth: int = 512) -> ServingEngine:
+    return ServingEngine.from_spec(
+        "resnet18",
+        ServingConfig(num_chips=num_chips,
+                      scheduler=SchedulerConfig(max_batch_size=8,
+                                                window_ms=2.0,
+                                                queue_depth=queue_depth)))
+
+
+def run_sweep(num_requests: int = 500,
+              chip_counts: Sequence[int] = CHIP_COUNTS,
+              load_factors: Sequence[float] = LOAD_FACTORS) -> List[Dict]:
+    rows: List[Dict] = []
+    for chips in chip_counts:
+        engine = build_engine(chips)
+        capacity = engine.plan.throughput_fps
+        for factor in load_factors:
+            offered = factor * capacity
+            trace = synthetic_trace(num_requests, rate_rps=offered,
+                                    seed=17)
+            telemetry = engine.serve(trace)
+            utils = telemetry.chip_utilization()
+            rows.append({
+                "chips": chips,
+                "offered_fps": offered,
+                "achieved_fps": telemetry.throughput_fps(),
+                "p50_ms": telemetry.latency_percentile(50.0),
+                "p99_ms": telemetry.latency_percentile(99.0),
+                "shed": telemetry.num_rejected,
+                "mean_util": sum(utils.values()) / len(utils),
+                "capacity_fps": capacity,
+            })
+    return rows
+
+
+def render(rows: Sequence[Dict]) -> str:
+    table = Table(["chips", "offered_fps", "achieved_fps", "p50_ms",
+                   "p99_ms", "shed", "mean_util"],
+                  title="serving: offered load vs achieved throughput "
+                        "(epitome ResNet-18, W9)")
+    for row in rows:
+        table.add_dict_row(row)
+    return table.render()
+
+
+def check_structure(rows: Sequence[Dict]) -> None:
+    """The structural claims the benchmark exists to demonstrate."""
+    by = {(r["chips"], round(r["offered_fps"] / r["capacity_fps"], 1)): r
+          for r in rows}
+    factors = sorted({round(r["offered_fps"] / r["capacity_fps"], 1)
+                      for r in rows})
+    low, high = factors[0], factors[-1]
+    chip_counts = sorted({r["chips"] for r in rows})
+    for chips in chip_counts:
+        under, over = by[(chips, low)], by[(chips, high)]
+        # under light load the system keeps up...
+        assert under["achieved_fps"] >= 0.8 * under["offered_fps"]
+        # ...and saturation caps throughput at ~capacity with worse tails
+        assert over["achieved_fps"] <= 1.1 * over["capacity_fps"]
+        assert over["p99_ms"] > under["p99_ms"]
+    if len(chip_counts) > 1:
+        small, large = chip_counts[0], chip_counts[-1]
+        assert (by[(large, high)]["achieved_fps"]
+                > 1.5 * by[(small, high)]["achieved_fps"])
+
+
+# A sweep simulates minutes of traffic, so: no warmup, no autorange
+# batching (min_sample_ms=0 pins one sweep per timed sample), and two
+# samples per round — with the runner's interleaved rounds that pools
+# enough structural-checked passes for a stable min without pedantic-
+# style single-shot noise.
+@benchmark("serve.offered_load_sweep", suite="serve",
+           description="trace replay across fleets and load factors",
+           warmup=0, repeats=2, min_sample_ms=0.0)
+def offered_load_factory(fast: bool) -> Workload:
+    if fast:
+        num_requests, chip_counts, load_factors = 150, (1, 2), (0.5, 1.3)
+    else:
+        num_requests, chip_counts, load_factors = 500, CHIP_COUNTS, LOAD_FACTORS
+    cells = len(chip_counts) * len(load_factors)
+    served: Dict[str, float] = {}
+
+    def fn():
+        rows = run_sweep(num_requests, chip_counts=chip_counts,
+                         load_factors=load_factors)
+        check_structure(rows)
+        served["requests_offered"] = float(num_requests * cells)
+        served["requests_shed"] = float(sum(r["shed"] for r in rows))
+        served["sweep_cells"] = float(cells)
+        return rows
+
+    return Workload(fn=fn, items=float(num_requests * cells),
+                    unit="requests", counters=lambda: dict(served))

@@ -20,8 +20,7 @@ utilised (the paper's "memristor utilization" column).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -33,7 +32,7 @@ from ..pim.simulator import (
     baseline_deployment,
     epitome_deployment_from_plan,
 )
-from .epitome import EpitomePlan, EpitomeShape, build_plan
+from .epitome import EpitomeShape, build_plan
 from .layers import EpitomeConv2d
 
 __all__ = [

@@ -29,7 +29,6 @@ import json
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-import numpy as np
 
 from .. import nn
 from ..models.specs import LayerSpec

@@ -21,13 +21,12 @@ The layer also exposes the hooks the rest of the pipeline needs:
 from __future__ import annotations
 
 import math
-from typing import Callable, Optional, Tuple
+from typing import Callable, Optional
 
 import numpy as np
 
 from .. import nn
 from ..nn import functional as F
-from ..nn import init as nn_init
 from ..nn.modules import Parameter
 from .epitome import EpitomePlan, EpitomeShape, build_plan
 

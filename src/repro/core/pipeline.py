@@ -15,9 +15,8 @@ deployment report (hardware side).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
-import numpy as np
 
 from .. import nn
 from ..nn.data import DataLoader
@@ -32,7 +31,11 @@ from ..pim.simulator import (
     simulate_network,
 )
 from ..models.specs import LayerSpec
-from .designer import EpitomeAssignment, convert_model, epitome_layers, model_compression_summary
+from .designer import (
+    EpitomeAssignment,
+    convert_model,
+    model_compression_summary,
+)
 from .equant import EpitomeQuantConfig, apply_epitome_quantization
 from .layers import EpitomeConv2d
 

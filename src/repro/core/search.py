@@ -21,13 +21,12 @@ hours.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..models.specs import LayerSpec, NetworkSpec
+from ..models.specs import NetworkSpec
 from ..pim.config import DEFAULT_CONFIG, HardwareConfig
 from ..pim.lut import DEFAULT_LUT, ComponentLUT
 from ..pim.simulator import baseline_deployment, epitome_deployment_from_plan, simulate_layer

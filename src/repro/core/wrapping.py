@@ -22,7 +22,6 @@ series of Fig. 4.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
 
 import numpy as np
 

@@ -17,7 +17,7 @@ them for epitome layers after construction (see
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence
 
 import numpy as np
 

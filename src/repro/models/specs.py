@@ -11,8 +11,8 @@ full-size networks are modelled exactly even though they are too large to
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
 
 __all__ = [
     "LayerSpec",

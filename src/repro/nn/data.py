@@ -6,7 +6,7 @@ and (optionally) shuffles with an explicit RNG for reproducibility.
 
 from __future__ import annotations
 
-from typing import Iterator, Optional, Sequence, Tuple
+from typing import Iterator, Optional, Tuple
 
 import numpy as np
 

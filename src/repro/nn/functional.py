@@ -14,7 +14,7 @@ from typing import Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from .tensor import Tensor, unbroadcast
+from .tensor import Tensor
 
 __all__ = [
     "im2col",
@@ -268,13 +268,11 @@ def batch_norm2d(x: Tensor, gamma: Tensor, beta: Tensor,
         grad_gamma = (g * x_hat).sum(axis=axes)
         grad_beta = g.sum(axis=axes)
         if training:
-            count = n * h * w
             g_hat = g * gamma.data[None, :, None, None]
             term1 = g_hat
             term2 = g_hat.mean(axis=axes, keepdims=True)
             term3 = x_hat * (g_hat * x_hat).mean(axis=axes, keepdims=True)
             grad_x = inv_std[None, :, None, None] * (term1 - term2 - term3)
-            del count
         else:
             grad_x = g * (gamma.data * inv_std)[None, :, None, None]
         return grad_x, grad_gamma, grad_beta

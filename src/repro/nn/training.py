@@ -10,7 +10,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
-import numpy as np
 
 from . import functional as F
 from .data import DataLoader

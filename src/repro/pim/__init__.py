@@ -28,8 +28,11 @@ from .simulator import (
     LayerDeployment,
     LayerReport,
     NetworkReport,
+    SimCounters,
     baseline_deployment,
     epitome_deployment_from_plan,
+    reset_sim_counters,
+    sim_counters,
     simulate_layer,
     simulate_network,
 )
@@ -52,8 +55,11 @@ __all__ = [
     "LayerDeployment",
     "LayerReport",
     "NetworkReport",
+    "SimCounters",
     "baseline_deployment",
     "epitome_deployment_from_plan",
+    "sim_counters",
+    "reset_sim_counters",
     "simulate_layer",
     "simulate_network",
     "ChipFloorplan",

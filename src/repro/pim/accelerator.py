@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Sequence
+from typing import Dict
 
 from .config import HardwareConfig, DEFAULT_CONFIG
 from .lut import ComponentLUT, DEFAULT_LUT

@@ -15,7 +15,7 @@ actual bit widths (the paper's W9/W7/W5/W3 rows).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 __all__ = ["HardwareConfig", "DEFAULT_CONFIG", "weight_slices", "input_cycles"]
 

@@ -24,8 +24,8 @@ links are modelled by bandwidth, not contention.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Tuple
 
 from .config import DEFAULT_CONFIG, HardwareConfig
 from .lut import DEFAULT_LUT, ComponentLUT

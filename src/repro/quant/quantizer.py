@@ -15,7 +15,6 @@ paper's per-crossbar scaling factors (section 4.2) are built.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
 
 import numpy as np
 

@@ -82,12 +82,12 @@ class ServingEngine:
                                   config=hardware, lut=lut)
         if not self.plan.fits:
             warnings.warn(
-                f"shard plan exceeds chip capacity "
+                "shard plan exceeds chip capacity "
                 f"({max(s.num_tiles for s in self.plan.shards)} tiles on a "
                 f"{hardware.tiles_per_chip}-tile chip with "
                 f"{config.num_chips} chip(s)); serving what-if timings for "
-                f"hardware that cannot be built — provision more chips or "
-                f"use mode='auto'/'layer'", stacklevel=2)
+                "hardware that cannot be built — provision more chips or "
+                "use mode='auto'/'layer'", stacklevel=2)
         self.executors: List[_Executor] = []
         chip = 0
         for replica in range(self.plan.num_replicas):

@@ -20,7 +20,7 @@ latency percentile — grow without bound.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from .trace import Request

@@ -22,7 +22,6 @@ across the provisioned chips — e.g. 4 chips holding 2 replicas of a
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 

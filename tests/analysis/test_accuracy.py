@@ -8,7 +8,7 @@ quantization-grouping hardware config, and the scale-free HAWQ cost model.
 import numpy as np
 import pytest
 
-from repro.analysis.accuracy import PRESETS, AccuracyPreset, AccuracyWorkbench
+from repro.analysis.accuracy import PRESETS, AccuracyWorkbench
 
 
 class TestPresets:

@@ -13,7 +13,6 @@ from repro.baselines.element_prune import (
 )
 from repro.core.designer import convert_model
 from repro.models.resnet import resnet20
-from repro.nn.tensor import Tensor
 
 
 class TestMagnitudeMask:

@@ -1,6 +1,5 @@
 """Tests for the PIM-Prune reproduction (repro.baselines.pim_prune)."""
 
-import math
 
 import numpy as np
 import pytest

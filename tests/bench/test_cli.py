@@ -1,0 +1,92 @@
+"""CLI smoke tests: list, compare exit codes, parser wiring."""
+
+import json
+
+import pytest
+
+from repro.analysis.cli import main as repro_main
+from repro.bench.results import BenchResult, BenchRun, write_run
+
+
+def make_run_file(tmp_path, times_by_name, filename=None, fast=True):
+    results = [BenchResult.from_times(name=name, suite=name.split(".")[0],
+                                      times_ms=[t])
+               for name, t in times_by_name.items()]
+    run = BenchRun(results=results, created_at="2026-07-29T00:00:00",
+                   git_sha=None, python="3.11", platform="Linux",
+                   fast=fast, warmup=1, repeats=1)
+    if filename is None:
+        return write_run(run, tmp_path)
+    path = tmp_path / filename
+    path.write_text(json.dumps(run.to_dict()))
+    return path
+
+
+def test_bench_list_smoke(capsys):
+    assert repro_main(["bench", "list"]) == 0
+    out = capsys.readouterr().out
+    for name in ["nn.matmul", "nn.train_step", "pim.simulate_network",
+                 "pipeline.export_roundtrip", "serve.offered_load_sweep"]:
+        assert name in out
+    assert "registered benchmarks" in out
+
+
+def test_bench_compare_file_vs_file(tmp_path, capsys):
+    baseline = make_run_file(tmp_path, {"a.x": 10.0}, "baseline.json")
+    same = make_run_file(tmp_path, {"a.x": 10.5}, "same.json")
+    slow = make_run_file(tmp_path, {"a.x": 20.0}, "slow.json")
+
+    assert repro_main(["bench", "compare", "--baseline", str(baseline),
+                       "--run", str(same)]) == 0
+    assert "within_tolerance" in capsys.readouterr().out
+
+    assert repro_main(["bench", "compare", "--baseline", str(baseline),
+                       "--run", str(slow)]) == 1
+    assert "regression" in capsys.readouterr().out
+
+    # tightened tolerance flips the near-identical run to a failure
+    assert repro_main(["bench", "compare", "--baseline", str(baseline),
+                       "--run", str(same), "--tolerance", "1"]) == 1
+
+
+def test_bench_compare_warns_on_mode_mismatch(tmp_path, capsys):
+    baseline = make_run_file(tmp_path, {"a.x": 10.0}, "baseline.json",
+                             fast=True)
+    full = make_run_file(tmp_path, {"a.x": 10.0}, "full.json", fast=False)
+    assert repro_main(["bench", "compare", "--baseline", str(baseline),
+                       "--run", str(full)]) == 0
+    assert "not like-for-like" in capsys.readouterr().err
+
+
+def test_bench_compare_accepts_run_directory(tmp_path):
+    baseline = make_run_file(tmp_path, {"a.x": 10.0}, "baseline.json")
+    run_dir = tmp_path / "runs"
+    run_dir.mkdir()
+    make_run_file(run_dir, {"a.x": 10.0})
+    assert repro_main(["bench", "compare", "--baseline", str(baseline),
+                       "--run", str(run_dir)]) == 0
+
+
+def test_bench_run_requires_known_suite(capsys):
+    assert repro_main(["bench", "run", "--fast", "--suite", "nope",
+                       "--no-write"]) == 2
+    assert "error: unknown suite" in capsys.readouterr().err
+
+
+def test_bench_compare_bad_inputs_exit_2(tmp_path, capsys):
+    assert repro_main(["bench", "compare", "--baseline",
+                       str(tmp_path / "ghost.json")]) == 2
+    assert "error:" in capsys.readouterr().err
+
+    malformed = tmp_path / "bad.json"
+    malformed.write_text("{\"schema_version\": 99}")
+    assert repro_main(["bench", "compare", "--baseline",
+                       str(malformed)]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_bench_subcommand_is_wired_into_main_parser():
+    with pytest.raises(SystemExit):
+        repro_main(["bench"])           # missing sub-subcommand
+    with pytest.raises(SystemExit):
+        repro_main(["bench", "frobnicate"])

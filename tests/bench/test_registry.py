@@ -1,0 +1,78 @@
+"""Registry registration, dedup and selection."""
+
+import pytest
+
+from repro.bench.registry import (
+    Benchmark,
+    BenchmarkRegistry,
+    DEFAULT_REGISTRY,
+    Workload,
+    benchmark,
+    load_suites,
+)
+
+
+def _noop_factory(fast):
+    return Workload(fn=lambda: None)
+
+
+def test_register_and_get():
+    reg = BenchmarkRegistry()
+    bench = Benchmark(name="x.alpha", suite="x", factory=_noop_factory)
+    reg.register(bench)
+    assert reg.get("x.alpha") is bench
+    assert "x.alpha" in reg
+    assert len(reg) == 1
+
+
+def test_duplicate_registration_rejected():
+    reg = BenchmarkRegistry()
+    reg.register(Benchmark(name="x.alpha", suite="x", factory=_noop_factory))
+    with pytest.raises(ValueError, match="already registered"):
+        reg.register(Benchmark(name="x.alpha", suite="y",
+                               factory=_noop_factory))
+
+
+def test_decorator_registers_and_returns_factory():
+    reg = BenchmarkRegistry()
+
+    @benchmark("x.deco", suite="x", description="d", registry=reg)
+    def factory(fast):
+        return Workload(fn=lambda: None)
+
+    assert factory(True).fn() is None       # factory itself untouched
+    assert reg.get("x.deco").description == "d"
+    assert reg.get("x.deco").factory is factory
+
+
+def test_selection_by_suite_and_name():
+    reg = BenchmarkRegistry()
+    for name, suite in [("a.one", "a"), ("a.two", "a"), ("b.one", "b")]:
+        reg.register(Benchmark(name=name, suite=suite,
+                               factory=_noop_factory))
+    assert [b.name for b in reg.select()] == ["a.one", "a.two", "b.one"]
+    assert [b.name for b in reg.select(suites=["a"])] == ["a.one", "a.two"]
+    assert [b.name for b in reg.select(names=["b.one"])] == ["b.one"]
+    assert reg.suites() == ["a", "b"]
+    with pytest.raises(KeyError):
+        reg.select(suites=["nope"])
+    with pytest.raises(KeyError):
+        reg.select(names=["a.nope"])
+
+
+def test_unknown_name_lists_known():
+    reg = BenchmarkRegistry()
+    with pytest.raises(KeyError, match="no benchmark named"):
+        reg.get("ghost")
+
+
+def test_load_suites_registers_all_four_layers():
+    registry = load_suites()
+    assert registry is DEFAULT_REGISTRY
+    assert {"nn", "pim", "pipeline", "serve"} <= set(registry.suites())
+    # idempotent: importing again must not re-register (dedup would raise)
+    assert load_suites() is registry
+    for expected in ["nn.matmul", "pim.simulate_network",
+                     "pipeline.export_roundtrip",
+                     "serve.offered_load_sweep"]:
+        assert expected in registry

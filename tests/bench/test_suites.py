@@ -1,0 +1,52 @@
+"""The first-class suites produce runnable workloads with honest metadata."""
+
+from repro.bench.registry import load_suites
+from repro.bench.runner import RunnerConfig, run_benchmark
+
+FAST_ONE_SHOT = RunnerConfig(fast=True, warmup=0, repeats=1,
+                             min_sample_ms=0.0)
+
+
+def test_every_registered_factory_builds_a_workload():
+    registry = load_suites()
+    for bench in registry.select():
+        workload = bench.factory(True)
+        assert callable(workload.fn)
+        assert workload.items > 0
+        assert workload.unit
+
+
+def test_pim_simulate_network_reports_work_counters():
+    registry = load_suites()
+    result = run_benchmark(registry.get("pim.simulate_network"),
+                           FAST_ONE_SHOT)
+    assert result.suite == "pim"
+    assert result.counters["layers"] > 0
+    assert result.counters["activation_rounds"] >= result.counters["positions"]
+    assert result.counters["analog_mac_ops"] > 0
+    assert result.wall_time_ms > 0
+
+
+def test_nn_train_step_runs_and_times():
+    registry = load_suites()
+    result = run_benchmark(registry.get("nn.train_step"), FAST_ONE_SHOT)
+    assert result.unit == "images"
+    assert result.throughput is not None and result.throughput > 0
+
+
+def test_pipeline_export_roundtrip_runs():
+    registry = load_suites()
+    result = run_benchmark(registry.get("pipeline.export_roundtrip"),
+                           FAST_ONE_SHOT)
+    assert result.unit == "layers"
+    assert result.items > 0
+
+
+def test_serve_sweep_declares_one_pass_discipline():
+    registry = load_suites()
+    bench = registry.get("serve.offered_load_sweep")
+    # the sweep simulates minutes of traffic: no warmup, and autorange
+    # must never batch multiple sweeps into one sample
+    assert bench.warmup == 0
+    assert bench.repeats == 2
+    assert bench.min_sample_ms == 0.0

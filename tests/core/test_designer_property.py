@@ -1,6 +1,5 @@
 """Property-based tests for the epitome designer and shape chooser."""
 
-import numpy as np
 from hypothesis import given, settings, strategies as st
 
 from repro.core.designer import MIN_EPITOME_IN_CHANNELS, choose_epitome_shape

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro import nn
 from repro.core.designer import convert_model, epitome_layers
 from repro.core.epitome import EpitomeShape
 from repro.core.equant import (
@@ -18,7 +17,6 @@ from repro.core.equant import (
 from repro.core.layers import EpitomeConv2d
 from repro.models.resnet import resnet20
 from repro.nn.tensor import Tensor
-from repro.pim.config import HardwareConfig
 
 
 def big_layer():

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro import nn
 from repro.core.designer import epitome_layers
 from repro.core.equant import EpitomeQuantConfig
 from repro.core.pipeline import EpimPipeline, EpimPipelineConfig

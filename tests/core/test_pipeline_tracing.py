@@ -7,7 +7,6 @@ on every layer's shape and spatial size, or hardware numbers would differ
 between Table 1's uniform rows and its searched rows.
 """
 
-import numpy as np
 import pytest
 
 from repro.core.designer import convert_model, spec_from_model

@@ -1,10 +1,8 @@
 """Tests for the evolutionary layer-wise design (repro.core.search) — Alg. 1."""
 
-import numpy as np
 import pytest
 
 from repro.core.search import (
-    DEFAULT_CANDIDATES,
     EvoSearchConfig,
     build_candidate_grid,
     evaluate_assignment,
@@ -12,7 +10,7 @@ from repro.core.search import (
     _reward,
     EvalResult,
 )
-from repro.models.specs import resnet18_spec, resnet50_spec
+from repro.models.specs import resnet18_spec
 from repro.pim.simulator import baseline_deployment, simulate_network
 
 

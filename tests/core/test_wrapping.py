@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro import nn
 from repro.core.epitome import EpitomeShape, build_plan
 from repro.core.layers import EpitomeConv2d
 from repro.core.wrapping import (

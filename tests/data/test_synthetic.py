@@ -1,7 +1,6 @@
 """Tests for the synthetic dataset (repro.data.synthetic)."""
 
 import numpy as np
-import pytest
 
 from repro.data.synthetic import (
     SyntheticImageConfig,

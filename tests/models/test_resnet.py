@@ -1,7 +1,6 @@
 """Tests for the runnable ResNets (repro.models.resnet)."""
 
 import numpy as np
-import pytest
 
 from repro import nn
 from repro.models.resnet import (

@@ -1,6 +1,5 @@
 """Tests for the ResNet layer-shape tables (repro.models.specs)."""
 
-import numpy as np
 import pytest
 
 from repro.models.specs import (

@@ -1,11 +1,9 @@
 """Tests for optimizers and LR schedules (repro.nn.optim)."""
 
-import math
 
 import numpy as np
 import pytest
 
-from repro import nn
 from repro.nn.modules import Parameter
 from repro.nn.optim import SGD, Adam, CosineSchedule, StepSchedule
 

@@ -1,6 +1,5 @@
 """Tests for the floorplan/area accounting (repro.pim.accelerator)."""
 
-import pytest
 
 from repro.models.specs import resnet50_spec
 from repro.pim.accelerator import build_floorplan

@@ -1,0 +1,55 @@
+"""Simulator work counters (the benchmark harness's work-done evidence)."""
+
+from repro.core.designer import build_deployments, uniform_assignment
+from repro.models.specs import resnet18_spec
+from repro.pim.simulator import (
+    baseline_deployment,
+    reset_sim_counters,
+    sim_counters,
+    simulate_layer,
+    simulate_network,
+)
+
+
+def test_counters_accumulate_and_reset():
+    spec = resnet18_spec().conv_layers[0]
+    deployment = baseline_deployment(spec, weight_bits=9)
+
+    counters = reset_sim_counters()
+    assert counters.as_dict() == {"layers": 0, "positions": 0,
+                                  "activation_rounds": 0,
+                                  "analog_mac_ops": 0, "crossbar_tiles": 0}
+
+    report = simulate_layer(deployment)
+    assert sim_counters() is counters
+    assert counters.layers == 1
+    assert counters.positions == spec.output_positions
+    # baseline: one activation round per output position
+    assert counters.activation_rounds == spec.output_positions
+    assert counters.analog_mac_ops \
+        == spec.output_positions * deployment.exec_cells
+    assert counters.crossbar_tiles == report.num_crossbars
+
+    simulate_layer(deployment)
+    assert counters.layers == 2
+
+    reset_sim_counters()
+    assert counters.layers == 0
+
+
+def test_network_counters_match_per_layer_sums():
+    spec = resnet18_spec()
+    deployments = build_deployments(spec, uniform_assignment(spec),
+                                    weight_bits=9, activation_bits=9,
+                                    use_wrapping=True)
+    counters = reset_sim_counters()
+    report = simulate_network(deployments)
+    assert counters.layers == len(deployments)
+    assert counters.crossbar_tiles == report.num_crossbars
+    assert counters.activation_rounds == sum(
+        layer.positions * layer.rounds_per_position
+        for layer in report.layers)
+    # epitome layers execute multiple rounds per position, so the round
+    # count must exceed the position count for this deployment
+    assert counters.activation_rounds > counters.positions
+    reset_sim_counters()

@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.designer import build_deployments, uniform_assignment
 from repro.models.specs import resnet50_spec
-from repro.pim.lut import DEFAULT_LUT, ComponentLUT
+from repro.pim.lut import DEFAULT_LUT
 from repro.pim.simulator import baseline_deployment, simulate_network
 
 

@@ -1,6 +1,5 @@
 """Tests for weight-to-crossbar mapping (repro.pim.mapping)."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 

@@ -1,12 +1,10 @@
 """Tests for the behaviour-level performance model (repro.pim.simulator)."""
 
-import numpy as np
 import pytest
 
 from repro.core.epitome import EpitomeShape, build_plan
 from repro.models.specs import LayerSpec, resnet50_spec
 from repro.pim.config import DEFAULT_CONFIG
-from repro.pim.lut import DEFAULT_LUT
 from repro.pim.simulator import (
     baseline_deployment,
     epitome_deployment_from_plan,

@@ -1,11 +1,9 @@
 """Property-based tests for the performance model and deployments."""
 
-import numpy as np
 from hypothesis import given, settings, strategies as st
 
 from repro.core.epitome import EpitomeShape, build_plan
 from repro.models.specs import LayerSpec
-from repro.pim.config import DEFAULT_CONFIG
 from repro.pim.simulator import (
     baseline_deployment,
     epitome_deployment_from_plan,

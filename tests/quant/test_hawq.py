@@ -85,14 +85,16 @@ class TestAllocateBits:
 
     def test_budget_respected(self):
         sens = self._sens([1.0, 1.0, 1.0, 1.0])
-        cost = lambda name, bits: float(bits)
+        def cost(name, bits):
+            return float(bits)
         allocation = allocate_bits(sens, [3, 5], cost, budget=14.0)
         total = sum(cost(n, b) for n, b in allocation.items())
         assert total <= 14.0
 
     def test_sensitive_layers_keep_high_bits(self):
         sens = self._sens([100.0, 0.001, 0.001, 100.0])
-        cost = lambda name, bits: float(bits)
+        def cost(name, bits):
+            return float(bits)
         allocation = allocate_bits(sens, [3, 5], cost, budget=16.0)
         assert allocation["l0"] == 5 and allocation["l3"] == 5
         assert allocation["l1"] == 3 and allocation["l2"] == 3

@@ -2,7 +2,6 @@
 
 import json
 
-import pytest
 
 from repro.analysis.cli import main
 from repro.serve.trace import save_trace, synthetic_trace

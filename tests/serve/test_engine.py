@@ -145,5 +145,6 @@ class TestServing:
         for rec in telemetry.records:
             by_priority[rec.priority].append(rec.latency_ms)
         assert by_priority[0] and by_priority[1]
-        mean = lambda xs: sum(xs) / len(xs)
+        def mean(xs):
+            return sum(xs) / len(xs)
         assert mean(by_priority[1]) < mean(by_priority[0])

@@ -11,8 +11,8 @@ import pytest
 
 from repro import nn
 from repro.analysis.accuracy import PRESETS, AccuracyWorkbench
-from repro.core.designer import convert_model, epitome_layers
-from repro.core.epitome import EpitomeShape, build_plan
+from repro.core.designer import convert_model
+from repro.core.epitome import EpitomeShape
 from repro.core.equant import EpitomeQuantConfig, apply_epitome_quantization, epitome_scales
 from repro.core.layers import EpitomeConv2d
 from repro.data.synthetic import make_synthetic_classification
