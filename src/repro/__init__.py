@@ -9,6 +9,8 @@ Full from-scratch reproduction of Wang et al., DAC 2024 (arXiv:2311.07620):
 - :mod:`repro.quant` — quantization + HAWQ-style mixed precision,
 - :mod:`repro.core` — the paper's contribution: epitome operator, designer,
   channel wrapping, epitome-aware quantization, evolutionary layer-wise design,
+- :mod:`repro.search` — vectorized multi-objective design-space search
+  (Algorithm 1, Pareto front, parallel restarts),
 - :mod:`repro.baselines` — PIM-Prune and element pruning baselines,
 - :mod:`repro.analysis` — experiment runners regenerating every table/figure,
 - :mod:`repro.serve` — batched multi-chip inference serving runtime,
@@ -24,6 +26,7 @@ __all__ = [
     "pim",
     "quant",
     "core",
+    "search",
     "baselines",
     "analysis",
     "serve",

@@ -32,7 +32,7 @@ from ..core.designer import (
     spec_from_model,
 )
 from ..core.equant import EpitomeQuantConfig, apply_epitome_quantization
-from ..core.search import (
+from ..search import (
     EvoSearchConfig,
     build_candidate_grid,
     evaluate_assignment,

@@ -8,6 +8,7 @@ Usage::
     python -m repro figure3 [--model resnet50]
     python -m repro figure4 [--model resnet50]
     python -m repro summary            # hardware-only overview, no training
+    python -m repro search [...]       # design-space search (repro.search.cli)
     python -m repro serve [...]        # serving runtime (repro.serve.cli)
     python -m repro bench [...]        # benchmark harness (repro.bench.cli)
 
@@ -25,6 +26,7 @@ from typing import List, Optional
 from .accuracy import PRESETS
 from .experiments import run_figure3, run_figure4, run_table1, run_table2, run_table3
 from ..bench.cli import add_bench_parser, run_bench
+from ..search.cli import add_search_parser, run_search_cli
 from ..serve.cli import add_serve_parser, run_serve
 
 __all__ = ["main", "build_parser"]
@@ -68,6 +70,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="hardware overview of every artefact (fast)")
     add_common(s, model=True)
 
+    add_search_parser(sub)
     add_serve_parser(sub)
     add_bench_parser(sub)
     return parser
@@ -93,6 +96,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         run_figure3(args.model)
         print()
         run_figure4(args.model)
+    elif args.command == "search":
+        return run_search_cli(args)
     elif args.command == "serve":
         return run_serve(args)
     elif args.command == "bench":

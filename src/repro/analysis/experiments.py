@@ -13,7 +13,7 @@ substitution).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Tuple
 
 from .accuracy import PRESETS, AccuracyPreset, AccuracyWorkbench
@@ -25,6 +25,18 @@ from .hardware import (
     table1_hardware_rows,
 )
 from .tables import Table, series_block
+from ..models.specs import get_network_spec
+from ..pim.config import DEFAULT_CONFIG, HardwareConfig
+from ..pim.lut import DEFAULT_LUT, ComponentLUT
+from ..search import (
+    EvoSearchConfig,
+    ParetoPoint,
+    SearchResult,
+    build_candidate_grid,
+    evaluate_assignment,
+    evolution_search,
+    uniform_budget,
+)
 
 __all__ = [
     "run_table1",
@@ -32,6 +44,8 @@ __all__ = [
     "run_table3",
     "run_figure3",
     "run_figure4",
+    "run_search",
+    "SearchRunResult",
     "PRESETS",
 ]
 
@@ -231,6 +245,86 @@ def run_figure3(model_name: str = "resnet50", verbose: bool = True
     if verbose:
         print(rendered)
     return Figure3Result(rows=rows, rendered=rendered)
+
+
+@dataclass
+class SearchRunResult:
+    """Output of :func:`run_search` — one design-space search run."""
+
+    model: str
+    objective: str
+    budget: int
+    baseline_crossbars: int
+    design_space_size: int
+    result: SearchResult
+    front: Optional[List[ParetoPoint]]
+    rendered: str
+
+
+def run_search(model_name: str = "resnet50",
+               objective: str = "latency",
+               budget: Optional[int] = None,
+               budget_fraction: float = 0.78,
+               search: EvoSearchConfig = EvoSearchConfig(),
+               weight_bits: Optional[int] = 9,
+               activation_bits: Optional[int] = 9,
+               use_wrapping: bool = True,
+               uniform_rows: int = 1024, uniform_cols: int = 256,
+               config: HardwareConfig = DEFAULT_CONFIG,
+               lut: ComponentLUT = DEFAULT_LUT,
+               verbose: bool = True) -> SearchRunResult:
+    """Run the section 5.2 design-space search end to end and render it.
+
+    The crossbar budget defaults to ``budget_fraction`` of the uniform
+    ``uniform_rows x uniform_cols`` design's demand — the same convention
+    as Table 1's "-Opt" rows.  ``objective="pareto"`` renders the whole
+    latency x energy x crossbars front; scalar objectives render the
+    single best design next to the no-epitome baseline.
+    """
+    spec = get_network_spec(model_name)
+    grid = build_candidate_grid(spec, weight_bits=weight_bits,
+                                activation_bits=activation_bits,
+                                use_wrapping=use_wrapping,
+                                config=config, lut=lut)
+    baseline = evaluate_assignment(grid, [None] * len(spec), lut)
+    if budget is None:
+        budget = uniform_budget(grid, uniform_rows, uniform_cols,
+                                budget_fraction, lut)
+
+    result = evolution_search(grid, budget,
+                              replace(search, objective=objective), lut)
+
+    header = (f"Design-space search — {spec.name}, objective={objective}, "
+              f"budget={budget} XBs "
+              f"({grid.design_space_size:.2e} combinations)")
+    columns = ["Design", "#XBs", "CR of XBs", "Latency(ms)", "Energy(mJ)",
+               "EDP", "Feasible"]
+    table = Table(columns, title=header)
+
+    def add_row(label: str, ev, feasible: bool) -> None:
+        table.add_row(label, ev.crossbars,
+                      baseline.crossbars / max(ev.crossbars, 1),
+                      ev.latency_ms, ev.energy_mj, ev.edp,
+                      "yes" if feasible else "NO")
+
+    add_row("baseline (no epitome)", baseline, True)
+    if result.front is not None:
+        for i, point in enumerate(result.front):
+            knee = point.eval == result.eval
+            add_row(f"front[{i}]{' *knee' if knee else ''}", point.eval,
+                    point.eval.crossbars <= budget)
+    else:
+        add_row(f"{objective}-opt ({len(result.assignment)} layers "
+                f"converted)", result.eval, result.feasible)
+    rendered = table.render()
+    if verbose:
+        print(rendered)
+    return SearchRunResult(model=model_name, objective=objective,
+                           budget=budget,
+                           baseline_crossbars=baseline.crossbars,
+                           design_space_size=grid.design_space_size,
+                           result=result, front=result.front,
+                           rendered=rendered)
 
 
 @dataclass

@@ -13,16 +13,17 @@ utilization are functions of shapes and the mapping only, so these are the
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 
 from ..baselines.pim_prune import pim_prune_network
 from ..core.designer import build_deployments, uniform_assignment
-from ..core.search import (
+from ..search import (
     EvoSearchConfig,
     build_candidate_grid,
     evolution_search,
+    uniform_budget,
 )
 from ..models.specs import NetworkSpec, get_network_spec
 from ..pim.config import DEFAULT_CONFIG, HardwareConfig
@@ -185,20 +186,15 @@ def table1_hardware_rows(model_name: str = "resnet50",
     add(f"EPIM-{model}", "W9A9", epitome_label, ep_w9)
 
     if include_opt_rows:
-        budget = int(ep_w9.num_crossbars * opt_budget_fraction)
+        grid = build_candidate_grid(spec, weight_bits=9, activation_bits=9,
+                                    use_wrapping=True, config=config,
+                                    lut=lut)
+        budget = uniform_budget(grid, uniform_rows, uniform_cols,
+                                opt_budget_fraction, lut)
         for objective, tag in (("latency", "Latency-Opt"),
                                ("energy", "Energy-Opt")):
-            grid = build_candidate_grid(spec, weight_bits=9, activation_bits=9,
-                                        use_wrapping=True, config=config,
-                                        lut=lut)
             result = evolution_search(
-                grid, budget,
-                EvoSearchConfig(population_size=search.population_size,
-                                iterations=search.iterations,
-                                num_parents=search.num_parents,
-                                mutation_layers=search.mutation_layers,
-                                objective=objective, seed=search.seed),
-                lut=lut)
+                grid, budget, replace(search, objective=objective), lut=lut)
             report = _simulate(spec, result.assignment, weight_bits=9,
                                activation_bits=9, use_wrapping=True,
                                config=config, lut=lut)
@@ -348,13 +344,7 @@ def figure4_series(model_name: str = "resnet50",
                                     wrapped.edp)
         for grid, tag in ((grid_plain, "EPIM-Evo"), (grid_wrap, "EPIM-Opt")):
             result = evolution_search(
-                grid, budget,
-                EvoSearchConfig(population_size=search.population_size,
-                                iterations=search.iterations,
-                                num_parents=search.num_parents,
-                                mutation_layers=search.mutation_layers,
-                                objective="edp", seed=search.seed),
-                lut=lut)
+                grid, budget, replace(search, objective="edp"), lut=lut)
             point.metrics[tag] = (result.eval.latency_ms,
                                   result.eval.energy_mj, result.eval.edp)
         points.append(point)

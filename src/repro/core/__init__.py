@@ -8,7 +8,8 @@
   models and shape-level PIM deployments (Fig. 2a's "Designer");
 - :mod:`repro.core.wrapping` — output channel wrapping (Eqs. 8-9);
 - :mod:`repro.core.equant` — epitome-aware quantization (Eqs. 4-5);
-- :mod:`repro.core.search` — evolutionary layer-wise design (Alg. 1);
+- :mod:`repro.core.search` — shim onto :mod:`repro.search`, the
+  vectorized evolutionary layer-wise design (Alg. 1);
 - :mod:`repro.core.pipeline` — the end-to-end EPIM flow.
 """
 

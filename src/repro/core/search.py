@@ -1,317 +1,53 @@
-"""Evolutionary layer-wise epitome design (paper section 5.2, Algorithm 1).
+"""Compatibility shim — the search engine lives in :mod:`repro.search`.
 
-Each individual in the population is a per-layer epitome choice (one
-candidate per layer out of a candidate set ``C``; the full design space is
-``N^l`` — the paper quotes 20,676,608 combinations for its grid).  Fitness
-follows Eqs. 6-7:
-
-    Reward = m / Latency(E)    or    m / Energy(E),
-    m = 0 if #Crossbar(E) > Budget else 1
-
-so any individual over the crossbar budget scores below every feasible one.
-Selection keeps the top individuals as parents; mutation re-rolls a random
-subset of layers to random candidates (Algorithm 1 lines 9-14).
-
-Per-layer hardware results are cached: a layer's (crossbars, latency,
-dynamic energy) depend only on its own deployment, so an individual is
-evaluated by summing cached per-layer numbers and adding the network-level
-static-leakage term — thousands of generations cost seconds instead of
-hours.
+The evolutionary layer-wise design (paper section 5.2, Algorithm 1) grew
+into its own package with a vectorized population evaluator, a Pareto
+multi-objective mode and parallel restarts; see
+:mod:`repro.search.grid`, :mod:`repro.search.evolve` and
+:mod:`repro.search.pareto`.  Everything historically importable from
+``repro.core.search`` resolves here unchanged.
 """
 
-from __future__ import annotations
-
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
-
-import numpy as np
-
-from ..models.specs import NetworkSpec
-from ..pim.config import DEFAULT_CONFIG, HardwareConfig
-from ..pim.lut import DEFAULT_LUT, ComponentLUT
-from ..pim.simulator import baseline_deployment, epitome_deployment_from_plan, simulate_layer
-from .designer import EpitomeAssignment, choose_epitome_shape
-from .epitome import build_plan
+from ..search.grid import (        # noqa: F401
+    DEFAULT_CANDIDATES,
+    OBJECTIVES,
+    Candidate,
+    CandidateGrid,
+    EvalResult,
+    GridMatrices,
+    PopulationEval,
+    build_candidate_grid,
+    build_matrices,
+    decode_genome,
+    encode_genome,
+    evaluate_assignment,
+    evaluate_population,
+    population_rewards,
+)
+from ..search.evolve import (      # noqa: F401
+    EvoSearchConfig,
+    SearchResult,
+    _evolution_search_once,
+    _reward,
+    evolution_search,
+    initial_population,
+)
+from ..search.pareto import (      # noqa: F401
+    ParetoPoint,
+    ParetoResult,
+    crowding_distance,
+    non_dominated_mask,
+    pareto_search,
+)
 
 __all__ = [
     "CandidateGrid",
     "DEFAULT_CANDIDATES",
     "EvoSearchConfig",
     "SearchResult",
+    "ParetoResult",
     "evolution_search",
+    "pareto_search",
     "evaluate_assignment",
+    "build_candidate_grid",
 ]
-
-# A candidate is a (rows, cols) epitome description or None (keep conv).
-Candidate = Optional[Tuple[int, int]]
-
-DEFAULT_CANDIDATES: List[Candidate] = [
-    None,
-    (2048, 512), (2048, 256),
-    (1024, 512), (1024, 256), (1024, 128),
-    (512, 256), (512, 128),
-    (256, 128), (256, 64),
-]
-
-
-@dataclass
-class CandidateGrid:
-    """Valid candidates per layer, plus cached per-layer hardware results."""
-
-    spec: NetworkSpec
-    candidates: Dict[str, List[Candidate]]
-    # (layer name, candidate) -> (crossbars, latency_ns, dynamic_energy_pj)
-    cache: Dict[Tuple[str, Candidate], Tuple[int, float, float]]
-
-    @property
-    def design_space_size(self) -> int:
-        size = 1
-        for options in self.candidates.values():
-            size *= len(options)
-        return size
-
-
-def build_candidate_grid(spec: NetworkSpec,
-                         candidates: Sequence[Candidate] = tuple(DEFAULT_CANDIDATES),
-                         weight_bits: Optional[int] = None,
-                         activation_bits: Optional[int] = None,
-                         use_wrapping: bool = False,
-                         config: HardwareConfig = DEFAULT_CONFIG,
-                         lut: ComponentLUT = DEFAULT_LUT) -> CandidateGrid:
-    """Enumerate valid candidates per layer and pre-simulate each one."""
-    per_layer: Dict[str, List[Candidate]] = {}
-    cache: Dict[Tuple[str, Candidate], Tuple[int, float, float]] = {}
-    for layer in spec:
-        options: List[Candidate] = [None]
-        report = simulate_layer(baseline_deployment(
-            layer, weight_bits=weight_bits, activation_bits=activation_bits,
-            config=config), config, lut)
-        cache[(layer.name, None)] = (report.num_crossbars, report.latency_ns,
-                                     report.energy_pj)
-        if layer.kind == "conv":
-            for cand in candidates:
-                if cand is None:
-                    continue
-                shape = choose_epitome_shape(layer, cand[0], cand[1], config)
-                if shape is None:
-                    continue
-                plan = build_plan(
-                    (layer.out_channels, layer.in_channels, *layer.kernel_size),
-                    shape, with_index_map=False)
-                dep = epitome_deployment_from_plan(
-                    layer, plan, weight_bits=weight_bits,
-                    activation_bits=activation_bits,
-                    use_wrapping=use_wrapping, config=config)
-                report = simulate_layer(dep, config, lut)
-                options.append(cand)
-                cache[(layer.name, cand)] = (report.num_crossbars,
-                                             report.latency_ns,
-                                             report.energy_pj)
-        per_layer[layer.name] = options
-    return CandidateGrid(spec=spec, candidates=per_layer, cache=cache)
-
-
-@dataclass(frozen=True)
-class EvalResult:
-    """Aggregated hardware numbers for one individual."""
-
-    crossbars: int
-    latency_ms: float
-    energy_mj: float
-
-    @property
-    def edp(self) -> float:
-        return self.latency_ms * self.energy_mj
-
-
-def evaluate_assignment(grid: CandidateGrid, genome: Sequence[Candidate],
-                        lut: ComponentLUT = DEFAULT_LUT) -> EvalResult:
-    """Sum cached per-layer results + the network-level static energy."""
-    xbars = 0
-    latency_ns = 0.0
-    dynamic_pj = 0.0
-    for layer, cand in zip(grid.spec, genome):
-        cell = grid.cache[(layer.name, cand)]
-        xbars += cell[0]
-        latency_ns += cell[1]
-        dynamic_pj += cell[2]
-    latency_ms = latency_ns / 1e6
-    static_mj = (lut.p_leak_per_xbar_uw * xbars * latency_ms * 1e-6
-                 * lut.energy_scale)
-    return EvalResult(crossbars=xbars, latency_ms=latency_ms,
-                      energy_mj=dynamic_pj / 1e9 + static_mj)
-
-
-@dataclass(frozen=True)
-class EvoSearchConfig:
-    """Hyper-parameters of Algorithm 1."""
-
-    population_size: int = 64
-    iterations: int = 60
-    num_parents: int = 16
-    mutation_layers: int = 3      # layers re-rolled per mutation
-    objective: str = "latency"    # "latency" | "energy" | "edp"
-    seed: int = 0
-    restarts: int = 3             # independent runs; best one wins
-
-
-@dataclass
-class SearchResult:
-    """Output of the evolutionary search."""
-
-    assignment: EpitomeAssignment
-    genome: List[Candidate]
-    eval: EvalResult
-    history: List[float] = field(default_factory=list)
-    feasible: bool = True
-
-
-def _reward(result: EvalResult, budget: Optional[int], objective: str) -> float:
-    """Eqs. 6-7: inverse objective, gated to 0 above the crossbar budget."""
-    if budget is not None and result.crossbars > budget:
-        return 0.0
-    if objective == "latency":
-        value = result.latency_ms
-    elif objective == "energy":
-        value = result.energy_mj
-    elif objective == "edp":
-        value = result.edp
-    else:
-        raise ValueError(f"unknown objective {objective!r}")
-    return 1.0 / value if value > 0 else 0.0
-
-
-def evolution_search(grid: CandidateGrid,
-                     crossbar_budget: Optional[int],
-                     search: EvoSearchConfig = EvoSearchConfig(),
-                     lut: ComponentLUT = DEFAULT_LUT) -> SearchResult:
-    """Run Algorithm 1 over a pre-built candidate grid.
-
-    ``search.restarts`` independent populations are evolved (seeds
-    ``seed, seed+1, ...``) and the best result returned — evolutionary
-    search is stochastic, and multi-restart is the standard cheap variance
-    reduction.
-
-    Parameters
-    ----------
-    grid:
-        From :func:`build_candidate_grid` (fixes precision/wrapping).
-    crossbar_budget:
-        The ``Budget`` of Eq. 7; individuals above it get reward 0.  ``None``
-        disables the constraint.
-    search:
-        Population/mutation hyper-parameters.
-
-    Returns
-    -------
-    SearchResult
-        Best feasible individual across restarts, with the per-iteration
-        best-reward history of the winning run.
-    """
-    best_result: Optional[SearchResult] = None
-    best_reward_overall = -1.0
-    for restart in range(max(1, search.restarts)):
-        result = _evolution_search_once(
-            grid, crossbar_budget,
-            EvoSearchConfig(population_size=search.population_size,
-                            iterations=search.iterations,
-                            num_parents=search.num_parents,
-                            mutation_layers=search.mutation_layers,
-                            objective=search.objective,
-                            seed=search.seed + restart,
-                            restarts=1),
-            lut)
-        reward = _reward(result.eval, crossbar_budget, search.objective)
-        if reward > best_reward_overall:
-            best_reward_overall = reward
-            best_result = result
-    assert best_result is not None
-    return best_result
-
-
-def _evolution_search_once(grid: CandidateGrid,
-                           crossbar_budget: Optional[int],
-                           search: EvoSearchConfig,
-                           lut: ComponentLUT) -> SearchResult:
-    """One population's evolution (Algorithm 1 verbatim)."""
-    rng = np.random.default_rng(search.seed)
-    layer_names = [layer.name for layer in grid.spec]
-    option_lists = [grid.candidates[name] for name in layer_names]
-
-    def random_genome() -> List[Candidate]:
-        return [options[rng.integers(len(options))] for options in option_lists]
-
-    def smallest_genome() -> List[Candidate]:
-        # Most aggressive compression everywhere: a feasibility anchor so
-        # the population contains an in-budget individual from iteration 0.
-        genome = []
-        for name, options in zip(layer_names, option_lists):
-            best = min(options, key=lambda c: grid.cache[(name, c)][0])
-            genome.append(best)
-        return genome
-
-    def uniform_genomes() -> List[List[Candidate]]:
-        # Seed with every "same candidate everywhere" design (falling back
-        # to the smallest option where a layer lacks the candidate), so the
-        # search never does worse than the best uniform design — uniform
-        # configurations are its explicit starting points.
-        all_candidates = {cand for options in option_lists for cand in options
-                          if cand is not None}
-        genomes = []
-        for cand in sorted(all_candidates):
-            genome = []
-            for name, options in zip(layer_names, option_lists):
-                if cand in options:
-                    genome.append(cand)
-                else:
-                    genome.append(min(options,
-                                      key=lambda c: grid.cache[(name, c)][0]))
-            genomes.append(genome)
-        return genomes
-
-    seeds = uniform_genomes()[:max(0, search.population_size - 2)]
-    n_random = max(1, search.population_size - 1 - len(seeds))
-    population: List[List[Candidate]] = [random_genome() for _ in range(n_random)]
-    population.extend(seeds)
-    population.append(smallest_genome())
-
-    history: List[float] = []
-    best_genome: Optional[List[Candidate]] = None
-    best_reward = -1.0
-
-    for _ in range(search.iterations):
-        scored = []
-        for genome in population:
-            result = evaluate_assignment(grid, genome, lut)
-            reward = _reward(result, crossbar_budget, search.objective)
-            scored.append((reward, genome, result))
-        scored.sort(key=lambda item: item[0], reverse=True)
-        if scored[0][0] > best_reward:
-            best_reward = scored[0][0]
-            best_genome = list(scored[0][1])
-        history.append(scored[0][0])
-
-        parents = [genome for _, genome, _ in scored[:search.num_parents]]
-        next_population: List[List[Candidate]] = [list(p) for p in parents]
-        while len(next_population) < search.population_size:
-            parent = parents[rng.integers(len(parents))]
-            child = list(parent)
-            for _ in range(search.mutation_layers):
-                li = int(rng.integers(len(child)))
-                child[li] = option_lists[li][rng.integers(len(option_lists[li]))]
-            next_population.append(child)
-        population = next_population
-
-    if best_genome is None:      # pragma: no cover - population is never empty
-        best_genome = population[0]
-    final = evaluate_assignment(grid, best_genome, lut)
-    assignment: EpitomeAssignment = {
-        name: cand for name, cand in zip(layer_names, best_genome)
-        if cand is not None}
-    return SearchResult(
-        assignment=assignment,
-        genome=best_genome,
-        eval=final,
-        history=history,
-        feasible=(crossbar_budget is None or final.crossbars <= crossbar_budget),
-    )

@@ -301,7 +301,13 @@ class NetworkReport:
     @property
     def bottleneck_latency_ms(self) -> float:
         """Slowest layer's latency — the stage time of a layer-pipelined
-        dataflow (every layer on its own crossbar groups, images streamed)."""
+        dataflow (every layer on its own crossbar groups, images streamed).
+
+        An empty report has no pipeline stage, so its bottleneck is 0 —
+        consistent with the sibling sums rather than a bare ``max()``
+        ValueError."""
+        if not self.layers:
+            return 0.0
         return max(layer.latency_ns for layer in self.layers) / 1e6
 
     @property
@@ -310,10 +316,12 @@ class NetworkReport:
 
         Epitome layers multiply their own activation rounds, so they deepen
         the pipeline bottleneck disproportionately — the pipelined view of
-        the section 5.1 latency analysis.
+        the section 5.1 latency analysis.  An empty network computes
+        nothing and therefore serves nothing: 0 fps, matching the 0-valued
+        sibling properties.
         """
         bottleneck = self.bottleneck_latency_ms
-        return 1000.0 / bottleneck if bottleneck > 0 else float("inf")
+        return 1000.0 / bottleneck if bottleneck > 0 else 0.0
 
     @property
     def datapath_overhead_ms(self) -> float:

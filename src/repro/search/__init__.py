@@ -1,0 +1,73 @@
+"""repro.search — the design-space search engine (paper section 5.2).
+
+- :mod:`repro.search.grid` — candidate grids, numpy lookup matrices and
+  the vectorized population evaluator (bit-for-bit equal to the scalar
+  per-genome path);
+- :mod:`repro.search.evolve` — Algorithm 1, vectorized: integer-array
+  populations, crossover + layer re-roll mutation, reward-plateau early
+  stopping, multiprocess-parallel restarts;
+- :mod:`repro.search.pareto` — multi-objective mode: the Pareto front of
+  latency x energy x crossbars instead of a single scalar reward;
+- :mod:`repro.search.cli` — the ``python -m repro search`` subcommand.
+
+``repro.core.search`` re-exports this package's public API, so historical
+imports keep resolving.
+"""
+
+from .grid import (
+    DEFAULT_CANDIDATES,
+    OBJECTIVES,
+    Candidate,
+    CandidateGrid,
+    EvalResult,
+    GridMatrices,
+    PopulationEval,
+    build_candidate_grid,
+    build_matrices,
+    decode_genome,
+    encode_genome,
+    evaluate_assignment,
+    evaluate_population,
+    population_rewards,
+    uniform_budget,
+)
+from .evolve import (
+    EvoSearchConfig,
+    SearchResult,
+    evolution_search,
+    initial_population,
+)
+from .pareto import (
+    ParetoPoint,
+    ParetoResult,
+    crowding_distance,
+    non_dominated_mask,
+    pareto_search,
+)
+
+__all__ = [
+    "Candidate",
+    "CandidateGrid",
+    "DEFAULT_CANDIDATES",
+    "OBJECTIVES",
+    "EvalResult",
+    "EvoSearchConfig",
+    "GridMatrices",
+    "ParetoPoint",
+    "ParetoResult",
+    "PopulationEval",
+    "SearchResult",
+    "build_candidate_grid",
+    "build_matrices",
+    "crowding_distance",
+    "decode_genome",
+    "encode_genome",
+    "evaluate_assignment",
+    "evaluate_population",
+    "evolution_search",
+    "initial_population",
+    "non_dominated_mask",
+    "pareto_search",
+    "population_rewards",
+    "uniform_budget",
+]

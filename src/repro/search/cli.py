@@ -1,0 +1,155 @@
+"""``python -m repro search`` — design-space search from the shell.
+
+Examples::
+
+    python -m repro search                               # latency-opt ResNet-50
+    python -m repro search --objective pareto            # full frontier
+    python -m repro search --model resnet18 --objective edp \
+        --population 128 --iterations 100 --restarts 4 --workers 4
+    python -m repro search --budget 600 --json design.json
+
+The crossbar budget defaults to ``--budget-fraction`` (0.78, Table 1's
+convention) of the uniform 1024x256 design's demand; ``--budget`` pins an
+absolute number of crossbars instead.  ``--json`` writes the winning
+genome (and, in Pareto mode, the whole front) for downstream tooling —
+e.g. handing an assignment to ``repro serve``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .evolve import EvoSearchConfig
+
+__all__ = ["add_search_parser", "run_search_cli", "main"]
+
+MODELS = ["resnet18", "resnet34", "resnet50", "resnet101"]
+OBJECTIVE_CHOICES = ["latency", "energy", "edp", "pareto"]
+
+
+def add_search_parser(subparsers) -> argparse.ArgumentParser:
+    """Register the ``search`` subcommand on an existing subparser set."""
+    p = subparsers.add_parser(
+        "search",
+        help="evolutionary design-space search (Alg. 1, vectorized)")
+    p.add_argument("--model", default="resnet50", choices=MODELS,
+                   help="network whose layer-wise design is searched")
+    p.add_argument("--objective", default="latency",
+                   choices=OBJECTIVE_CHOICES,
+                   help="scalar reward, or 'pareto' for the "
+                        "latency x energy x crossbars front")
+    p.add_argument("--budget", type=int, default=None, metavar="XBS",
+                   help="absolute crossbar budget (default: derived from "
+                        "--budget-fraction)")
+    p.add_argument("--budget-fraction", type=float, default=0.78,
+                   metavar="FRAC",
+                   help="budget as a fraction of the uniform 1024x256 "
+                        "design's crossbars (Table 1 convention)")
+    p.add_argument("--population", type=int, default=64)
+    p.add_argument("--iterations", type=int, default=60)
+    p.add_argument("--restarts", type=int, default=3)
+    p.add_argument("--num-parents", type=int, default=16)
+    p.add_argument("--mutation-layers", type=int, default=3)
+    p.add_argument("--crossover-rate", type=float, default=0.5)
+    p.add_argument("--patience", type=int, default=None,
+                   help="early-stop after this many stagnant iterations")
+    p.add_argument("--workers", type=int, default=1,
+                   help="processes for the restart fan-out")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--weight-bits", type=int, default=9)
+    p.add_argument("--activation-bits", type=int, default=9)
+    p.add_argument("--no-wrapping", action="store_true",
+                   help="disable channel wrapping in the candidate grid")
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="write the result (genome/front/history) as JSON")
+    return p
+
+
+def _genome_json(genome) -> List:
+    return [list(cand) if cand is not None else None for cand in genome]
+
+
+def run_search_cli(args) -> int:
+    """Dispatch a parsed ``search`` namespace (wired from repro.analysis.cli)."""
+    # Imported here: repro.analysis.cli imports this module, and
+    # experiments pulls the analysis package in turn.
+    from ..analysis.experiments import run_search
+
+    try:
+        search = EvoSearchConfig(
+            population_size=args.population,
+            iterations=args.iterations,
+            num_parents=args.num_parents,
+            mutation_layers=args.mutation_layers,
+            objective=args.objective,
+            seed=args.seed,
+            restarts=args.restarts,
+            crossover_rate=args.crossover_rate,
+            patience=args.patience,
+            workers=args.workers,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    outcome = run_search(
+        model_name=args.model,
+        objective=args.objective,
+        budget=args.budget,
+        budget_fraction=args.budget_fraction,
+        search=search,
+        weight_bits=args.weight_bits,
+        activation_bits=args.activation_bits,
+        use_wrapping=not args.no_wrapping,
+    )
+    if not outcome.result.feasible:
+        print(f"warning: no design met the {outcome.budget}-crossbar "
+              "budget; reporting the closest infeasible one",
+              file=sys.stderr)
+    if args.json:
+        payload = {
+            "model": outcome.model,
+            "objective": outcome.objective,
+            "budget": outcome.budget,
+            "baseline_crossbars": outcome.baseline_crossbars,
+            "design_space_size": float(outcome.design_space_size),
+            "feasible": outcome.result.feasible,
+            "history": outcome.result.history,
+            "best": {
+                "genome": _genome_json(outcome.result.genome),
+                "assignment": {name: list(cand) for name, cand
+                               in outcome.result.assignment.items()},
+                "crossbars": outcome.result.eval.crossbars,
+                "latency_ms": outcome.result.eval.latency_ms,
+                "energy_mj": outcome.result.eval.energy_mj,
+                "edp": outcome.result.eval.edp,
+            },
+        }
+        if outcome.front is not None:
+            payload["front"] = [{
+                "genome": _genome_json(point.genome),
+                "crossbars": point.eval.crossbars,
+                "latency_ms": point.eval.latency_ms,
+                "energy_mj": point.eval.energy_mj,
+                "edp": point.eval.edp,
+            } for point in outcome.front]
+        path = Path(args.json)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {path}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Standalone entry point (``python -m repro.search.cli``)."""
+    parser = argparse.ArgumentParser(prog="python -m repro.search.cli")
+    sub = parser.add_subparsers(dest="command", required=True)
+    add_search_parser(sub)
+    return run_search_cli(parser.parse_args(argv))
+
+
+if __name__ == "__main__":      # pragma: no cover
+    sys.exit(main())

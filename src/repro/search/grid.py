@@ -1,0 +1,308 @@
+"""Candidate grids and the vectorized population evaluator.
+
+The design space of section 5.2 is a per-layer choice out of a candidate
+set ``C`` (``None`` keeps the conv layer as-is).  A layer's hardware cost
+(crossbars, latency, dynamic energy) depends only on its own deployment,
+so the whole space is captured by three ``(layers, candidates)`` lookup
+matrices.  A genome is then an integer index per layer, a population is an
+``(P, L)`` integer array, and scoring a generation is a gather plus a sum
+over the layer axis — no per-individual Python loop.
+
+:func:`evaluate_population` accumulates the layer axis in layer order so
+its sums are *bit-for-bit identical* to the scalar
+:func:`evaluate_assignment` loop (same IEEE-754 operation sequence);
+reward orderings of the vectorized and scalar paths therefore agree
+exactly, which ``tests/search/test_grid.py`` pins down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..models.specs import NetworkSpec
+from ..pim.config import DEFAULT_CONFIG, HardwareConfig
+from ..pim.lut import DEFAULT_LUT, ComponentLUT
+from ..pim.simulator import (
+    baseline_deployment,
+    epitome_deployment_from_plan,
+    simulate_layer,
+)
+
+__all__ = [
+    "Candidate",
+    "DEFAULT_CANDIDATES",
+    "CandidateGrid",
+    "GridMatrices",
+    "EvalResult",
+    "PopulationEval",
+    "build_candidate_grid",
+    "evaluate_assignment",
+    "evaluate_population",
+    "population_rewards",
+    "encode_genome",
+    "decode_genome",
+    "uniform_budget",
+]
+
+# A candidate is a (rows, cols) epitome description or None (keep conv).
+Candidate = Optional[Tuple[int, int]]
+
+DEFAULT_CANDIDATES: List[Candidate] = [
+    None,
+    (2048, 512), (2048, 256),
+    (1024, 512), (1024, 256), (1024, 128),
+    (512, 256), (512, 128),
+    (256, 128), (256, 64),
+]
+
+OBJECTIVES = ("latency", "energy", "edp")
+
+
+@dataclass(frozen=True)
+class GridMatrices:
+    """Per-layer hardware cache encoded as numpy lookup matrices.
+
+    Rows are layers (grid/spec order); columns index each layer's valid
+    candidate list.  ``num_options[i]`` columns are meaningful in row
+    ``i``; the padding beyond them is never indexed because genomes hold
+    in-range option indices.
+    """
+
+    layer_names: Tuple[str, ...]
+    options: Tuple[Tuple[Candidate, ...], ...]
+    num_options: np.ndarray     # (L,) int64
+    crossbars: np.ndarray       # (L, K) int64
+    latency_ns: np.ndarray      # (L, K) float64
+    dynamic_pj: np.ndarray      # (L, K) float64
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.layer_names)
+
+    def option_index(self, layer: int, candidate: Candidate) -> int:
+        return self.options[layer].index(candidate)
+
+
+@dataclass
+class CandidateGrid:
+    """Valid candidates per layer, plus cached per-layer hardware results."""
+
+    spec: NetworkSpec
+    candidates: Dict[str, List[Candidate]]
+    # (layer name, candidate) -> (crossbars, latency_ns, dynamic_energy_pj)
+    cache: Dict[Tuple[str, Candidate], Tuple[int, float, float]]
+
+    @property
+    def design_space_size(self) -> int:
+        size = 1
+        for options in self.candidates.values():
+            size *= len(options)
+        return size
+
+    def matrices(self) -> GridMatrices:
+        """The grid's cache as lookup matrices (built once, then cached)."""
+        cached = getattr(self, "_matrices", None)
+        if cached is None:
+            cached = build_matrices(self)
+            object.__setattr__(self, "_matrices", cached)
+        return cached
+
+
+def build_candidate_grid(spec: NetworkSpec,
+                         candidates: Sequence[Candidate] = tuple(DEFAULT_CANDIDATES),
+                         weight_bits: Optional[int] = None,
+                         activation_bits: Optional[int] = None,
+                         use_wrapping: bool = False,
+                         config: HardwareConfig = DEFAULT_CONFIG,
+                         lut: ComponentLUT = DEFAULT_LUT) -> CandidateGrid:
+    """Enumerate valid candidates per layer and pre-simulate each one."""
+    # Imported here, not at module top: repro.core re-exports this package
+    # through its repro.core.search shim, so a module-level import of
+    # repro.core.* from here would be circular.
+    from ..core.designer import choose_epitome_shape
+    from ..core.epitome import build_plan
+
+    per_layer: Dict[str, List[Candidate]] = {}
+    cache: Dict[Tuple[str, Candidate], Tuple[int, float, float]] = {}
+    for layer in spec:
+        options: List[Candidate] = [None]
+        report = simulate_layer(baseline_deployment(
+            layer, weight_bits=weight_bits, activation_bits=activation_bits,
+            config=config), config, lut)
+        cache[(layer.name, None)] = (report.num_crossbars, report.latency_ns,
+                                     report.energy_pj)
+        if layer.kind == "conv":
+            for cand in candidates:
+                if cand is None:
+                    continue
+                shape = choose_epitome_shape(layer, cand[0], cand[1], config)
+                if shape is None:
+                    continue
+                plan = build_plan(
+                    (layer.out_channels, layer.in_channels, *layer.kernel_size),
+                    shape, with_index_map=False)
+                dep = epitome_deployment_from_plan(
+                    layer, plan, weight_bits=weight_bits,
+                    activation_bits=activation_bits,
+                    use_wrapping=use_wrapping, config=config)
+                report = simulate_layer(dep, config, lut)
+                options.append(cand)
+                cache[(layer.name, cand)] = (report.num_crossbars,
+                                             report.latency_ns,
+                                             report.energy_pj)
+        per_layer[layer.name] = options
+    return CandidateGrid(spec=spec, candidates=per_layer, cache=cache)
+
+
+def build_matrices(grid: CandidateGrid) -> GridMatrices:
+    """Encode a grid's per-layer cache into ``(L, K)`` lookup matrices."""
+    layer_names = tuple(layer.name for layer in grid.spec)
+    options = tuple(tuple(grid.candidates[name]) for name in layer_names)
+    num_options = np.array([len(opts) for opts in options], dtype=np.int64)
+    L, K = len(layer_names), int(num_options.max()) if len(layer_names) else 0
+    crossbars = np.zeros((L, K), dtype=np.int64)
+    latency_ns = np.zeros((L, K), dtype=np.float64)
+    dynamic_pj = np.zeros((L, K), dtype=np.float64)
+    for li, (name, opts) in enumerate(zip(layer_names, options)):
+        for ki, cand in enumerate(opts):
+            xb, lat, dyn = grid.cache[(name, cand)]
+            crossbars[li, ki] = xb
+            latency_ns[li, ki] = lat
+            dynamic_pj[li, ki] = dyn
+    return GridMatrices(layer_names=layer_names, options=options,
+                        num_options=num_options, crossbars=crossbars,
+                        latency_ns=latency_ns, dynamic_pj=dynamic_pj)
+
+
+@dataclass(frozen=True)
+class EvalResult:
+    """Aggregated hardware numbers for one individual."""
+
+    crossbars: int
+    latency_ms: float
+    energy_mj: float
+
+    @property
+    def edp(self) -> float:
+        return self.latency_ms * self.energy_mj
+
+
+@dataclass(frozen=True)
+class PopulationEval:
+    """Aggregated hardware numbers for a whole population (one array per
+    metric, aligned with the population's row order)."""
+
+    crossbars: np.ndarray       # (P,) int64
+    latency_ms: np.ndarray      # (P,) float64
+    energy_mj: np.ndarray       # (P,) float64
+
+    def __len__(self) -> int:
+        return len(self.crossbars)
+
+    @property
+    def edp(self) -> np.ndarray:
+        return self.latency_ms * self.energy_mj
+
+    def result(self, i: int) -> EvalResult:
+        return EvalResult(crossbars=int(self.crossbars[i]),
+                          latency_ms=float(self.latency_ms[i]),
+                          energy_mj=float(self.energy_mj[i]))
+
+
+def evaluate_assignment(grid: CandidateGrid, genome: Sequence[Candidate],
+                        lut: ComponentLUT = DEFAULT_LUT) -> EvalResult:
+    """Sum cached per-layer results + the network-level static energy."""
+    xbars = 0
+    latency_ns = 0.0
+    dynamic_pj = 0.0
+    for layer, cand in zip(grid.spec, genome):
+        cell = grid.cache[(layer.name, cand)]
+        xbars += cell[0]
+        latency_ns += cell[1]
+        dynamic_pj += cell[2]
+    latency_ms = latency_ns / 1e6
+    static_mj = (lut.p_leak_per_xbar_uw * xbars * latency_ms * 1e-6
+                 * lut.energy_scale)
+    return EvalResult(crossbars=xbars, latency_ms=latency_ms,
+                      energy_mj=dynamic_pj / 1e9 + static_mj)
+
+
+def evaluate_population(matrices: GridMatrices, genomes: np.ndarray,
+                        lut: ComponentLUT = DEFAULT_LUT) -> PopulationEval:
+    """Score a ``(P, L)`` index-array population in one pass.
+
+    The accumulation runs layer-by-layer (vectorized across the
+    population) in the same left-to-right order as the scalar
+    :func:`evaluate_assignment`, so every individual's totals match the
+    scalar path bit-for-bit — O(L) numpy gathers instead of O(P*L)
+    Python-level dict lookups.
+    """
+    genomes = np.asarray(genomes)
+    if genomes.ndim != 2:
+        raise ValueError(f"genomes must be (P, L), got shape {genomes.shape}")
+    P, L = genomes.shape
+    if L != matrices.num_layers:
+        raise ValueError(f"genome length {L} != {matrices.num_layers} layers")
+    xbars = np.zeros(P, dtype=np.int64)
+    latency_ns = np.zeros(P, dtype=np.float64)
+    dynamic_pj = np.zeros(P, dtype=np.float64)
+    for li in range(L):
+        col = genomes[:, li]
+        xbars += matrices.crossbars[li, col]
+        latency_ns += matrices.latency_ns[li, col]
+        dynamic_pj += matrices.dynamic_pj[li, col]
+    latency_ms = latency_ns / 1e6
+    static_mj = (lut.p_leak_per_xbar_uw * xbars * latency_ms * 1e-6
+                 * lut.energy_scale)
+    return PopulationEval(crossbars=xbars, latency_ms=latency_ms,
+                          energy_mj=dynamic_pj / 1e9 + static_mj)
+
+
+def population_rewards(evals: PopulationEval, budget: Optional[int],
+                       objective: str) -> np.ndarray:
+    """Vectorized Eqs. 6-7: inverse objective, gated to 0 above budget."""
+    if objective == "latency":
+        value = evals.latency_ms
+    elif objective == "energy":
+        value = evals.energy_mj
+    elif objective == "edp":
+        value = evals.edp
+    else:
+        raise ValueError(f"unknown objective {objective!r}")
+    rewards = np.zeros(len(evals), dtype=np.float64)
+    np.divide(1.0, value, out=rewards, where=value > 0)
+    if budget is not None:
+        rewards[evals.crossbars > budget] = 0.0
+    return rewards
+
+
+def uniform_budget(grid: CandidateGrid, rows: int = 1024, cols: int = 256,
+                   fraction: float = 0.78,
+                   lut: ComponentLUT = DEFAULT_LUT) -> int:
+    """Table 1's budget convention: a fraction of the uniform
+    ``rows x cols`` design's crossbar demand (layers lacking the candidate
+    stay unconverted).  Single source of truth for the CLI, the
+    experiment runner and the bench suite."""
+    genome = [(rows, cols) if (rows, cols) in grid.candidates[layer.name]
+              else None for layer in grid.spec]
+    return max(1, int(evaluate_assignment(grid, genome, lut).crossbars
+                      * fraction))
+
+
+def encode_genome(matrices: GridMatrices,
+                  genome: Sequence[Candidate]) -> np.ndarray:
+    """Candidate tuples -> per-layer option indices (inverse of decode)."""
+    if len(genome) != matrices.num_layers:
+        raise ValueError(f"genome length {len(genome)} != "
+                         f"{matrices.num_layers} layers")
+    return np.array([matrices.option_index(li, cand)
+                     for li, cand in enumerate(genome)], dtype=np.int64)
+
+
+def decode_genome(matrices: GridMatrices,
+                  indices: np.ndarray) -> List[Candidate]:
+    """Per-layer option indices -> candidate tuples."""
+    return [matrices.options[li][int(ki)] for li, ki in enumerate(indices)]

@@ -1,0 +1,262 @@
+"""Pareto-front multi-objective search: latency x energy x crossbars.
+
+The scalar reward of Eqs. 6-7 collapses the design trade-off into one
+number per run; serving deployments usually want the *frontier* instead —
+every design for which no other design is simultaneously faster, leaner
+and more efficient — and pick an operating point per fleet.  This module
+replaces the reward with non-dominated selection over the objective
+vector ``(latency_ms, energy_mj, crossbars)`` (all minimized):
+
+- an elitist archive keeps the non-dominated set found so far, thinned by
+  crowding distance when it outgrows :data:`ARCHIVE_CAPACITY` (extreme
+  points are never thinned away);
+- parents are drawn from the archive, children bred with the same
+  crossover + layer re-roll operators as the scalar mode;
+- individuals over the crossbar budget never enter the archive; while no
+  feasible individual exists yet, selection pressure is "fewest
+  crossbars", which drives the population into the feasible region.
+
+Everything is vectorized: population scoring via
+:func:`~repro.search.grid.evaluate_population`, dominance via an
+O(n^2) boolean broadcast over the (population + archive) set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..pim.lut import DEFAULT_LUT, ComponentLUT
+from .evolve import (
+    EvoSearchConfig,
+    SearchResult,
+    _parallel_map,
+    breed,
+    initial_population,
+)
+from .grid import (
+    Candidate,
+    CandidateGrid,
+    EvalResult,
+    decode_genome,
+    evaluate_assignment,
+    evaluate_population,
+)
+
+__all__ = [
+    "ARCHIVE_CAPACITY",
+    "ParetoPoint",
+    "ParetoResult",
+    "pareto_search",
+    "non_dominated_mask",
+    "crowding_distance",
+]
+
+ARCHIVE_CAPACITY = 128
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One non-dominated design: genome + its aggregated hardware numbers."""
+
+    genome: Tuple[Candidate, ...]
+    eval: EvalResult
+
+    @property
+    def objectives(self) -> Tuple[float, float, int]:
+        return (self.eval.latency_ms, self.eval.energy_mj,
+                self.eval.crossbars)
+
+
+@dataclass
+class ParetoResult:
+    """The front found by :func:`pareto_search`.
+
+    ``points`` is sorted by latency ascending (therefore roughly energy
+    descending — that's what a frontier looks like).  ``history`` records
+    the archive size per iteration, concatenated across restarts.
+    """
+
+    points: List[ParetoPoint]
+    layer_names: Tuple[str, ...]
+    history: List[float]
+    feasible: bool = True
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def knee(self) -> ParetoPoint:
+        """The front's minimum-EDP point — the balanced default pick."""
+        if not self.points:
+            raise ValueError("empty Pareto front")
+        return min(self.points, key=lambda p: p.eval.edp)
+
+    def as_search_result(self) -> SearchResult:
+        """The knee point as a :class:`SearchResult`, front attached."""
+        point = self.knee()
+        assignment = {name: cand
+                      for name, cand in zip(self.layer_names, point.genome)
+                      if cand is not None}
+        return SearchResult(assignment=assignment,
+                            genome=list(point.genome),
+                            eval=point.eval,
+                            history=list(self.history),
+                            feasible=self.feasible,
+                            front=list(self.points))
+
+
+def non_dominated_mask(objectives: np.ndarray) -> np.ndarray:
+    """Boolean mask of the non-dominated rows of an ``(N, M)`` objective
+    matrix (all objectives minimized).
+
+    Row ``i`` dominates row ``j`` when it is <= everywhere and < somewhere.
+    """
+    objectives = np.asarray(objectives, dtype=np.float64)
+    if objectives.ndim != 2:
+        raise ValueError("objectives must be (N, M)")
+    if len(objectives) == 0:
+        return np.zeros(0, dtype=bool)
+    leq = (objectives[:, None, :] <= objectives[None, :, :]).all(axis=2)
+    lt = (objectives[:, None, :] < objectives[None, :, :]).any(axis=2)
+    dominated = (leq & lt).any(axis=0)
+    return ~dominated
+
+
+def crowding_distance(objectives: np.ndarray) -> np.ndarray:
+    """NSGA-II crowding distance; extreme points get +inf so capacity
+    thinning never drops the frontier's end points."""
+    objectives = np.asarray(objectives, dtype=np.float64)
+    n, m = objectives.shape
+    distance = np.zeros(n)
+    for k in range(m):
+        order = np.argsort(objectives[:, k], kind="stable")
+        values = objectives[order, k]
+        distance[order[0]] = distance[order[-1]] = np.inf
+        spread = values[-1] - values[0]
+        if n > 2 and spread > 0:
+            distance[order[1:-1]] += (values[2:] - values[:-2]) / spread
+    return distance
+
+
+def _thin(genomes: np.ndarray, objectives: np.ndarray,
+          capacity: int) -> Tuple[np.ndarray, np.ndarray]:
+    if len(genomes) <= capacity:
+        return genomes, objectives
+    keep = np.argsort(-crowding_distance(objectives), kind="stable")[:capacity]
+    keep.sort()     # preserve insertion order for determinism
+    return genomes[keep], objectives[keep]
+
+
+def _dedupe(genomes: np.ndarray, objectives: np.ndarray
+            ) -> Tuple[np.ndarray, np.ndarray]:
+    _, index = np.unique(genomes, axis=0, return_index=True)
+    index.sort()
+    return genomes[index], objectives[index]
+
+
+def pareto_search(grid: CandidateGrid,
+                  crossbar_budget: Optional[int],
+                  search: EvoSearchConfig = EvoSearchConfig(),
+                  lut: ComponentLUT = DEFAULT_LUT) -> ParetoResult:
+    """Evolve the Pareto front of latency x energy x crossbars.
+
+    Restarts evolve independent archives (seeds ``seed, seed+1, ...``,
+    fanned across ``search.workers`` processes when asked) whose fronts
+    are merged and re-filtered for dominance, so more restarts only ever
+    widen or tighten the frontier.
+    """
+    configs = [replace(search, seed=search.seed + restart, restarts=1)
+               for restart in range(search.restarts)]
+    payloads = [(grid, crossbar_budget, config, lut) for config in configs]
+    runs = _parallel_map(_pareto_task, payloads, search.workers)
+    matrices = grid.matrices()
+    genomes = np.concatenate([g for g, _, _ in runs], axis=0)
+    objectives = np.concatenate([o for _, o, _ in runs], axis=0)
+    history: List[float] = []
+    for _, _, run_history in runs:
+        history.extend(run_history)
+    feasible = True
+    if len(genomes) == 0:
+        # Budget unattainable: surface the smallest design, flagged.
+        rng = np.random.default_rng(search.seed)
+        genomes = initial_population(grid, 1, rng)
+        evals = evaluate_population(matrices, genomes, lut)
+        objectives = np.stack([evals.latency_ms, evals.energy_mj,
+                               evals.crossbars.astype(np.float64)], axis=1)
+        feasible = False
+    genomes, objectives = _dedupe(genomes, objectives)
+    mask = non_dominated_mask(objectives)
+    genomes, objectives = _thin(genomes[mask], objectives[mask],
+                                ARCHIVE_CAPACITY)
+    # Distinct genomes can tie on every objective; keep one per objective
+    # vector so the reported front has no duplicate rows.
+    _, unique_index = np.unique(objectives, axis=0, return_index=True)
+    unique_index.sort()
+    genomes, objectives = genomes[unique_index], objectives[unique_index]
+    order = np.argsort(objectives[:, 0], kind="stable")
+    points = []
+    for i in order:
+        genome = tuple(decode_genome(matrices, genomes[i]))
+        points.append(ParetoPoint(genome=genome,
+                                  eval=evaluate_assignment(grid, genome, lut)))
+    return ParetoResult(points=points, layer_names=matrices.layer_names,
+                        history=history, feasible=feasible)
+
+
+def _pareto_task(payload) -> Tuple[np.ndarray, np.ndarray, List[float]]:
+    """Module-level so ProcessPoolExecutor can pickle it."""
+    grid, crossbar_budget, config, lut = payload
+    return _pareto_search_once(grid, crossbar_budget, config, lut)
+
+
+def _pareto_search_once(grid: CandidateGrid,
+                        crossbar_budget: Optional[int],
+                        search: EvoSearchConfig,
+                        lut: ComponentLUT
+                        ) -> Tuple[np.ndarray, np.ndarray, List[float]]:
+    """One archive's evolution; returns (genomes, objectives, history)."""
+    rng = np.random.default_rng(search.seed)
+    matrices = grid.matrices()
+    population = initial_population(grid, search.population_size, rng)
+    archive_g = np.empty((0, matrices.num_layers), dtype=np.int64)
+    archive_o = np.empty((0, 3), dtype=np.float64)
+    history: List[float] = []
+    stall = 0
+
+    for _ in range(search.iterations):
+        evals = evaluate_population(matrices, population, lut)
+        objectives = np.stack([evals.latency_ms, evals.energy_mj,
+                               evals.crossbars.astype(np.float64)], axis=1)
+        if crossbar_budget is None:
+            in_budget = np.ones(len(population), dtype=bool)
+        else:
+            in_budget = evals.crossbars <= crossbar_budget
+        merged_g = np.concatenate([archive_g, population[in_budget]], axis=0)
+        merged_o = np.concatenate([archive_o, objectives[in_budget]], axis=0)
+        changed = False
+        if len(merged_g):
+            merged_g, merged_o = _dedupe(merged_g, merged_o)
+            mask = non_dominated_mask(merged_o)
+            new_g, new_o = _thin(merged_g[mask], merged_o[mask],
+                                 ARCHIVE_CAPACITY)
+            changed = (len(new_g) != len(archive_g)
+                       or {g.tobytes() for g in new_g}
+                       != {g.tobytes() for g in archive_g})
+            archive_g, archive_o = new_g, new_o
+        history.append(float(len(archive_g)))
+        if search.patience is not None:
+            stall = 0 if changed else stall + 1
+            if stall >= search.patience:
+                break
+        if len(archive_g):
+            take = min(search.num_parents, len(archive_g))
+            parents = archive_g[rng.permutation(len(archive_g))[:take]]
+        else:
+            # Nothing feasible yet: march toward the budget.
+            order = np.argsort(evals.crossbars, kind="stable")
+            parents = population[order[:search.num_parents]]
+        population = breed(parents, search, matrices.num_options, rng)
+
+    return archive_g, archive_o, history

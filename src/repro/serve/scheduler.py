@@ -20,6 +20,7 @@ latency percentile — grow without bound.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
@@ -87,20 +88,37 @@ class MicroBatchScheduler:
     to learn when the window next expires (the engine's wake-up event
     when no arrival or chip-free event comes sooner).  ``submit`` is
     timestamp-free — the window is anchored to request *arrival* times.
+
+    The queue is two heaps so every engine event stays O(log n) even in
+    the deep-queue load-shedding regime (the previous list version
+    rescanned/resorted the whole queue per event, O(n) arrival scans and
+    O(n log n) sorts — quadratic over a trace):
+
+    - a release heap ordered by the policy's sort key (seq for FIFO;
+      (-priority, seq) for priority), popped to form batches;
+    - an arrival heap ordered by arrival time — the cached window
+      anchor.  Its entries are evicted lazily: a released request's entry
+      stays behind and is discarded when it surfaces at the top.  A
+      starved head entry (priority policy) can block top-eviction
+      indefinitely, so the heap is rebuilt from the live set whenever
+      stale entries outnumber live ones 2:1 — size stays O(live), not
+      O(total ever submitted).
     """
 
     def __init__(self, config: SchedulerConfig = SchedulerConfig()):
         self.config = config
-        self._queue: List[Tuple[Tuple, Request]] = []
+        self._release_heap: List[Tuple[Tuple, Request]] = []
+        self._arrival_heap: List[Tuple[float, int]] = []
+        self._live: dict = {}       # seq still queued -> arrival_ms
         self._seq = 0
         self.num_rejected = 0
 
     def __len__(self) -> int:
-        return len(self._queue)
+        return len(self._live)
 
     @property
     def empty(self) -> bool:
-        return not self._queue
+        return not self._live
 
     def _sort_key(self, request: Request) -> Tuple:
         if self.config.policy == "priority":
@@ -110,19 +128,29 @@ class MicroBatchScheduler:
     # ------------------------------------------------------------------
     def submit(self, request: Request) -> bool:
         """Enqueue a request; False when the bounded queue sheds it."""
-        if len(self._queue) >= self.config.queue_depth:
+        if len(self._live) >= self.config.queue_depth:
             self.num_rejected += 1
             return False
-        self._queue.append((self._sort_key(request), request))
+        heapq.heappush(self._release_heap, (self._sort_key(request), request))
+        heapq.heappush(self._arrival_heap, (request.arrival_ms, self._seq))
+        self._live[self._seq] = request.arrival_ms
         self._seq += 1
         return True
 
     # ------------------------------------------------------------------
     def oldest_arrival_ms(self) -> Optional[float]:
         """Arrival time of the oldest queued request (window anchor)."""
-        if not self._queue:
+        while self._arrival_heap and self._arrival_heap[0][1] not in self._live:
+            heapq.heappop(self._arrival_heap)       # evict released entries
+        if len(self._arrival_heap) > 2 * len(self._live) + 16:
+            # A live-but-starved head blocks top-eviction; rebuild so the
+            # heap stays O(live) even under sustained priority starvation.
+            self._arrival_heap = [(arrival, seq)
+                                  for seq, arrival in self._live.items()]
+            heapq.heapify(self._arrival_heap)
+        if not self._arrival_heap:
             return None
-        return min(r.arrival_ms for _, r in self._queue)
+        return self._arrival_heap[0][0]
 
     def next_timeout_ms(self) -> Optional[float]:
         """When the batching window expires for the current queue head."""
@@ -133,9 +161,9 @@ class MicroBatchScheduler:
 
     def has_ready_batch(self, now_ms: float) -> bool:
         """Full batch queued, or the window has expired on a partial one."""
-        if not self._queue:
+        if not self._live:
             return False
-        if len(self._queue) >= self.config.max_batch_size:
+        if len(self._live) >= self.config.max_batch_size:
             return True
         return now_ms >= self.next_timeout_ms()
 
@@ -148,12 +176,14 @@ class MicroBatchScheduler:
         early.  The engine itself never forces: end-of-trace partial
         batches drain through normal window expiry.
         """
-        if not self._queue:
+        if not self._live:
             return None
         if not force and not self.has_ready_batch(now_ms):
             return None
-        self._queue.sort(key=lambda item: item[0])
-        take = min(self.config.max_batch_size, len(self._queue))
-        released = [r for _, r in self._queue[:take]]
-        self._queue = self._queue[take:]
+        take = min(self.config.max_batch_size, len(self._live))
+        released = []
+        for _ in range(take):
+            key, request = heapq.heappop(self._release_heap)
+            self._live.pop(key[-1], None)   # keys end with the seq number
+            released.append(request)
         return Batch(requests=tuple(released), formed_ms=now_ms)

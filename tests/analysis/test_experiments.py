@@ -7,7 +7,12 @@ correct and fast.
 
 import pytest
 
-from repro.analysis.experiments import run_figure3, run_figure4, run_table1
+from repro.analysis.experiments import (
+    run_figure3,
+    run_figure4,
+    run_search,
+    run_table1,
+)
 from repro.core.search import EvoSearchConfig
 
 
@@ -39,6 +44,31 @@ class TestRunFigure3:
         assert len(result.rows) == 3
         assert "Figure 3" in result.rendered
         assert "layer4" in result.rendered
+
+
+class TestRunSearch:
+    SMALL = EvoSearchConfig(population_size=16, iterations=5, restarts=1)
+
+    def test_scalar_objective_renders_and_meets_budget(self):
+        outcome = run_search("resnet18", objective="latency",
+                             search=self.SMALL, verbose=False)
+        assert "latency-opt" in outcome.rendered
+        assert outcome.result.eval.crossbars <= outcome.budget
+        assert outcome.front is None
+        assert outcome.baseline_crossbars > outcome.budget
+
+    def test_pareto_objective_renders_front(self):
+        outcome = run_search("resnet18", objective="pareto",
+                             search=self.SMALL, verbose=False)
+        assert outcome.front is not None and len(outcome.front) >= 1
+        assert "*knee" in outcome.rendered
+        assert all(p.eval.crossbars <= outcome.budget
+                   for p in outcome.front)
+
+    def test_absolute_budget_wins_over_fraction(self):
+        outcome = run_search("resnet18", objective="edp", budget=250,
+                             search=self.SMALL, verbose=False)
+        assert outcome.budget == 250
 
 
 class TestRunFigure4:

@@ -50,3 +50,42 @@ def test_serve_sweep_declares_one_pass_discipline():
     assert bench.warmup == 0
     assert bench.repeats == 2
     assert bench.min_sample_ms == 0.0
+
+
+def test_search_suite_registered():
+    registry = load_suites()
+    assert {"search.population_eval", "search.population_eval_scalar",
+            "search.evolution", "search.pareto_front"} <= set(registry.names())
+    assert "search" in registry.suites()
+
+
+def test_search_vectorized_eval_beats_scalar_reference():
+    """The vectorization win stays measured: per-genome throughput of the
+    matrix path must exceed the scalar loop's.  Best-of-3 samples per
+    side so a single preemption can't flip the ~20x margin on a loaded
+    CI runner (the perf *trajectory* is gated by bench compare; this
+    only pins the ordering)."""
+    registry = load_suites()
+    config = RunnerConfig(fast=True, warmup=1, repeats=3,
+                          min_sample_ms=0.0)
+    vectorized = run_benchmark(registry.get("search.population_eval"),
+                               config)
+    scalar = run_benchmark(registry.get("search.population_eval_scalar"),
+                           config)
+    assert vectorized.unit == scalar.unit == "genomes"
+    assert vectorized.throughput > scalar.throughput
+
+
+def test_search_evolution_reports_outcome_counters():
+    registry = load_suites()
+    result = run_benchmark(registry.get("search.evolution"), FAST_ONE_SHOT)
+    assert result.counters["best_edp"] > 0
+    assert result.counters["best_crossbars"] > 0
+
+
+def test_serve_deep_queue_runs():
+    registry = load_suites()
+    result = run_benchmark(registry.get("serve.scheduler_deep_queue"),
+                           FAST_ONE_SHOT)
+    assert result.unit == "requests"
+    assert result.counters["requests_drained"] == result.items

@@ -150,3 +150,17 @@ class TestSimulateNetwork:
     def test_edp(self):
         report = simulate_network([baseline_deployment(conv_spec(), 9, 9)])
         assert report.edp == pytest.approx(report.latency_ms * report.energy_mj)
+
+
+class TestEmptyNetwork:
+    """simulate_network([]) must degrade consistently, not raise from max()."""
+
+    def test_zero_valued_properties(self):
+        report = simulate_network([])
+        assert report.num_crossbars == 0
+        assert report.latency_ms == 0.0
+        assert report.energy_mj == 0.0
+        assert report.bottleneck_latency_ms == 0.0
+        assert report.pipelined_throughput_fps == 0.0
+        assert report.datapath_overhead_ms == 0.0
+        assert report.image_interval_ms == 0.0

@@ -1,0 +1,1 @@
+"""Tests for repro.search — the vectorized design-space search engine."""

@@ -1,0 +1,57 @@
+"""Tests for the ``python -m repro search`` subcommand."""
+
+import json
+
+import pytest
+
+from repro.analysis.cli import main
+
+
+def run(capsys, *argv):
+    code = main(["search", "--model", "resnet18", "--population", "16",
+                 "--iterations", "4", "--restarts", "1", *argv])
+    out = capsys.readouterr().out
+    return code, out
+
+
+class TestSearchCLI:
+    def test_scalar_objective(self, capsys):
+        code, out = run(capsys, "--objective", "edp")
+        assert code == 0
+        assert "Design-space search" in out
+        assert "edp-opt" in out
+        assert "baseline (no epitome)" in out
+
+    def test_pareto_objective(self, capsys):
+        code, out = run(capsys, "--objective", "pareto")
+        assert code == 0
+        assert "front[0]" in out
+        assert "*knee" in out
+
+    def test_absolute_budget(self, capsys):
+        code, out = run(capsys, "--budget", "300")
+        assert code == 0
+        assert "budget=300 XBs" in out
+
+    def test_json_output(self, capsys, tmp_path):
+        path = tmp_path / "design.json"
+        code, _ = run(capsys, "--objective", "pareto",
+                      "--json", str(path))
+        assert code == 0
+        payload = json.loads(path.read_text())
+        assert payload["model"] == "resnet18"
+        assert payload["objective"] == "pareto"
+        assert payload["feasible"] is True
+        assert len(payload["best"]["genome"]) > 0
+        assert payload["front"], "pareto mode must serialize the front"
+        for point in payload["front"]:
+            assert point["crossbars"] <= payload["budget"]
+
+    def test_invalid_config_exits_2(self, capsys):
+        code = main(["search", "--model", "resnet18", "--population", "0"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_invalid_objective_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            main(["search", "--objective", "speed"])

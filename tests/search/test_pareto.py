@@ -1,0 +1,132 @@
+"""Tests for the Pareto multi-objective mode (repro.search.pareto)."""
+
+import numpy as np
+import pytest
+
+from repro.search import (
+    EvoSearchConfig,
+    build_candidate_grid,
+    crowding_distance,
+    evaluate_assignment,
+    evolution_search,
+    non_dominated_mask,
+    pareto_search,
+)
+from repro.models.specs import resnet18_spec
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return build_candidate_grid(resnet18_spec(), weight_bits=9,
+                                activation_bits=9)
+
+
+@pytest.fixture(scope="module")
+def budget(grid):
+    genome = [(1024, 256) if (1024, 256) in grid.candidates[l.name] else None
+              for l in grid.spec]
+    return evaluate_assignment(grid, genome).crossbars
+
+
+@pytest.fixture(scope="module")
+def front(grid, budget):
+    return pareto_search(grid, budget,
+                         EvoSearchConfig(population_size=32, iterations=15,
+                                         restarts=2, seed=0))
+
+
+class TestNonDominatedMask:
+    def test_simple_cases(self):
+        objs = np.array([[1.0, 2.0], [2.0, 1.0], [2.0, 2.0], [3.0, 3.0]])
+        mask = non_dominated_mask(objs)
+        assert mask.tolist() == [True, True, False, False]
+
+    def test_equal_rows_survive_together(self):
+        objs = np.array([[1.0, 1.0], [1.0, 1.0]])
+        assert non_dominated_mask(objs).tolist() == [True, True]
+
+    def test_single_and_empty(self):
+        assert non_dominated_mask(np.array([[1.0, 2.0]])).tolist() == [True]
+        assert non_dominated_mask(np.empty((0, 3))).tolist() == []
+
+
+class TestCrowdingDistance:
+    def test_extremes_infinite(self):
+        objs = np.array([[0.0, 3.0], [1.0, 2.0], [2.0, 1.0], [3.0, 0.0]])
+        distance = crowding_distance(objs)
+        assert np.isinf(distance[0]) and np.isinf(distance[-1])
+        assert np.isfinite(distance[1]) and np.isfinite(distance[2])
+
+
+class TestParetoFront:
+    def test_dominance_invariant(self, front):
+        objectives = np.array([p.objectives for p in front.points])
+        assert non_dominated_mask(objectives).all()
+
+    def test_budget_invariant(self, front, budget):
+        assert front.feasible
+        assert all(p.eval.crossbars <= budget for p in front.points)
+
+    def test_sorted_by_latency_no_duplicates(self, front):
+        latencies = [p.eval.latency_ms for p in front.points]
+        assert latencies == sorted(latencies)
+        objective_rows = {p.objectives for p in front.points}
+        assert len(objective_rows) == len(front.points)
+
+    def test_points_eval_consistent(self, grid, front):
+        for point in front.points[:5]:
+            assert evaluate_assignment(grid, list(point.genome)) == point.eval
+
+    def test_knee_minimizes_edp(self, front):
+        knee = front.knee()
+        assert knee.eval.edp == min(p.eval.edp for p in front.points)
+
+    def test_deterministic(self, grid, budget, front):
+        again = pareto_search(grid, budget,
+                              EvoSearchConfig(population_size=32,
+                                              iterations=15, restarts=2,
+                                              seed=0))
+        assert [p.genome for p in again.points] == \
+               [p.genome for p in front.points]
+
+    def test_history_tracks_front_size(self, front):
+        assert len(front.history) == 2 * 15      # restarts x iterations
+        assert all(size >= 0 for size in front.history)
+
+
+class TestParetoViaEvolutionSearch:
+    def test_objective_pareto_returns_knee_with_front(self, grid, budget):
+        result = evolution_search(grid, budget,
+                                  EvoSearchConfig(population_size=32,
+                                                  iterations=10, restarts=2,
+                                                  objective="pareto",
+                                                  seed=3))
+        assert result.front is not None and len(result.front) >= 1
+        assert result.feasible
+        assert result.eval.edp == min(p.eval.edp for p in result.front)
+        # assignment matches the knee genome
+        for name, cand in zip((l.name for l in grid.spec), result.genome):
+            if cand is None:
+                assert name not in result.assignment
+            else:
+                assert result.assignment[name] == cand
+
+    def test_unattainable_budget_flags_infeasible(self, grid):
+        result = pareto_search(grid, 1,
+                               EvoSearchConfig(population_size=8,
+                                               iterations=3, restarts=1,
+                                               seed=0))
+        assert not result.feasible
+        assert len(result.points) == 1      # the smallest design, flagged
+
+    def test_parallel_restarts_match_serial(self, grid, budget):
+        serial = pareto_search(grid, budget,
+                               EvoSearchConfig(population_size=16,
+                                               iterations=5, restarts=2,
+                                               seed=2, workers=1))
+        parallel = pareto_search(grid, budget,
+                                 EvoSearchConfig(population_size=16,
+                                                 iterations=5, restarts=2,
+                                                 seed=2, workers=2))
+        assert [p.genome for p in serial.points] == \
+               [p.genome for p in parallel.points]

@@ -119,3 +119,92 @@ class TestBatch:
         batch = Batch(requests=(req(0, 1.0), req(1, 3.0)), formed_ms=5.0)
         assert batch.size == 2
         assert batch.oldest_arrival_ms == pytest.approx(1.0)
+
+
+class TestHeapQueueBehaviour:
+    """The heap rewrite must preserve the list version's semantics exactly,
+    including the lazily-evicted window anchor."""
+
+    def test_anchor_advances_after_partial_drain(self):
+        sched = MicroBatchScheduler(SchedulerConfig(max_batch_size=2,
+                                                    window_ms=5.0))
+        for i, arrival in enumerate([1.0, 2.0, 3.0, 4.0]):
+            sched.submit(req(i, arrival=arrival))
+        assert sched.oldest_arrival_ms() == pytest.approx(1.0)
+        batch = sched.next_batch(10.0)
+        assert [r.request_id for r in batch.requests] == [0, 1]
+        # the released requests' stale arrival entries must be skipped
+        assert sched.oldest_arrival_ms() == pytest.approx(3.0)
+        assert sched.next_timeout_ms() == pytest.approx(8.0)
+
+    def test_anchor_with_out_of_order_arrivals(self):
+        sched = MicroBatchScheduler(SchedulerConfig(max_batch_size=8,
+                                                    window_ms=5.0))
+        for i, arrival in enumerate([7.0, 2.0, 9.0]):
+            sched.submit(req(i, arrival=arrival))
+        # anchor is the minimum arrival, not the first submission
+        assert sched.oldest_arrival_ms() == pytest.approx(2.0)
+
+    def test_interleaved_submit_drain_matches_reference(self):
+        """Fuzz the heap scheduler against a naive sort-based reference."""
+        import numpy as np
+
+        rng = np.random.default_rng(11)
+        config = SchedulerConfig(max_batch_size=3, window_ms=1.0,
+                                 queue_depth=64, policy="priority")
+        sched = MicroBatchScheduler(config)
+        reference = []      # (key, request) like the old list version
+        seq = 0
+        released_ids, expected_ids = [], []
+        now = 0.0
+        for step in range(300):
+            now += float(rng.exponential(0.3))
+            request = req(step, arrival=now, priority=int(rng.integers(3)))
+            if sched.submit(request):
+                reference.append(((-request.priority, seq), request))
+                seq += 1
+            if rng.random() < 0.4:
+                batch = sched.next_batch(now, force=True)
+                if batch is not None:
+                    released_ids.extend(r.request_id for r in batch.requests)
+                take = min(config.max_batch_size, len(reference))
+                reference.sort(key=lambda item: item[0])
+                expected_ids.extend(r.request_id
+                                    for _, r in reference[:take])
+                reference = reference[take:]
+            # invariant: cached anchor equals a full rescan
+            expected_oldest = (min(r.arrival_ms for _, r in reference)
+                               if reference else None)
+            assert sched.oldest_arrival_ms() == expected_oldest
+            assert len(sched) == len(reference)
+        assert released_ids == expected_ids
+
+    def test_arrival_heap_bounded_under_priority_starvation(self):
+        """A starved low-priority head must not pin released requests'
+        stale arrival entries forever: the heap compacts to O(live)."""
+        sched = MicroBatchScheduler(SchedulerConfig(max_batch_size=4,
+                                                    window_ms=1000.0,
+                                                    queue_depth=512,
+                                                    policy="priority"))
+        sched.submit(req(0, arrival=0.0, priority=0))   # perpetually starved
+        for wave in range(200):
+            for j in range(4):
+                sched.submit(req(1 + wave * 4 + j, arrival=1.0 + wave,
+                                 priority=9))
+            batch = sched.next_batch(1.0 + wave, force=True)
+            assert all(r.priority == 9 for r in batch.requests)
+            # the starved request still anchors the window...
+            assert sched.oldest_arrival_ms() == pytest.approx(0.0)
+            # ...and stale entries are compacted away, not accumulated
+            assert len(sched._arrival_heap) <= 2 * len(sched) + 16
+        assert len(sched) == 1      # only the starved request remains
+
+    def test_len_and_empty_track_live_entries(self):
+        sched = MicroBatchScheduler(SchedulerConfig(max_batch_size=4,
+                                                    window_ms=0.0))
+        assert sched.empty
+        for i in range(4):
+            sched.submit(req(i))
+        assert len(sched) == 4 and not sched.empty
+        sched.next_batch(0.0)
+        assert len(sched) == 0 and sched.empty
