@@ -30,6 +30,8 @@ from ..pim.config import DEFAULT_CONFIG, HardwareConfig
 from ..pim.lut import DEFAULT_LUT, ComponentLUT
 from ..search import (
     EvoSearchConfig,
+    GridBuildStats,
+    GridCache,
     ParetoPoint,
     SearchResult,
     build_candidate_grid,
@@ -259,6 +261,9 @@ class SearchRunResult:
     result: SearchResult
     front: Optional[List[ParetoPoint]]
     rendered: str
+    grid_stats: Optional[GridBuildStats] = None
+    """Grid construction accounting (build seconds, dedup ratio, cache
+    hit/miss counts) — surfaced by ``repro search --json``."""
 
 
 def run_search(model_name: str = "resnet50",
@@ -272,6 +277,8 @@ def run_search(model_name: str = "resnet50",
                uniform_rows: int = 1024, uniform_cols: int = 256,
                config: HardwareConfig = DEFAULT_CONFIG,
                lut: ComponentLUT = DEFAULT_LUT,
+               grid_workers: Optional[int] = None,
+               grid_cache: Optional[GridCache] = None,
                verbose: bool = True) -> SearchRunResult:
     """Run the section 5.2 design-space search end to end and render it.
 
@@ -280,12 +287,21 @@ def run_search(model_name: str = "resnet50",
     as Table 1's "-Opt" rows.  ``objective="pareto"`` renders the whole
     latency x energy x crossbars front; scalar objectives render the
     single best design next to the no-epitome baseline.
+
+    ``grid_workers`` (default: ``search.workers``) shards candidate-grid
+    construction across processes; ``grid_cache`` serves and stores
+    per-(signature, candidate) simulation results on disk so repeat
+    sweeps — the "re-search after a hardware-config tweak" loop — skip
+    grid construction almost entirely.
     """
     spec = get_network_spec(model_name)
     grid = build_candidate_grid(spec, weight_bits=weight_bits,
                                 activation_bits=activation_bits,
                                 use_wrapping=use_wrapping,
-                                config=config, lut=lut)
+                                config=config, lut=lut,
+                                workers=(grid_workers if grid_workers
+                                         is not None else search.workers),
+                                cache=grid_cache)
     baseline = evaluate_assignment(grid, [None] * len(spec), lut)
     if budget is None:
         budget = uniform_budget(grid, uniform_rows, uniform_cols,
@@ -324,7 +340,7 @@ def run_search(model_name: str = "resnet50",
                            baseline_crossbars=baseline.crossbars,
                            design_space_size=grid.design_space_size,
                            result=result, front=result.front,
-                           rendered=rendered)
+                           rendered=rendered, grid_stats=grid.build_stats)
 
 
 @dataclass

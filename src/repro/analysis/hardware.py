@@ -21,6 +21,7 @@ from ..baselines.pim_prune import pim_prune_network
 from ..core.designer import build_deployments, uniform_assignment
 from ..search import (
     EvoSearchConfig,
+    GridCache,
     build_candidate_grid,
     evolution_search,
     uniform_budget,
@@ -148,13 +149,17 @@ def table1_hardware_rows(model_name: str = "resnet50",
                          config: HardwareConfig = DEFAULT_CONFIG,
                          lut: ComponentLUT = DEFAULT_LUT,
                          search: EvoSearchConfig = EvoSearchConfig(),
-                         include_opt_rows: bool = True
+                         include_opt_rows: bool = True,
+                         grid_workers: int = 1,
+                         grid_cache: Optional[GridCache] = None
                          ) -> List[HardwareRow]:
     """Regenerate the hardware columns of Table 1 for one model.
 
     Rows (matching the paper): FP32 baseline; EPIM FP32 uniform; PIM-Prune
     (CR only); EPIM W9A9 uniform; latency-/energy-optimized layer-wise
-    designs at W9A9; EPIM W7/W5/W3mp/W3 at A9.
+    designs at W9A9; EPIM W7/W5/W3mp/W3 at A9.  ``grid_workers`` /
+    ``grid_cache`` shard and persist the "-Opt" rows' candidate-grid
+    construction (see :func:`repro.search.build_candidate_grid`).
     """
     spec = get_network_spec(model_name)
     model = spec.name
@@ -188,7 +193,8 @@ def table1_hardware_rows(model_name: str = "resnet50",
     if include_opt_rows:
         grid = build_candidate_grid(spec, weight_bits=9, activation_bits=9,
                                     use_wrapping=True, config=config,
-                                    lut=lut)
+                                    lut=lut, workers=grid_workers,
+                                    cache=grid_cache)
         budget = uniform_budget(grid, uniform_rows, uniform_cols,
                                 opt_budget_fraction, lut)
         for objective, tag in (("latency", "Latency-Opt"),
@@ -303,7 +309,9 @@ def figure4_series(model_name: str = "resnet50",
                    weight_bits: int = 9, activation_bits: int = 9,
                    config: HardwareConfig = DEFAULT_CONFIG,
                    lut: ComponentLUT = DEFAULT_LUT,
-                   search: EvoSearchConfig = EvoSearchConfig()
+                   search: EvoSearchConfig = EvoSearchConfig(),
+                   grid_workers: int = 1,
+                   grid_cache: Optional[GridCache] = None
                    ) -> List[Figure4Point]:
     """Regenerate Fig. 4: uniform vs wrapping vs evo-search vs EPIM-Opt.
 
@@ -319,11 +327,13 @@ def figure4_series(model_name: str = "resnet50",
     grid_plain = build_candidate_grid(spec, weight_bits=weight_bits,
                                       activation_bits=activation_bits,
                                       use_wrapping=False, config=config,
-                                      lut=lut)
+                                      lut=lut, workers=grid_workers,
+                                      cache=grid_cache)
     grid_wrap = build_candidate_grid(spec, weight_bits=weight_bits,
                                      activation_bits=activation_bits,
                                      use_wrapping=True, config=config,
-                                     lut=lut)
+                                     lut=lut, workers=grid_workers,
+                                     cache=grid_cache)
 
     points: List[Figure4Point] = []
     for rows, cols in ladder:

@@ -44,6 +44,7 @@ __all__ = [
     "simulate_network",
     "baseline_deployment",
     "epitome_deployment_from_plan",
+    "epitome_deployment_from_shape",
     "sim_counters",
     "reset_sim_counters",
 ]
@@ -81,6 +82,21 @@ class SimCounters:
         self.activation_rounds = 0
         self.analog_mac_ops = 0
         self.crossbar_tiles = 0
+
+    def merge(self, delta: Dict[str, int]) -> None:
+        """Fold another process's counter delta into this one.
+
+        Worker processes (grid-build sharding, parallel restarts) measure
+        their own before/after deltas and ship them back so the parent's
+        counters keep reporting the *total* simulation work — bench
+        ``work`` fields would otherwise silently under-report whenever
+        ``workers > 1``.
+        """
+        self.layers += int(delta.get("layers", 0))
+        self.positions += int(delta.get("positions", 0))
+        self.activation_rounds += int(delta.get("activation_rounds", 0))
+        self.analog_mac_ops += int(delta.get("analog_mac_ops", 0))
+        self.crossbar_tiles += int(delta.get("crossbar_tiles", 0))
 
 
 _COUNTERS = SimCounters()
@@ -165,6 +181,59 @@ def baseline_deployment(spec: LayerSpec, weight_bits: Optional[int] = None,
         stored_rows=rows, stored_cols=cols,
         exec_rounds=1, exec_rows=rows, exec_cols=cols,
         exec_cells=rows * cols,
+    )
+
+
+def epitome_deployment_from_shape(spec: LayerSpec,
+                                  shape: Sequence[int],
+                                  weight_bits: Optional[int] = None,
+                                  activation_bits: Optional[int] = None,
+                                  use_wrapping: bool = False,
+                                  config: HardwareConfig = DEFAULT_CONFIG
+                                  ) -> LayerDeployment:
+    """Closed-form twin of :func:`epitome_deployment_from_plan`.
+
+    The deployment only needs the *sums* of the plan's patch sizes, and
+    those have exact closed forms: the channel blocks tile the layer
+    exactly, so ``sum(ci_size) == ci`` and ``sum(co_size) == co``
+    regardless of partial edge blocks, and sampling offsets never enter.
+    Grid construction uses this to skip building the patch schedule
+    entirely (~2x of the deduped build); results are bit-for-bit
+    identical to the plan-based path, which
+    ``tests/search/test_gridcache.py`` pins against the serial reference.
+
+    ``shape`` is the resolved epitome as ``(eo, ei, eh, ew)`` — e.g.
+    ``EpitomeShape.as_tuple()`` from the designer.
+    """
+    a_bits = activation_bits if activation_bits is not None \
+        else (config.fp_equivalent_bits if weight_bits is None
+              else config.default_activation_bits)
+    eo, ei, eh, ew = (int(x) for x in shape)
+    co, ci = spec.out_channels, spec.in_channels
+    kh, kw = spec.kernel_size
+    n_co = math.ceil(co / eo)
+    n_ci = math.ceil(ci / ei)
+    if use_wrapping:
+        # Only the co_block == 0 patches execute (one per ci block).
+        co_tile = min(eo, co)
+        exec_rounds = n_ci
+        exec_rows = ci * kh * kw
+        exec_cols = n_ci * co_tile
+        exec_cells = ci * kh * kw * co_tile
+    else:
+        exec_rounds = n_ci * n_co
+        exec_rows = n_co * ci * kh * kw
+        exec_cols = n_ci * co
+        exec_cells = ci * kh * kw * co
+    return LayerDeployment(
+        spec=spec, style="epitome", weight_bits=weight_bits,
+        activation_bits=a_bits,
+        stored_rows=ei * eh * ew,
+        stored_cols=eo,
+        exec_rounds=exec_rounds, exec_rows=exec_rows,
+        exec_cols=exec_cols, exec_cells=exec_cells,
+        n_co_blocks=n_co, n_ci_blocks=n_ci,
+        use_wrapping=use_wrapping,
     )
 
 

@@ -8,6 +8,12 @@
   stopping, multiprocess-parallel restarts;
 - :mod:`repro.search.pareto` — multi-objective mode: the Pareto front of
   latency x energy x crossbars instead of a single scalar reward;
+- :mod:`repro.search.signature` — shape signatures: the content addresses
+  behind grid dedup and the persistent cache;
+- :mod:`repro.search.gridcache` — the on-disk (signature, candidate)
+  grid cache (``~/.cache/repro/grids`` by default);
+- :mod:`repro.search.parallel` — the shared process-pool fan-out with
+  order-preserving merge and SimCounters repatriation;
 - :mod:`repro.search.cli` — the ``python -m repro search`` subcommand.
 
 ``repro.core.search`` re-exports this package's public API, so historical
@@ -20,9 +26,11 @@ from .grid import (
     Candidate,
     CandidateGrid,
     EvalResult,
+    GridBuildStats,
     GridMatrices,
     PopulationEval,
     build_candidate_grid,
+    build_candidate_grid_serial,
     build_matrices,
     decode_genome,
     encode_genome,
@@ -31,6 +39,9 @@ from .grid import (
     population_rewards,
     uniform_budget,
 )
+from .gridcache import GridCache, GridCacheStats, default_cache_dir
+from .parallel import effective_workers, parallel_map
+from .signature import grid_context_key, layer_signature
 from .evolve import (
     EvoSearchConfig,
     SearchResult,
@@ -52,21 +63,30 @@ __all__ = [
     "OBJECTIVES",
     "EvalResult",
     "EvoSearchConfig",
+    "GridBuildStats",
+    "GridCache",
+    "GridCacheStats",
     "GridMatrices",
     "ParetoPoint",
     "ParetoResult",
     "PopulationEval",
     "SearchResult",
     "build_candidate_grid",
+    "build_candidate_grid_serial",
     "build_matrices",
     "crowding_distance",
     "decode_genome",
+    "default_cache_dir",
+    "effective_workers",
     "encode_genome",
     "evaluate_assignment",
     "evaluate_population",
     "evolution_search",
+    "grid_context_key",
     "initial_population",
+    "layer_signature",
     "non_dominated_mask",
+    "parallel_map",
     "pareto_search",
     "population_rewards",
     "uniform_budget",

@@ -13,6 +13,13 @@ convention) of the uniform 1024x256 design's demand; ``--budget`` pins an
 absolute number of crossbars instead.  ``--json`` writes the winning
 genome (and, in Pareto mode, the whole front) for downstream tooling —
 e.g. handing an assignment to ``repro serve``.
+
+Candidate-grid construction is deduped by layer-shape signature, shards
+across ``--workers`` processes, and persists per-(signature, candidate)
+simulation results under ``~/.cache/repro/grids`` (override with
+``--cache-dir`` or ``REPRO_GRID_CACHE_DIR``; disable with ``--no-cache``)
+so repeat sweeps start warm.  ``--json`` output records what the cache
+did (``grid_build_s``, ``grid_cache`` hits/misses, ``unique_signatures``).
 """
 
 from __future__ import annotations
@@ -24,6 +31,7 @@ from pathlib import Path
 from typing import List, Optional
 
 from .evolve import EvoSearchConfig
+from .gridcache import GridCache
 
 __all__ = ["add_search_parser", "run_search_cli", "main"]
 
@@ -58,7 +66,14 @@ def add_search_parser(subparsers) -> argparse.ArgumentParser:
     p.add_argument("--patience", type=int, default=None,
                    help="early-stop after this many stagnant iterations")
     p.add_argument("--workers", type=int, default=1,
-                   help="processes for the restart fan-out")
+                   help="processes for the restart fan-out and the "
+                        "candidate-grid build")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="grid-cache directory (default: "
+                        "$REPRO_GRID_CACHE_DIR or ~/.cache/repro/grids)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="build the candidate grid without the persistent "
+                        "on-disk cache")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--weight-bits", type=int, default=9)
     p.add_argument("--activation-bits", type=int, default=9)
@@ -95,6 +110,7 @@ def run_search_cli(args) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    cache = None if args.no_cache else GridCache(args.cache_dir)
     outcome = run_search(
         model_name=args.model,
         objective=args.objective,
@@ -104,7 +120,19 @@ def run_search_cli(args) -> int:
         weight_bits=args.weight_bits,
         activation_bits=args.activation_bits,
         use_wrapping=not args.no_wrapping,
+        grid_workers=args.workers,
+        grid_cache=cache,
     )
+    stats = outcome.grid_stats
+    if stats is not None:
+        # stderr, so cold and warm runs produce identical stdout (CI
+        # diffs the winner across the two).
+        print(f"grid: {stats.simulated} simulated of "
+              f"{stats.sim_tasks_unique} unique tasks "
+              f"({stats.sim_tasks_total} serial-equivalent, "
+              f"{stats.unique_signatures} signatures), "
+              f"cache {stats.cache_hits} hits / {stats.cache_misses} misses, "
+              f"built in {stats.build_s:.3f}s", file=sys.stderr)
     if not outcome.result.feasible:
         print(f"warning: no design met the {outcome.budget}-crossbar "
               "budget; reporting the closest infeasible one",
@@ -117,6 +145,20 @@ def run_search_cli(args) -> int:
             "baseline_crossbars": outcome.baseline_crossbars,
             "design_space_size": float(outcome.design_space_size),
             "feasible": outcome.result.feasible,
+            "grid_build_s": stats.build_s if stats else None,
+            "unique_signatures": (stats.unique_signatures if stats
+                                  else None),
+            "grid_cache": {
+                "enabled": cache is not None,
+                "dir": str(cache.dir) if cache is not None else None,
+                "hits": stats.cache_hits if stats else 0,
+                "misses": stats.cache_misses if stats else 0,
+                "simulated": stats.simulated if stats else None,
+                "sim_tasks_unique": (stats.sim_tasks_unique if stats
+                                     else None),
+                "sim_tasks_total": (stats.sim_tasks_total if stats
+                                    else None),
+            },
             "history": outcome.result.history,
             "best": {
                 "genome": _genome_json(outcome.result.genome),

@@ -24,14 +24,13 @@ serial order, so parallelism never changes the answer.
 
 from __future__ import annotations
 
-import warnings
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, List, Optional, Sequence
 
 import numpy as np
 
 from ..pim.lut import DEFAULT_LUT, ComponentLUT
+from .parallel import parallel_map
 from .grid import (
     OBJECTIVES,
     Candidate,
@@ -269,27 +268,19 @@ def _restart_task(payload) -> SearchResult:
     return _evolution_search_once(grid, crossbar_budget, config, lut)
 
 
-def _parallel_map(task, payloads: Sequence, workers: int) -> List:
-    """Map restart payloads over a process pool, preserving order (so the
-    reduction picks the same winner as a serial run); falls back to serial
-    execution when the platform refuses to fork."""
-    if workers > 1 and len(payloads) > 1:
-        try:
-            with ProcessPoolExecutor(
-                    max_workers=min(workers, len(payloads))) as pool:
-                return list(pool.map(task, payloads))
-        except (OSError, PermissionError) as exc:
-            warnings.warn(f"process pool unavailable ({exc}); running "
-                          "restarts serially", stacklevel=3)
-    return [task(payload) for payload in payloads]
-
-
 def _run_restarts(grid: CandidateGrid, crossbar_budget: Optional[int],
                   configs: Sequence[EvoSearchConfig], lut: ComponentLUT,
                   workers: int) -> List[SearchResult]:
-    """Run restarts serially or across processes (same results, same order)."""
+    """Run restarts serially or across processes (same results, same order).
+
+    Uses the shared :func:`repro.search.parallel.parallel_map`, which
+    preserves payload order (the reduction picks the same winner as a
+    serial run), merges worker :class:`SimCounters` back into the parent
+    (parallel restarts used to drop their work counters silently), and
+    falls back to serial execution when the platform refuses to fork.
+    """
     payloads = [(grid, crossbar_budget, config, lut) for config in configs]
-    return _parallel_map(_restart_task, payloads, workers)
+    return parallel_map(_restart_task, payloads, workers)
 
 
 def _evolution_search_once(grid: CandidateGrid,

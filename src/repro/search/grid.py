@@ -17,28 +17,40 @@ exactly, which ``tests/search/test_grid.py`` pins down.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..models.specs import NetworkSpec
+from ..models.specs import LayerSpec, NetworkSpec
 from ..pim.config import DEFAULT_CONFIG, HardwareConfig
 from ..pim.lut import DEFAULT_LUT, ComponentLUT
 from ..pim.simulator import (
     baseline_deployment,
     epitome_deployment_from_plan,
+    epitome_deployment_from_shape,
     simulate_layer,
+)
+from .gridcache import GridCache
+from .parallel import effective_workers, parallel_map
+from .signature import (
+    BASELINE_KEY,
+    grid_context_key,
+    layer_signature,
+    resolved_shape_key,
 )
 
 __all__ = [
     "Candidate",
     "DEFAULT_CANDIDATES",
     "CandidateGrid",
+    "GridBuildStats",
     "GridMatrices",
     "EvalResult",
     "PopulationEval",
     "build_candidate_grid",
+    "build_candidate_grid_serial",
     "evaluate_assignment",
     "evaluate_population",
     "population_rewards",
@@ -86,6 +98,43 @@ class GridMatrices:
         return self.options[layer].index(candidate)
 
 
+@dataclass(frozen=True)
+class GridBuildStats:
+    """What one :func:`build_candidate_grid` call actually did.
+
+    ``sim_tasks_total`` is the number of ``simulate_layer`` calls the
+    serial reference would make; ``sim_tasks_unique`` is what remains
+    after shape-signature + resolved-shape dedup; ``simulated`` is how
+    many of those were *not* served by the persistent cache.  Cache
+    hit/miss counts are per unique task, i.e. simulations avoided/run.
+    """
+
+    build_s: float
+    layers: int
+    unique_signatures: int
+    sim_tasks_total: int
+    sim_tasks_unique: int
+    simulated: int
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_enabled: bool = False
+    workers: int = 1
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "build_s": self.build_s,
+            "layers": self.layers,
+            "unique_signatures": self.unique_signatures,
+            "sim_tasks_total": self.sim_tasks_total,
+            "sim_tasks_unique": self.sim_tasks_unique,
+            "simulated": self.simulated,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_enabled": self.cache_enabled,
+            "workers": self.workers,
+        }
+
+
 @dataclass
 class CandidateGrid:
     """Valid candidates per layer, plus cached per-layer hardware results."""
@@ -94,6 +143,21 @@ class CandidateGrid:
     candidates: Dict[str, List[Candidate]]
     # (layer name, candidate) -> (crossbars, latency_ns, dynamic_energy_pj)
     cache: Dict[Tuple[str, Candidate], Tuple[int, float, float]]
+    # How this grid was built (timing/dedup/cache accounting).  Excluded
+    # from equality so differently built but identical grids compare equal.
+    build_stats: Optional[GridBuildStats] = field(default=None, compare=False,
+                                                  repr=False)
+
+    def __post_init__(self):
+        # Memoization slot for matrices(); a plain attribute (not a
+        # dataclass field) so it stays out of equality, and dropped from
+        # pickles via __getstate__ so cached/shipped grids stay compact.
+        self._matrices: Optional[GridMatrices] = None
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_matrices"] = None
+        return state
 
     @property
     def design_space_size(self) -> int:
@@ -104,11 +168,34 @@ class CandidateGrid:
 
     def matrices(self) -> GridMatrices:
         """The grid's cache as lookup matrices (built once, then cached)."""
-        cached = getattr(self, "_matrices", None)
-        if cached is None:
-            cached = build_matrices(self)
-            object.__setattr__(self, "_matrices", cached)
-        return cached
+        if self._matrices is None:
+            self._matrices = build_matrices(self)
+        return self._matrices
+
+
+def _simulate_candidate(payload) -> Tuple[int, float, float]:
+    """Simulate one unique (layer shape, resolved epitome) pair.
+
+    Module-level and fed picklable payloads so grid-build sharding can run
+    it in worker processes; ``shape is None`` is the keep-conv baseline,
+    otherwise it is the designer-resolved ``(eo, ei, eh, ew)`` — resolved
+    once in the enumeration stage, so workers skip the designer and the
+    patch-schedule construction entirely (closed-form deployment).
+    Returns the grid cache cell.
+    """
+    (layer, shape, weight_bits, activation_bits, use_wrapping,
+     config, lut) = payload
+    if shape is None:
+        dep = baseline_deployment(layer, weight_bits=weight_bits,
+                                  activation_bits=activation_bits,
+                                  config=config)
+    else:
+        dep = epitome_deployment_from_shape(
+            layer, shape, weight_bits=weight_bits,
+            activation_bits=activation_bits,
+            use_wrapping=use_wrapping, config=config)
+    report = simulate_layer(dep, config, lut)
+    return (report.num_crossbars, report.latency_ns, report.energy_pj)
 
 
 def build_candidate_grid(spec: NetworkSpec,
@@ -117,11 +204,161 @@ def build_candidate_grid(spec: NetworkSpec,
                          activation_bits: Optional[int] = None,
                          use_wrapping: bool = False,
                          config: HardwareConfig = DEFAULT_CONFIG,
-                         lut: ComponentLUT = DEFAULT_LUT) -> CandidateGrid:
-    """Enumerate valid candidates per layer and pre-simulate each one."""
-    # Imported here, not at module top: repro.core re-exports this package
-    # through its repro.core.search shim, so a module-level import of
-    # repro.core.* from here would be circular.
+                         lut: ComponentLUT = DEFAULT_LUT,
+                         workers: int = 1,
+                         cache: Optional[GridCache] = None) -> CandidateGrid:
+    """Enumerate valid candidates per layer and pre-simulate each one.
+
+    Three-stage fast path (bit-for-bit identical to
+    :func:`build_candidate_grid_serial`, which tests pin):
+
+    1. **shape-signature dedup** — layers are grouped by their
+       simulation-relevant shape signature and candidates by the concrete
+       epitome shape they resolve to, so each unique (signature, shape)
+       pair is simulated exactly once and fanned back out (ResNet-50:
+       407 serial simulations collapse to 115 unique ones);
+    2. **multiprocess sharding** — ``workers > 1`` distributes the unique
+       simulations across a process pool with an order-preserving merge
+       (and repatriates worker :class:`SimCounters`); single-core hosts
+       degrade to the serial path automatically;
+    3. **persistent cache** — ``cache`` serves previously simulated
+       (signature, candidate) cells from disk and stores new ones, so a
+       warm rebuild simulates nothing and partial hits survive
+       candidate-list or spec edits (see :mod:`repro.search.gridcache`).
+
+    The build's timing/dedup/cache accounting lands on
+    ``CandidateGrid.build_stats``.
+    """
+    from ..core.designer import choose_epitome_shape
+
+    t_start = time.perf_counter()
+    context = grid_context_key(weight_bits, activation_bits, use_wrapping,
+                               config, lut)
+
+    # --- stage 1: group layers by shape signature -----------------------
+    sig_of: Dict[str, str] = {}                  # layer name -> signature
+    rep_of: Dict[str, LayerSpec] = {}            # signature -> representative
+    sig_order: List[str] = []                    # first-seen signature order
+    for layer in spec:
+        sig = layer_signature(layer, context)
+        sig_of[layer.name] = sig
+        if sig not in rep_of:
+            rep_of[sig] = layer
+            sig_order.append(sig)
+
+    # Per signature: valid candidates (serial order) and each candidate's
+    # task key.  Distinct candidates clamping to the same concrete epitome
+    # shape share one key — a second dedup level on top of the signature
+    # grouping (ResNet-50: 168 signature-unique tasks -> 115 shape-unique).
+    options_of: Dict[str, List[Candidate]] = {}
+    keymap_of: Dict[str, Dict[Candidate, str]] = {}
+    # (signature, task key) -> (representative layer, resolved shape tuple)
+    tasks: Dict[Tuple[str, str], Tuple[LayerSpec,
+                                       Optional[Tuple[int, ...]]]] = {}
+    for sig in sig_order:
+        rep = rep_of[sig]
+        options: List[Candidate] = [None]
+        keymap: Dict[Candidate, str] = {None: BASELINE_KEY}
+        tasks.setdefault((sig, BASELINE_KEY), (rep, None))
+        if rep.kind == "conv":
+            for cand in candidates:
+                if cand is None:
+                    continue
+                shape = choose_epitome_shape(rep, cand[0], cand[1], config)
+                if shape is None:
+                    continue
+                options.append(cand)
+                resolved = shape.as_tuple()
+                key = resolved_shape_key(resolved)
+                keymap[cand] = key
+                tasks.setdefault((sig, key), (rep, resolved))
+        options_of[sig] = options
+        keymap_of[sig] = keymap
+
+    # --- stage 3 (probe): partial hits from the persistent cache --------
+    results: Dict[Tuple[str, str], Tuple[int, float, float]] = {}
+    hits = misses = 0
+    if cache is not None:
+        loaded = {sig: cache.load(sig) for sig in sig_order}
+        for sig, key in tasks:
+            cell = loaded[sig].get(key)
+            if cell is not None:
+                results[(sig, key)] = cell
+                hits += 1
+            else:
+                misses += 1
+        cache.stats.hits += hits
+        cache.stats.misses += misses
+
+    todo = [task for task in tasks if task not in results]
+
+    # --- stage 2: simulate the remaining unique tasks -------------------
+    payloads = [(tasks[task][0], tasks[task][1], weight_bits,
+                 activation_bits, use_wrapping, config, lut)
+                for task in todo]
+    # A handful of chunks per *effective* worker amortizes IPC without
+    # hurting balance (the pool itself caps at cpu_count and task count).
+    n_workers = effective_workers(workers, len(payloads))
+    chunksize = max(1, len(payloads) // (n_workers * 4))
+    fresh = parallel_map(_simulate_candidate, payloads, workers,
+                         chunksize=chunksize)
+    for task, cell in zip(todo, fresh):
+        results[task] = cell
+
+    # --- stage 3 (write-back): persist newly simulated cells ------------
+    if cache is not None and todo:
+        new_by_sig: Dict[str, Dict[str, Tuple[int, float, float]]] = {}
+        for (sig, key), cell in zip(todo, fresh):
+            new_by_sig.setdefault(sig, {})[key] = cell
+        for sig, entries in new_by_sig.items():
+            cache.store(sig, entries)
+
+    # --- fan out to every layer sharing each signature ------------------
+    per_layer: Dict[str, List[Candidate]] = {}
+    cell_cache: Dict[Tuple[str, Candidate], Tuple[int, float, float]] = {}
+    total_tasks = 0
+    for layer in spec:
+        sig = sig_of[layer.name]
+        options = list(options_of[sig])
+        keymap = keymap_of[sig]
+        per_layer[layer.name] = options
+        total_tasks += len(options)
+        for cand in options:
+            cell_cache[(layer.name, cand)] = results[(sig, keymap[cand])]
+
+    stats = GridBuildStats(
+        build_s=time.perf_counter() - t_start,
+        layers=len(spec),
+        unique_signatures=len(sig_order),
+        sim_tasks_total=total_tasks,
+        sim_tasks_unique=len(tasks),
+        simulated=len(todo),
+        cache_hits=hits,
+        cache_misses=misses,
+        cache_enabled=cache is not None,
+        workers=workers,
+    )
+    return CandidateGrid(spec=spec, candidates=per_layer, cache=cell_cache,
+                         build_stats=stats)
+
+
+def build_candidate_grid_serial(spec: NetworkSpec,
+                                candidates: Sequence[Candidate] = tuple(DEFAULT_CANDIDATES),
+                                weight_bits: Optional[int] = None,
+                                activation_bits: Optional[int] = None,
+                                use_wrapping: bool = False,
+                                config: HardwareConfig = DEFAULT_CONFIG,
+                                lut: ComponentLUT = DEFAULT_LUT
+                                ) -> CandidateGrid:
+    """The retained serial reference: every (layer, candidate) pair
+    simulated from scratch in spec order.
+
+    Kept permanently (like the scalar population evaluator) so the
+    deduped/parallel/cached pipeline's bit-for-bit equality stays a
+    measured property — ``tests/search/test_gridcache.py`` compares the
+    two paths exactly, and ``search.grid_build`` benchmarks this path as
+    the cold baseline.
+    """
     from ..core.designer import choose_epitome_shape
     from ..core.epitome import build_plan
 

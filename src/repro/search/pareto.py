@@ -29,10 +29,10 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from ..pim.lut import DEFAULT_LUT, ComponentLUT
+from .parallel import parallel_map
 from .evolve import (
     EvoSearchConfig,
     SearchResult,
-    _parallel_map,
     breed,
     initial_population,
 )
@@ -170,7 +170,7 @@ def pareto_search(grid: CandidateGrid,
     configs = [replace(search, seed=search.seed + restart, restarts=1)
                for restart in range(search.restarts)]
     payloads = [(grid, crossbar_budget, config, lut) for config in configs]
-    runs = _parallel_map(_pareto_task, payloads, search.workers)
+    runs = parallel_map(_pareto_task, payloads, search.workers)
     matrices = grid.matrices()
     genomes = np.concatenate([g for g, _, _ in runs], axis=0)
     objectives = np.concatenate([o for _, o, _ in runs], axis=0)

@@ -1,0 +1,105 @@
+"""Shape signatures: the content-addressing scheme behind grid dedup.
+
+A layer's simulated hardware numbers are a pure function of its *shape*
+(kind, channels, kernel, stride, spatial dims), the deployment precision,
+the wrapping mode, the :class:`~repro.pim.config.HardwareConfig` and the
+:class:`~repro.pim.lut.ComponentLUT` — never of its name or position.
+ResNet-style networks repeat block shapes heavily (ResNet-50's 54 layers
+collapse to 24 unique shapes), so hashing those fields and simulating each
+unique ``(signature, candidate)`` pair once cuts ``simulate_layer`` calls
+severalfold and gives the persistent grid cache a key that is correct by
+construction: any change to the config, LUT, precision or wrapping mode
+changes every signature, so stale entries can never be read back.
+
+Two levels of key are exposed:
+
+- :func:`grid_context_key` — one hash over everything shared by a whole
+  build (bits, wrapping, config, LUT, format version), computed once;
+- :func:`layer_signature` — the context key folded with one layer's shape
+  fields; equal exactly when two layers must simulate identically.
+
+Bumping :data:`GRID_CACHE_VERSION` invalidates every on-disk entry at
+once — do that whenever the simulator's numbers change meaning.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Optional, Tuple
+
+from ..models.specs import LayerSpec
+from ..pim.config import HardwareConfig
+from ..pim.lut import ComponentLUT
+
+__all__ = [
+    "BASELINE_KEY",
+    "GRID_CACHE_VERSION",
+    "grid_context_key",
+    "layer_shape_key",
+    "layer_signature",
+    "resolved_shape_key",
+]
+
+# Version of the (signature -> simulated numbers) contract.  Bump whenever
+# simulate_layer / deployment construction changes results for the same
+# inputs; every cached grid entry is invalidated at once.
+GRID_CACHE_VERSION = 1
+
+
+def layer_shape_key(layer: LayerSpec) -> Tuple:
+    """The simulation-relevant shape fields of one layer (no name/index)."""
+    return (layer.kind, layer.in_channels, layer.out_channels,
+            tuple(layer.kernel_size), layer.stride,
+            tuple(layer.in_size), tuple(layer.out_size))
+
+
+def grid_context_key(weight_bits: Optional[int],
+                     activation_bits: Optional[int],
+                     use_wrapping: bool,
+                     config: HardwareConfig,
+                     lut: ComponentLUT) -> str:
+    """Hash of everything a grid build shares across layers.
+
+    Computed once per build and folded into every layer signature, so a
+    changed :class:`HardwareConfig` or :class:`ComponentLUT` — even a
+    single calibration factor — moves every signature (versioned
+    invalidation for the on-disk cache).
+    """
+    payload = {
+        "version": GRID_CACHE_VERSION,
+        "weight_bits": weight_bits,
+        "activation_bits": activation_bits,
+        "use_wrapping": bool(use_wrapping),
+        "config": dataclasses.asdict(config),
+        "lut": dataclasses.asdict(lut),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def layer_signature(layer: LayerSpec, context_key: str) -> str:
+    """Content address of one layer's simulation results within a build.
+
+    Layers with equal signatures produce bit-for-bit identical
+    ``(crossbars, latency_ns, dynamic_pj)`` for every candidate, so one
+    simulation serves all of them.
+    """
+    blob = f"{context_key}|{layer_shape_key(layer)}"
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:32]
+
+
+# Entry key of the keep-conv baseline cell within a signature's entry set.
+BASELINE_KEY = "none"
+
+
+def resolved_shape_key(shape: Tuple[int, ...]) -> str:
+    """Entry key of one *resolved* epitome shape ``(eo, ei, eh, ew)``.
+
+    Cells are keyed by the designer-resolved shape rather than the
+    requested ``rows x cols`` candidate: distinct candidates that clamp
+    to the same concrete epitome share one cell (simulated once, hit by
+    all), and partial hits survive candidate-ladder edits.
+    """
+    return "s{}x{}x{}x{}".format(*shape)

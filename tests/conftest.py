@@ -15,6 +15,17 @@ from repro import nn
 from tests.helpers import assert_grad_close, gradcheck, numerical_gradient  # noqa: F401
 
 
+@pytest.fixture(autouse=True)
+def _hermetic_grid_cache(tmp_path, monkeypatch):
+    """Keep the persistent grid cache out of the user's home during tests.
+
+    Anything that builds a candidate grid with caching enabled (the
+    search CLI defaults to it) lands in a per-test temp dir instead of
+    ``~/.cache/repro/grids``, and never reads a pre-existing user cache.
+    """
+    monkeypatch.setenv("REPRO_GRID_CACHE_DIR", str(tmp_path / "grid-cache"))
+
+
 @pytest.fixture
 def rng():
     return np.random.default_rng(12345)

@@ -55,3 +55,55 @@ class TestSearchCLI:
     def test_invalid_objective_rejected_by_argparse(self):
         with pytest.raises(SystemExit):
             main(["search", "--objective", "speed"])
+
+
+class TestGridCacheCLI:
+    def test_json_reports_grid_stats(self, capsys, tmp_path):
+        path = tmp_path / "out.json"
+        code, _ = run(capsys, "--cache-dir", str(tmp_path / "grids"),
+                      "--json", str(path))
+        assert code == 0
+        payload = json.loads(path.read_text())
+        assert payload["grid_build_s"] > 0
+        assert payload["unique_signatures"] > 0
+        cache = payload["grid_cache"]
+        assert cache["enabled"] is True
+        assert cache["dir"] == str(tmp_path / "grids")
+        assert cache["hits"] == 0
+        assert cache["misses"] == cache["sim_tasks_unique"]
+        assert cache["sim_tasks_unique"] < cache["sim_tasks_total"]
+
+    def test_warm_run_hits_and_matches_cold(self, capsys, tmp_path):
+        cold_path, warm_path = tmp_path / "cold.json", tmp_path / "warm.json"
+        argv = ["--cache-dir", str(tmp_path / "grids"), "--workers", "2"]
+        code, cold_out = run(capsys, *argv, "--json", str(cold_path))
+        assert code == 0
+        code, warm_out = run(capsys, *argv, "--json", str(warm_path))
+        assert code == 0
+        cold = json.loads(cold_path.read_text())
+        warm = json.loads(warm_path.read_text())
+        assert warm["grid_cache"]["misses"] == 0
+        assert warm["grid_cache"]["hits"] == \
+            cold["grid_cache"]["sim_tasks_unique"]
+        assert cold["best"] == warm["best"]
+        # stdout (the rendered table + "wrote" line) is cache-agnostic
+        # modulo the output path; CI diffs it across cold/warm runs.
+        assert cold_out.replace("cold.json", "") \
+            == warm_out.replace("warm.json", "")
+
+    def test_no_cache_disables_store(self, capsys, tmp_path):
+        path = tmp_path / "out.json"
+        code, _ = run(capsys, "--no-cache", "--cache-dir",
+                      str(tmp_path / "grids"), "--json", str(path))
+        assert code == 0
+        payload = json.loads(path.read_text())
+        assert payload["grid_cache"]["enabled"] is False
+        assert payload["grid_cache"]["hits"] == 0
+        assert not (tmp_path / "grids").exists()
+
+    def test_grid_summary_on_stderr(self, capsys):
+        code = main(["search", "--model", "resnet18", "--population", "16",
+                     "--iterations", "4", "--restarts", "1"])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "grid:" in err and "cache" in err
