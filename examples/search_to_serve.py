@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Search-guided serving: deploy Pareto operating points into `repro serve`.
+
+The full loop documented in docs/search-to-serve.md, programmatically:
+
+1. Pareto-search ResNet-18's per-layer epitome design space under the
+   Table 1 crossbar budget;
+2. serialize the result through the *versioned JSON contract* that
+   ``python -m repro search --json`` writes (so this example exercises
+   exactly the hand-off a production pipeline would);
+3. select two operating points off the front — ``latency-opt`` for an
+   interactive fleet, ``energy-opt`` for a batch fleet;
+4. deploy both as serving engines (chip count derived from each
+   assignment's crossbar demand) and A/B them under identical Poisson
+   load, asserting the two policies actually buy what they promise:
+   the latency-opt fleet wins the p99 tail, the energy-opt fleet wins
+   energy per request.
+
+Run:  python examples/search_to_serve.py
+"""
+
+import json
+import tempfile
+from pathlib import Path
+
+from repro.analysis.experiments import run_search
+from repro.search import EvoSearchConfig
+from repro.search.cli import search_result_payload
+from repro.serve import (
+    ab_offered_load_sweep,
+    engine_from_search,
+    load_search_result,
+    render_ab,
+)
+
+
+def main():
+    # 1. Search the design space (Pareto mode: the whole frontier).
+    outcome = run_search("resnet18", objective="pareto",
+                         search=EvoSearchConfig(population_size=64,
+                                                iterations=60, restarts=3),
+                         verbose=False)
+    print(f"searched {outcome.design_space_size:.2e} combinations, "
+          f"budget {outcome.budget} XBs -> {len(outcome.front)}-point front")
+
+    # 2. Round-trip through the versioned artifact (what `repro search
+    #    --json result.json` writes and `repro serve --from-search` reads).
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "result.json"
+        path.write_text(json.dumps(search_result_payload(outcome), indent=2))
+        result = load_search_result(path)
+
+    # 3. Pick one operating point per fleet.
+    points = {policy: result.select(policy)
+              for policy in ("latency-opt", "energy-opt")}
+    for policy, point in points.items():
+        print(f"  {policy:>11s}: {point.label:>9s}  {point.crossbars} XBs  "
+              f"{point.latency_ms:.3f} ms  {point.energy_mj:.4f} mJ")
+    assert points["latency-opt"].label != points["energy-opt"].label, \
+        "front collapsed: latency-opt and energy-opt picked the same point"
+
+    # 4. Deploy both and A/B under identical offered load.
+    engines = {policy: engine_from_search(result, policy=policy)
+               for policy in points}
+    rows = ab_offered_load_sweep(engines, num_requests=400,
+                                 load_factors=(0.5, 0.8), seed=0)
+    print()
+    print(render_ab(rows, title="interactive (latency-opt) vs batch "
+                                "(energy-opt) under identical load"))
+
+    # The two policies must produce distinct serving profiles — each one
+    # better at exactly the thing it was selected for.
+    by_rate = {}
+    for row in rows:
+        by_rate.setdefault(row["offered_fps"], {})[row["point"]] = row
+    for rate, cell in sorted(by_rate.items()):
+        lat, en = cell["latency-opt"], cell["energy-opt"]
+        assert lat["p99_ms"] < en["p99_ms"], \
+            f"latency-opt should win p99 at {rate:.1f} req/s"
+        assert en["energy_per_request_mj"] < lat["energy_per_request_mj"], \
+            f"energy-opt should win energy/request at {rate:.1f} req/s"
+        print(f"@{rate:6.1f} req/s: latency-opt wins p99 "
+              f"({lat['p99_ms']:.2f} < {en['p99_ms']:.2f} ms), "
+              f"energy-opt wins energy/request "
+              f"({en['energy_per_request_mj']:.4f} < "
+              f"{lat['energy_per_request_mj']:.4f} mJ)")
+    print("\nA/B profiles are distinct — both policies deliver.")
+
+
+if __name__ == "__main__":
+    main()

@@ -47,7 +47,9 @@ __all__ = [
     "run_figure3",
     "run_figure4",
     "run_search",
+    "run_search_then_serve",
     "SearchRunResult",
+    "SearchThenServeResult",
     "PRESETS",
 ]
 
@@ -264,6 +266,12 @@ class SearchRunResult:
     grid_stats: Optional[GridBuildStats] = None
     """Grid construction accounting (build seconds, dedup ratio, cache
     hit/miss counts) — surfaced by ``repro search --json``."""
+    layers: Optional[List[str]] = None
+    """Layer names in genome order — the key the serving deployment loader
+    uses to rebuild per-layer assignments from serialized genomes."""
+    weight_bits: Optional[int] = 9
+    activation_bits: Optional[int] = 9
+    use_wrapping: bool = True
 
 
 def run_search(model_name: str = "resnet50",
@@ -340,7 +348,84 @@ def run_search(model_name: str = "resnet50",
                            baseline_crossbars=baseline.crossbars,
                            design_space_size=grid.design_space_size,
                            result=result, front=result.front,
-                           rendered=rendered, grid_stats=grid.build_stats)
+                           rendered=rendered, grid_stats=grid.build_stats,
+                           layers=[layer.name for layer in spec],
+                           weight_bits=weight_bits,
+                           activation_bits=activation_bits,
+                           use_wrapping=use_wrapping)
+
+
+@dataclass
+class SearchThenServeResult:
+    """Output of :func:`run_search_then_serve` — the closed loop."""
+
+    search: SearchRunResult
+    policies: Tuple[str, ...]
+    points: Dict[str, object]           # policy -> serve.deploy.OperatingPoint
+    rows: List[Dict]
+    rendered: str
+
+
+def run_search_then_serve(model_name: str = "resnet18",
+                          policies: Tuple[str, ...] = ("latency-opt",
+                                                       "energy-opt"),
+                          budget: Optional[int] = None,
+                          budget_fraction: float = 0.78,
+                          search: EvoSearchConfig = EvoSearchConfig(),
+                          num_chips: Optional[int] = None,
+                          num_requests: int = 400,
+                          load_factors: Tuple[float, ...] = (0.5, 0.8),
+                          seed: int = 0,
+                          config: HardwareConfig = DEFAULT_CONFIG,
+                          lut: ComponentLUT = DEFAULT_LUT,
+                          grid_workers: Optional[int] = None,
+                          grid_cache: Optional[GridCache] = None,
+                          verbose: bool = True) -> SearchThenServeResult:
+    """Search a model's design space, then A/B the chosen operating points
+    under serving load — the whole ``search -> serve`` loop in one call.
+
+    Runs a Pareto search, serializes it through the *same* versioned
+    payload the ``repro search --json`` CLI writes (so this experiment
+    exercises the real hand-off contract, not a shortcut), picks one
+    operating point per ``policies`` entry, deploys each as a serving
+    fleet and replays identical Poisson traces against all of them at
+    ``load_factors`` x the slowest fleet's capacity.  Returns per-policy
+    p50/p99 latency, achieved throughput and energy per request.
+    """
+    # Imported here: serve.engine (via serve.deploy) pulls in
+    # analysis.tables during repro.serve's own package import — a
+    # module-level import would re-enter repro.serve half-initialized.
+    from ..search.cli import search_result_payload
+    from ..serve.deploy import (
+        ab_offered_load_sweep,
+        engine_from_search,
+        load_search_result,
+        render_ab,
+    )
+
+    outcome = run_search(model_name, objective="pareto", budget=budget,
+                         budget_fraction=budget_fraction, search=search,
+                         config=config, lut=lut, grid_workers=grid_workers,
+                         grid_cache=grid_cache, verbose=False)
+    loaded = load_search_result(search_result_payload(outcome))
+    engines = {}
+    points = {}
+    for policy in policies:
+        engines[policy] = engine_from_search(
+            loaded, policy=policy, num_chips=num_chips,
+            config=config, lut=lut)
+        points[policy] = loaded.select(policy)
+    rows = ab_offered_load_sweep(engines, num_requests=num_requests,
+                                 load_factors=load_factors, seed=seed)
+    rendered = render_ab(rows, title=f"search -> serve A/B — {model_name}, "
+                                     f"budget={outcome.budget} XBs")
+    if verbose:
+        print(outcome.rendered)
+        print()
+        print(rendered)
+    return SearchThenServeResult(search=outcome, policies=tuple(policies),
+                                 points=points, rows=rows,
+                                 rendered=rendered)
 
 
 @dataclass

@@ -27,6 +27,8 @@ from ...serve import (
     SchedulerConfig,
     ServingConfig,
     ServingEngine,
+    ab_offered_load_sweep,
+    engine_from_search,
     synthetic_trace,
 )
 from ..registry import Workload, benchmark
@@ -40,6 +42,9 @@ __all__ = [
     "check_structure",
     "offered_load_factory",
     "scheduler_deep_queue_factory",
+    "ab_operating_points_factory",
+    "synthetic_search_payload",
+    "check_ab_structure",
 ]
 
 CHIP_COUNTS = (1, 2, 4)
@@ -135,6 +140,86 @@ def offered_load_factory(fast: bool) -> Workload:
         served["requests_offered"] = float(num_requests * cells)
         served["requests_shed"] = float(sum(r["shed"] for r in rows))
         served["sweep_cells"] = float(cells)
+        return rows
+
+    return Workload(fn=fn, items=float(num_requests * cells),
+                    unit="requests", counters=lambda: dict(served))
+
+
+def synthetic_search_payload(model: str = "resnet18") -> Dict:
+    """A two-point ``repro-search-result`` payload with honest metrics.
+
+    The front holds two uniform designs measured by the simulator in the
+    factory (untimed): large epitomes (more crossbars, lower latency,
+    higher energy) and small ones (the reverse) — so ``latency-opt`` and
+    ``energy-opt`` select distinct points without paying for a search
+    inside a benchmark.
+    """
+    from ...core.designer import build_deployments, uniform_assignment
+    from ...models.specs import get_network_spec
+    from ...pim.simulator import simulate_network
+
+    spec = get_network_spec(model)
+    front = []
+    for rows, cols in ((2048, 512), (256, 64)):
+        assignment = uniform_assignment(spec, rows, cols)
+        report = simulate_network(build_deployments(
+            spec, assignment, weight_bits=9, activation_bits=9,
+            use_wrapping=True))
+        front.append({
+            "genome": [list(assignment[layer.name])
+                       if layer.name in assignment else None
+                       for layer in spec],
+            "crossbars": report.num_crossbars,
+            "latency_ms": report.latency_ms,
+            "energy_mj": report.energy_mj,
+            "edp": report.latency_ms * report.energy_mj,
+        })
+    return {
+        "schema": "repro-search-result",
+        "schema_version": 1,
+        "model": model,
+        "objective": "pareto",
+        "budget": None,
+        "feasible": True,
+        "precision": {"weight_bits": 9, "activation_bits": 9,
+                      "use_wrapping": True},
+        "layers": [layer.name for layer in spec],
+        "best": front[0],
+        "front": front,
+    }
+
+
+def check_ab_structure(rows: Sequence[Dict]) -> None:
+    """What the A/B exists to show: under identical offered load the
+    latency-opt fleet wins the tail, the energy-opt fleet wins the bill."""
+    by_rate: Dict[float, Dict[str, Dict]] = {}
+    for row in rows:
+        by_rate.setdefault(row["offered_fps"], {})[row["point"]] = row
+    for cell in by_rate.values():
+        lat, en = cell["latency-opt"], cell["energy-opt"]
+        assert lat["p99_ms"] < en["p99_ms"]
+        assert lat["energy_per_request_mj"] > en["energy_per_request_mj"]
+
+
+@benchmark("serve.ab_operating_points", suite="serve",
+           description="A/B two search operating points under "
+                       "identical load",
+           warmup=0, repeats=2, min_sample_ms=0.0)
+def ab_operating_points_factory(fast: bool) -> Workload:
+    num_requests = 150 if fast else 400
+    payload = synthetic_search_payload()
+    engines = {policy: engine_from_search(payload, policy=policy)
+               for policy in ("latency-opt", "energy-opt")}
+    served: Dict[str, float] = {}
+    cells = 2 * len(engines)            # load factors x fleets
+
+    def fn():
+        rows = ab_offered_load_sweep(engines, num_requests=num_requests,
+                                     seed=29)
+        check_ab_structure(rows)
+        served["requests_offered"] = float(num_requests * cells)
+        served["requests_shed"] = float(sum(r["shed"] for r in rows))
         return rows
 
     return Workload(fn=fn, items=float(num_requests * cells),

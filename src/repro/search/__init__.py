@@ -49,11 +49,13 @@ from .evolve import (
     initial_population,
 )
 from .pareto import (
+    SELECTION_POLICIES,
     ParetoPoint,
     ParetoResult,
     crowding_distance,
     non_dominated_mask,
     pareto_search,
+    select_index,
 )
 
 __all__ = [
@@ -70,6 +72,7 @@ __all__ = [
     "ParetoPoint",
     "ParetoResult",
     "PopulationEval",
+    "SELECTION_POLICIES",
     "SearchResult",
     "build_candidate_grid",
     "build_candidate_grid_serial",
@@ -89,5 +92,6 @@ __all__ = [
     "parallel_map",
     "pareto_search",
     "population_rewards",
+    "select_index",
     "uniform_budget",
 ]

@@ -33,10 +33,19 @@ from typing import List, Optional
 from .evolve import EvoSearchConfig
 from .gridcache import GridCache
 
-__all__ = ["add_search_parser", "run_search_cli", "main"]
+__all__ = ["add_search_parser", "run_search_cli", "search_result_payload",
+           "main", "SEARCH_RESULT_SCHEMA", "SEARCH_RESULT_VERSION"]
 
 MODELS = ["resnet18", "resnet34", "resnet50", "resnet101"]
 OBJECTIVE_CHOICES = ["latency", "energy", "edp", "pareto"]
+
+# The ``--json`` output is a stable, versioned contract — the hand-off
+# artifact ``repro serve --from-search`` consumes (parser:
+# :func:`repro.serve.deploy.load_search_result`; documented field-by-field
+# in docs/search-to-serve.md).  Bump the version on any
+# backwards-incompatible key change.
+SEARCH_RESULT_SCHEMA = "repro-search-result"
+SEARCH_RESULT_VERSION = 1
 
 
 def add_search_parser(subparsers) -> argparse.ArgumentParser:
@@ -80,12 +89,78 @@ def add_search_parser(subparsers) -> argparse.ArgumentParser:
     p.add_argument("--no-wrapping", action="store_true",
                    help="disable channel wrapping in the candidate grid")
     p.add_argument("--json", default=None, metavar="PATH",
-                   help="write the result (genome/front/history) as JSON")
+                   help="write the result (genome/front/history) as "
+                        "versioned JSON — the artifact `repro serve "
+                        "--from-search` consumes")
+    p.add_argument("--emit-deployment", default=None, metavar="PATH",
+                   help="also write the winner's format-2 deployment "
+                        "manifest (servable via `repro serve --manifest`)")
     return p
 
 
 def _genome_json(genome) -> List:
     return [list(cand) if cand is not None else None for cand in genome]
+
+
+def search_result_payload(outcome, cache: Optional[GridCache] = None) -> dict:
+    """The versioned search-result payload (schema v1) for a
+    :class:`~repro.analysis.experiments.SearchRunResult`.
+
+    Single source of truth for the JSON contract: the CLI writes exactly
+    this dict, and :func:`repro.analysis.experiments.run_search_then_serve`
+    round-trips through it so the experiment exercises the same artifact a
+    production hand-off would.
+    """
+    stats = outcome.grid_stats
+    payload = {
+        "schema": SEARCH_RESULT_SCHEMA,
+        "schema_version": SEARCH_RESULT_VERSION,
+        "model": outcome.model,
+        "objective": outcome.objective,
+        "budget": outcome.budget,
+        "baseline_crossbars": outcome.baseline_crossbars,
+        "design_space_size": float(outcome.design_space_size),
+        "feasible": outcome.result.feasible,
+        "precision": {
+            "weight_bits": outcome.weight_bits,
+            "activation_bits": outcome.activation_bits,
+            "use_wrapping": outcome.use_wrapping,
+        },
+        "layers": list(outcome.layers or []),
+        "grid_build_s": stats.build_s if stats else None,
+        "unique_signatures": (stats.unique_signatures if stats
+                              else None),
+        "grid_cache": {
+            "enabled": cache is not None,
+            "dir": str(cache.dir) if cache is not None else None,
+            "hits": stats.cache_hits if stats else 0,
+            "misses": stats.cache_misses if stats else 0,
+            "simulated": stats.simulated if stats else None,
+            "sim_tasks_unique": (stats.sim_tasks_unique if stats
+                                 else None),
+            "sim_tasks_total": (stats.sim_tasks_total if stats
+                                else None),
+        },
+        "history": outcome.result.history,
+        "best": {
+            "genome": _genome_json(outcome.result.genome),
+            "assignment": {name: list(cand) for name, cand
+                           in outcome.result.assignment.items()},
+            "crossbars": outcome.result.eval.crossbars,
+            "latency_ms": outcome.result.eval.latency_ms,
+            "energy_mj": outcome.result.eval.energy_mj,
+            "edp": outcome.result.eval.edp,
+        },
+    }
+    if outcome.front is not None:
+        payload["front"] = [{
+            "genome": _genome_json(point.genome),
+            "crossbars": point.eval.crossbars,
+            "latency_ms": point.eval.latency_ms,
+            "energy_mj": point.eval.energy_mj,
+            "edp": point.eval.edp,
+        } for point in outcome.front]
+    return payload
 
 
 def run_search_cli(args) -> int:
@@ -138,50 +213,23 @@ def run_search_cli(args) -> int:
               "budget; reporting the closest infeasible one",
               file=sys.stderr)
     if args.json:
-        payload = {
-            "model": outcome.model,
-            "objective": outcome.objective,
-            "budget": outcome.budget,
-            "baseline_crossbars": outcome.baseline_crossbars,
-            "design_space_size": float(outcome.design_space_size),
-            "feasible": outcome.result.feasible,
-            "grid_build_s": stats.build_s if stats else None,
-            "unique_signatures": (stats.unique_signatures if stats
-                                  else None),
-            "grid_cache": {
-                "enabled": cache is not None,
-                "dir": str(cache.dir) if cache is not None else None,
-                "hits": stats.cache_hits if stats else 0,
-                "misses": stats.cache_misses if stats else 0,
-                "simulated": stats.simulated if stats else None,
-                "sim_tasks_unique": (stats.sim_tasks_unique if stats
-                                     else None),
-                "sim_tasks_total": (stats.sim_tasks_total if stats
-                                    else None),
-            },
-            "history": outcome.result.history,
-            "best": {
-                "genome": _genome_json(outcome.result.genome),
-                "assignment": {name: list(cand) for name, cand
-                               in outcome.result.assignment.items()},
-                "crossbars": outcome.result.eval.crossbars,
-                "latency_ms": outcome.result.eval.latency_ms,
-                "energy_mj": outcome.result.eval.energy_mj,
-                "edp": outcome.result.eval.edp,
-            },
-        }
-        if outcome.front is not None:
-            payload["front"] = [{
-                "genome": _genome_json(point.genome),
-                "crossbars": point.eval.crossbars,
-                "latency_ms": point.eval.latency_ms,
-                "energy_mj": point.eval.energy_mj,
-                "edp": point.eval.edp,
-            } for point in outcome.front]
+        payload = search_result_payload(outcome, cache=cache)
         path = Path(args.json)
         path.parent.mkdir(parents=True, exist_ok=True)
         path.write_text(json.dumps(payload, indent=2) + "\n")
         print(f"wrote {path}")
+    if args.emit_deployment:
+        # The winner (scalar mode) / knee (Pareto mode) as a servable
+        # format-2 manifest, compiled by the same bridge `repro serve
+        # --from-search` uses — one compile path for the hand-off artifact.
+        # Imported lazily: repro.serve pulls this module in via its CLI.
+        from ..core.export import write_manifest
+        from ..serve.deploy import load_search_result, manifest_from_point
+
+        loaded = load_search_result(search_result_payload(outcome))
+        write_manifest(manifest_from_point(loaded, loaded.best),
+                       args.emit_deployment)
+        print(f"wrote deployment manifest -> {args.emit_deployment}")
     return 0
 
 

@@ -24,7 +24,7 @@ O(n^2) boolean broadcast over the (population + archive) set.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -47,14 +47,54 @@ from .grid import (
 
 __all__ = [
     "ARCHIVE_CAPACITY",
+    "SELECTION_POLICIES",
     "ParetoPoint",
     "ParetoResult",
     "pareto_search",
     "non_dominated_mask",
     "crowding_distance",
+    "select_index",
 ]
 
 ARCHIVE_CAPACITY = 128
+
+# Operating-point selection policies shared by :meth:`ParetoResult.select`
+# and the serving deployment loader (:mod:`repro.serve.deploy`): pick one
+# point off a front for a fleet to run.
+SELECTION_POLICIES = ("latency-opt", "energy-opt", "knee", "index")
+
+
+def select_index(metrics: Sequence[Tuple[float, float, float]],
+                 policy: str, index: Optional[int] = None) -> int:
+    """Pick one operating point from ``(latency_ms, energy_mj, edp)`` rows.
+
+    Policies (ties broken by the other objective, then first occurrence,
+    so the pick is deterministic for a fixed front):
+
+    - ``"latency-opt"`` — minimum latency (interactive fleets);
+    - ``"energy-opt"`` — minimum energy per image (batch fleets);
+    - ``"knee"`` — minimum EDP, the balanced default;
+    - ``"index"`` — the explicit ``index``-th point.
+    """
+    if policy not in SELECTION_POLICIES:
+        raise ValueError(f"unknown selection policy {policy!r}; "
+                         f"expected one of {SELECTION_POLICIES}")
+    if not metrics:
+        raise ValueError("cannot select from an empty front")
+    if policy == "index":
+        if index is None:
+            raise ValueError("policy 'index' needs an explicit index")
+        if not 0 <= index < len(metrics):
+            raise ValueError(f"index {index} out of range for a "
+                             f"{len(metrics)}-point front")
+        return index
+    keys = {
+        "latency-opt": lambda m: (m[0], m[1]),
+        "energy-opt": lambda m: (m[1], m[0]),
+        "knee": lambda m: (m[2], m[0]),
+    }
+    key = keys[policy]
+    return min(range(len(metrics)), key=lambda i: key(metrics[i]))
 
 
 @dataclass(frozen=True)
@@ -92,6 +132,13 @@ class ParetoResult:
         if not self.points:
             raise ValueError("empty Pareto front")
         return min(self.points, key=lambda p: p.eval.edp)
+
+    def select(self, policy: str = "knee",
+               index: Optional[int] = None) -> ParetoPoint:
+        """Pick one operating point by policy (see :func:`select_index`)."""
+        metrics = [(p.eval.latency_ms, p.eval.energy_mj, p.eval.edp)
+                   for p in self.points]
+        return self.points[select_index(metrics, policy, index)]
 
     def as_search_result(self) -> SearchResult:
         """The knee point as a :class:`SearchResult`, front attached."""

@@ -12,6 +12,9 @@ endpoint that answers request traffic:
 - :mod:`repro.serve.cache` — LRU cache of compiled deployments keyed by
   (model spec, hardware config) fingerprints;
 - :mod:`repro.serve.engine` — the discrete-event serving loop;
+- :mod:`repro.serve.deploy` — deploy ``repro search --json`` results:
+  operating-point selection off a Pareto front (latency-opt / energy-opt /
+  knee / index) and the A/B offered-load sweep;
 - :mod:`repro.serve.telemetry` — latency percentiles, queue depth, chip
   utilization, rolling throughput;
 - :mod:`repro.serve.cli` — ``python -m repro serve`` trace replay.
@@ -25,8 +28,26 @@ from .cache import (
     spec_fingerprint,
 )
 from .engine import ServingConfig, ServingEngine
+from .deploy import (
+    AB_LOAD_FACTORS,
+    LoadedSearchResult,
+    OperatingPoint,
+    SearchResultError,
+    ab_offered_load_sweep,
+    engine_from_search,
+    load_search_result,
+    manifest_from_point,
+    render_ab,
+    report_from_point,
+)
 from .scheduler import Batch, MicroBatchScheduler, SchedulerConfig
-from .sharding import ChipShard, ShardPlan, partition_layers, plan_sharding
+from .sharding import (
+    ChipShard,
+    ShardPlan,
+    partition_layers,
+    plan_sharding,
+    recommended_chips,
+)
 from .telemetry import RequestRecord, TelemetryCollector
 from .trace import Request, load_trace, save_trace, synthetic_trace
 
@@ -42,6 +63,7 @@ __all__ = [
     "ShardPlan",
     "plan_sharding",
     "partition_layers",
+    "recommended_chips",
     "DeploymentCache",
     "compile_deployment",
     "deployment_key",
@@ -51,4 +73,14 @@ __all__ = [
     "TelemetryCollector",
     "ServingConfig",
     "ServingEngine",
+    "AB_LOAD_FACTORS",
+    "LoadedSearchResult",
+    "OperatingPoint",
+    "SearchResultError",
+    "ab_offered_load_sweep",
+    "engine_from_search",
+    "load_search_result",
+    "manifest_from_point",
+    "render_ab",
+    "report_from_point",
 ]

@@ -11,10 +11,20 @@ Examples::
     # export the servable manifest for later replay
     python -m repro serve --model resnet50 --export-manifest deploy.json
 
+    # deploy a searched operating point (docs/search-to-serve.md)
+    python -m repro search --model resnet18 --objective pareto \
+        --json result.json
+    python -m repro serve --from-search result.json --policy latency-opt
+
+    # A/B two operating points under identical offered load
+    python -m repro serve --from-search result.json \
+        --policy latency-opt --ab-policy energy-opt
+
 With no ``--requests`` file a Poisson trace is generated; its rate
 defaults to 70% of the shard plan's aggregate throughput so the default
 run shows a loaded-but-stable system.  ``--json`` emits the telemetry
-summary as machine-readable JSON after the report.
+summary (or the A/B sweep rows) as machine-readable JSON after the
+report.
 """
 
 from __future__ import annotations
@@ -28,6 +38,14 @@ from ..core.designer import build_deployments, uniform_assignment
 from ..core.export import export_deployments, write_manifest
 from ..models.specs import get_network_spec
 from ..pim.config import DEFAULT_CONFIG
+from ..search.pareto import SELECTION_POLICIES
+from .deploy import (
+    AB_LOAD_FACTORS,
+    ab_offered_load_sweep,
+    engine_from_search,
+    load_search_result,
+    render_ab,
+)
 from .engine import ServingConfig, ServingEngine
 from .scheduler import SchedulerConfig
 from .trace import load_trace, save_trace, synthetic_trace
@@ -35,6 +53,8 @@ from .trace import load_trace, save_trace, synthetic_trace
 __all__ = ["add_serve_parser", "run_serve", "main"]
 
 MODEL_CHOICES = ["resnet18", "resnet34", "resnet50", "resnet101", "vgg16"]
+POLICY_CHOICES = list(SELECTION_POLICIES)
+DEFAULT_NUM_CHIPS = 2
 
 
 def add_serve_parser(subparsers) -> argparse.ArgumentParser:
@@ -44,6 +64,18 @@ def add_serve_parser(subparsers) -> argparse.ArgumentParser:
     src = p.add_argument_group("deployment source")
     src.add_argument("--manifest", default=None,
                      help="format-2 deployment manifest JSON to serve")
+    src.add_argument("--from-search", default=None, metavar="RESULT",
+                     help="deploy an operating point of a `repro search "
+                          "--json` result (winner or Pareto front)")
+    src.add_argument("--policy", default="knee", choices=POLICY_CHOICES,
+                     help="operating-point selection off the search "
+                          "result's front (with --from-search)")
+    src.add_argument("--point-index", type=int, default=None, metavar="I",
+                     help="explicit front index (with --policy index)")
+    src.add_argument("--ab-policy", default=None, choices=POLICY_CHOICES,
+                     metavar="POLICY",
+                     help="A/B mode: also deploy this second policy and "
+                          "sweep both fleets under identical offered load")
     src.add_argument("--model", default="resnet18", choices=MODEL_CHOICES,
                      help="network spec to compile when no manifest given")
     src.add_argument("--baseline", action="store_true",
@@ -54,8 +86,10 @@ def add_serve_parser(subparsers) -> argparse.ArgumentParser:
                      help="write the compiled deployment manifest and use it")
 
     fleet = p.add_argument_group("fleet")
-    fleet.add_argument("--num-chips", type=int, default=2,
-                       help="simulated chips to provision")
+    fleet.add_argument("--num-chips", type=int, default=None,
+                       help="simulated chips to provision (default: 2, or "
+                            "derived from the assignment's crossbar demand "
+                            "with --from-search)")
     fleet.add_argument("--mode", default="auto",
                        choices=["auto", "replica", "layer"],
                        help="sharding mode across chips")
@@ -67,7 +101,7 @@ def add_serve_parser(subparsers) -> argparse.ArgumentParser:
                        help="batching window (ms)")
     sched.add_argument("--queue-depth", type=int, default=256,
                        help="bounded queue capacity")
-    sched.add_argument("--policy", default="fifo",
+    sched.add_argument("--sched-policy", default="fifo",
                        choices=["fifo", "priority"],
                        help="batch formation order")
 
@@ -79,7 +113,8 @@ def add_serve_parser(subparsers) -> argparse.ArgumentParser:
     load.add_argument("--rate-fps", type=float, default=None,
                       help="synthetic offered load (default: 0.7x capacity)")
     load.add_argument("--priority-levels", type=int, default=1,
-                      help="synthetic priority classes (with --policy priority)")
+                      help="synthetic priority classes "
+                           "(with --sched-policy priority)")
     load.add_argument("--seed", type=int, default=0,
                       help="synthetic trace RNG seed")
     load.add_argument("--save-trace", default=None, metavar="PATH",
@@ -90,16 +125,33 @@ def add_serve_parser(subparsers) -> argparse.ArgumentParser:
     return p
 
 
+def _scheduler_config(args) -> SchedulerConfig:
+    return SchedulerConfig(
+        max_batch_size=args.max_batch,
+        window_ms=args.window_ms,
+        queue_depth=args.queue_depth,
+        policy=args.sched_policy,
+    )
+
+
 def _build_engine(args) -> ServingEngine:
+    if args.from_search is not None:
+        result = load_search_result(args.from_search)
+        engine = engine_from_search(
+            result, policy=args.policy, index=args.point_index,
+            num_chips=args.num_chips, mode=args.mode,
+            scheduler=_scheduler_config(args))
+        if args.export_manifest is not None:
+            # engine_from_search already compiled this manifest; write
+            # the retained copy rather than recompiling the deployment.
+            write_manifest(engine.deployment_manifest, args.export_manifest)
+            print(f"wrote deployment manifest -> {args.export_manifest}")
+        return engine
     serving = ServingConfig(
-        num_chips=args.num_chips,
+        num_chips=(args.num_chips if args.num_chips is not None
+                   else DEFAULT_NUM_CHIPS),
         mode=args.mode,
-        scheduler=SchedulerConfig(
-            max_batch_size=args.max_batch,
-            window_ms=args.window_ms,
-            queue_depth=args.queue_depth,
-            policy=args.policy,
-        ))
+        scheduler=_scheduler_config(args))
     if args.manifest is not None:
         return ServingEngine.from_manifest(args.manifest, serving)
 
@@ -128,7 +180,60 @@ def run_serve(args) -> int:
         return 2
 
 
+def _run_ab(args) -> int:
+    """A/B mode: two operating points of one search result, swept under
+    identical offered load (see repro.serve.deploy.ab_offered_load_sweep)."""
+    result = load_search_result(args.from_search)
+    engines = {
+        policy: engine_from_search(
+            result, policy=policy, index=args.point_index,
+            num_chips=args.num_chips, mode=args.mode,
+            scheduler=_scheduler_config(args))
+        for policy in (args.policy, args.ab_policy)}
+    for policy, engine in engines.items():
+        print(f"[{policy}]")
+        print(engine.describe())
+        print()
+    trace = None
+    if args.requests is not None:
+        trace = load_trace(args.requests)
+        print(f"replaying {len(trace)} recorded requests "
+              f"from {args.requests} against both fleets")
+        print()
+    rows = ab_offered_load_sweep(engines, num_requests=args.num_requests,
+                                 load_factors=AB_LOAD_FACTORS,
+                                 seed=args.seed, rate_fps=args.rate_fps,
+                                 trace=trace,
+                                 priority_levels=args.priority_levels)
+    print(render_ab(rows, title=f"A/B {args.policy} vs {args.ab_policy} — "
+                                f"{result.model}"))
+    if args.json:
+        print()
+        print(json.dumps(rows, indent=2))
+    return 0
+
+
 def _run_serve(args) -> int:
+    if args.from_search is not None and args.manifest is not None:
+        raise ValueError("--from-search and --manifest are both deployment "
+                         "sources; pass exactly one")
+    if args.ab_policy is not None:
+        if args.from_search is None:
+            raise ValueError("--ab-policy needs --from-search "
+                             "(two operating points of one search result)")
+        if args.ab_policy == args.policy:
+            raise ValueError(
+                f"--policy and --ab-policy are both {args.policy!r}; "
+                "pick two different policies to A/B")
+        if args.save_trace is not None:
+            raise ValueError("--save-trace is not supported in A/B mode "
+                             "(the sweep replays one trace per load "
+                             "factor); record one with a single-fleet run")
+        if args.export_manifest is not None:
+            raise ValueError("--export-manifest is ambiguous in A/B mode "
+                             "(two operating points); export from a "
+                             "single-fleet --from-search run")
+        return _run_ab(args)
     engine = _build_engine(args)
     print(engine.describe())
     print()

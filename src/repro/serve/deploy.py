@@ -1,0 +1,397 @@
+"""Deploy search results as serving fleets: the ``search -> serve`` bridge.
+
+``python -m repro search --json result.json`` writes a versioned payload
+(schema ``repro-search-result`` v1, see docs/search-to-serve.md); this
+module turns that artifact into running fleets:
+
+- :func:`load_search_result` parses and validates the payload (winner or
+  whole Pareto front) into :class:`LoadedSearchResult`, failing loudly on
+  malformed or wrong-version inputs;
+- :meth:`LoadedSearchResult.select` picks an operating point off the front
+  by policy — ``latency-opt`` for interactive fleets, ``energy-opt`` for
+  batch, ``knee`` (min EDP) as the balanced default, or an explicit
+  ``index`` (the same policies as :meth:`repro.search.ParetoResult.select`);
+- :func:`engine_from_search` compiles the chosen per-layer assignment at
+  the search's recorded precision and instantiates a
+  :class:`~repro.serve.engine.ServingEngine`, provisioning chips from the
+  assignment's crossbar demand when the caller does not pin a fleet size;
+- :func:`ab_offered_load_sweep` replays *identical* Poisson traces against
+  two (or more) deployed operating points and reports per-policy p50/p99
+  latency, achieved throughput and energy per request — the A/B an
+  operator runs before routing interactive vs batch traffic.
+
+Everything goes through the format-2 manifest compile path, so the fleet
+serves exactly the artifact a production hand-off would replay.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..analysis.tables import Table
+from ..core.designer import EpitomeAssignment, build_deployments
+from ..core.export import export_deployments
+from ..models.specs import get_network_spec
+from ..pim.config import DEFAULT_CONFIG, HardwareConfig
+from ..pim.lut import DEFAULT_LUT, ComponentLUT
+from ..pim.simulator import NetworkReport, simulate_network
+from ..search.cli import SEARCH_RESULT_SCHEMA, SEARCH_RESULT_VERSION
+from ..search.pareto import select_index
+from .engine import ServingConfig, ServingEngine
+from .scheduler import SchedulerConfig
+from .sharding import recommended_chips
+from .trace import Request, synthetic_trace
+
+__all__ = [
+    "SEARCH_RESULT_SCHEMA",
+    "SUPPORTED_SCHEMA_VERSIONS",
+    "AB_LOAD_FACTORS",
+    "SearchResultError",
+    "OperatingPoint",
+    "LoadedSearchResult",
+    "load_search_result",
+    "manifest_from_point",
+    "report_from_point",
+    "engine_from_search",
+    "ab_offered_load_sweep",
+    "render_ab",
+]
+
+# The contract constants live with the producer (repro.search.cli writes
+# the payload); this consumer re-exports them so neither side can drift.
+SUPPORTED_SCHEMA_VERSIONS = (SEARCH_RESULT_VERSION,)
+
+# Offered loads for the A/B sweep, as fractions of the *slowest* fleet's
+# capacity: a comfortable region and a loaded-but-stable one.  Both fleets
+# see the same absolute request rate — the comparison is only fair if the
+# traffic is identical.
+AB_LOAD_FACTORS = (0.5, 0.8)
+
+
+class SearchResultError(ValueError):
+    """A search-result payload that cannot be deployed (malformed,
+    missing fields, or an unsupported schema version)."""
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """One deployable design off a search result: the per-layer epitome
+    assignment plus the search-side metrics it was picked by."""
+
+    label: str                      # "best" or "front[i]"
+    assignment: EpitomeAssignment   # layer name -> (rows, cols), conv skipped
+    crossbars: int
+    latency_ms: float
+    energy_mj: float
+
+    @property
+    def edp(self) -> float:
+        return self.latency_ms * self.energy_mj
+
+
+@dataclass(frozen=True)
+class LoadedSearchResult:
+    """A parsed ``repro search --json`` artifact, ready to deploy."""
+
+    model: str
+    objective: str
+    budget: Optional[int]
+    feasible: bool
+    weight_bits: Optional[int]
+    activation_bits: Optional[int]
+    use_wrapping: bool
+    layers: Tuple[str, ...]
+    best: OperatingPoint
+    front: Optional[Tuple[OperatingPoint, ...]]
+
+    @property
+    def points(self) -> Tuple[OperatingPoint, ...]:
+        """Selectable operating points: the front, or just the winner for
+        scalar-objective results."""
+        return self.front if self.front else (self.best,)
+
+    def select(self, policy: str = "knee",
+               index: Optional[int] = None) -> OperatingPoint:
+        """Pick an operating point by policy (latency-opt | energy-opt |
+        knee | index; see :func:`repro.search.select_index`)."""
+        points = self.points
+        metrics = [(p.latency_ms, p.energy_mj, p.edp) for p in points]
+        try:
+            return points[select_index(metrics, policy, index)]
+        except ValueError as exc:
+            raise SearchResultError(str(exc)) from None
+
+
+def _require(payload: Mapping, key: str, context: str) -> object:
+    if key not in payload:
+        raise SearchResultError(
+            f"search result {context} is missing required key {key!r}")
+    return payload[key]
+
+
+def _parse_candidate(raw, where: str):
+    if raw is None:
+        return None
+    if (not isinstance(raw, (list, tuple)) or len(raw) != 2
+            or not all(isinstance(v, int) for v in raw)):
+        raise SearchResultError(
+            f"{where}: candidate must be null or a [rows, cols] pair, "
+            f"got {raw!r}")
+    return (raw[0], raw[1])
+
+
+def _parse_point(entry: Mapping, label: str,
+                 layers: Sequence[str]) -> OperatingPoint:
+    if not isinstance(entry, Mapping):
+        raise SearchResultError(
+            f"{label}: must be an object, got {type(entry).__name__}")
+    genome = _require(entry, "genome", label)
+    if not isinstance(genome, (list, tuple)):
+        raise SearchResultError(
+            f"{label}: 'genome' must be a list, "
+            f"got {type(genome).__name__}")
+    if len(genome) != len(layers):
+        raise SearchResultError(
+            f"{label}: genome has {len(genome)} entries for "
+            f"{len(layers)} layers")
+    assignment = {}
+    for name, raw in zip(layers, genome):
+        cand = _parse_candidate(raw, f"{label} layer {name!r}")
+        if cand is not None:
+            assignment[name] = cand
+    try:
+        return OperatingPoint(
+            label=label,
+            assignment=assignment,
+            crossbars=int(_require(entry, "crossbars", label)),
+            latency_ms=float(_require(entry, "latency_ms", label)),
+            energy_mj=float(_require(entry, "energy_mj", label)),
+        )
+    except (TypeError, ValueError) as exc:
+        raise SearchResultError(f"{label}: non-numeric metric: {exc}") \
+            from None
+
+
+def load_search_result(source: Union[str, Path, Mapping]
+                       ) -> LoadedSearchResult:
+    """Parse a ``repro search --json`` payload (dict, or path to one).
+
+    Validates the schema marker and version before touching any field, so
+    a file from a future incompatible ``repro`` (or a deployment manifest
+    passed by mistake) fails with an actionable message instead of a
+    KeyError deep in the compile path.
+    """
+    context = "payload"
+    if not isinstance(source, Mapping):
+        context = str(source)
+        try:
+            payload = json.loads(Path(source).read_text())
+        except OSError as exc:
+            raise SearchResultError(
+                f"cannot read search result {context}: {exc}") from None
+        except json.JSONDecodeError as exc:
+            raise SearchResultError(
+                f"{context} is not valid JSON: {exc}") from None
+    else:
+        payload = source
+    if not isinstance(payload, Mapping):
+        raise SearchResultError(
+            f"search result {context} must be a JSON object, "
+            f"got {type(payload).__name__}")
+
+    schema = payload.get("schema")
+    if schema != SEARCH_RESULT_SCHEMA:
+        raise SearchResultError(
+            f"{context} is not a {SEARCH_RESULT_SCHEMA} payload "
+            f"(schema={schema!r}); write one with "
+            "`python -m repro search --json result.json`")
+    version = payload.get("schema_version")
+    if version not in SUPPORTED_SCHEMA_VERSIONS:
+        raise SearchResultError(
+            f"{context} has schema_version {version!r}; this build "
+            f"supports {sorted(SUPPORTED_SCHEMA_VERSIONS)} — re-run the "
+            "search with a matching repro version")
+
+    model = _require(payload, "model", context)
+    layers = _require(payload, "layers", context)
+    if not isinstance(layers, list) or not layers:
+        raise SearchResultError(
+            f"{context}: 'layers' must be a non-empty list of layer names")
+    precision = _require(payload, "precision", context)
+    if not isinstance(precision, Mapping):
+        raise SearchResultError(
+            f"{context}: 'precision' must be an object with "
+            f"weight_bits/activation_bits/use_wrapping, "
+            f"got {type(precision).__name__}")
+    best = _parse_point(_require(payload, "best", context), "best", layers)
+
+    front = None
+    if payload.get("front") is not None:
+        front = tuple(
+            _parse_point(entry, f"front[{i}]", layers)
+            for i, entry in enumerate(payload["front"]))
+        if not front:
+            raise SearchResultError(f"{context}: 'front' is empty")
+
+    budget = payload.get("budget")
+    return LoadedSearchResult(
+        model=str(model),
+        objective=str(payload.get("objective", "")),
+        budget=int(budget) if budget is not None else None,
+        feasible=bool(payload.get("feasible", True)),
+        weight_bits=precision.get("weight_bits"),
+        activation_bits=precision.get("activation_bits"),
+        use_wrapping=bool(precision.get("use_wrapping", True)),
+        layers=tuple(layers),
+        best=best,
+        front=front,
+    )
+
+
+# ----------------------------------------------------------------------
+# Deployment
+# ----------------------------------------------------------------------
+
+def manifest_from_point(result: LoadedSearchResult, point: OperatingPoint,
+                        config: HardwareConfig = DEFAULT_CONFIG) -> Dict:
+    """Compile an operating point into a format-2 deployment manifest at
+    the search's recorded precision — the servable hand-off artifact."""
+    spec = get_network_spec(result.model)
+    deployments = build_deployments(
+        spec, point.assignment,
+        weight_bits=result.weight_bits,
+        activation_bits=result.activation_bits,
+        use_wrapping=result.use_wrapping,
+        config=config)
+    return export_deployments(deployments, config,
+                              name=f"{result.model}@{point.label}")
+
+
+def _report_from_manifest(manifest: Dict,
+                          lut: ComponentLUT = DEFAULT_LUT) -> NetworkReport:
+    from ..core.export import deployments_from_manifest
+
+    deployments, hardware = deployments_from_manifest(manifest)
+    return simulate_network(deployments, hardware, lut)
+
+
+def report_from_point(result: LoadedSearchResult, point: OperatingPoint,
+                      config: HardwareConfig = DEFAULT_CONFIG,
+                      lut: ComponentLUT = DEFAULT_LUT) -> NetworkReport:
+    """Simulate an operating point's deployment (via the manifest path, so
+    serve-side numbers come from the same artifact production replays)."""
+    return _report_from_manifest(manifest_from_point(result, point, config),
+                                 lut)
+
+
+def engine_from_search(source: Union[str, Path, Mapping, LoadedSearchResult],
+                       policy: str = "knee",
+                       index: Optional[int] = None,
+                       num_chips: Optional[int] = None,
+                       replicas: int = 1,
+                       mode: str = "auto",
+                       scheduler: Optional[SchedulerConfig] = None,
+                       config: HardwareConfig = DEFAULT_CONFIG,
+                       lut: ComponentLUT = DEFAULT_LUT
+                       ) -> ServingEngine:
+    """A :class:`ServingEngine` serving one operating point of a search.
+
+    ``num_chips=None`` derives the fleet from the assignment's crossbar
+    demand: the minimum chips one full copy needs at
+    ``config.tiles_per_chip`` (see
+    :func:`repro.serve.sharding.recommended_chips`), times ``replicas``.
+    The selected point and its compiled manifest are attached to the
+    engine as ``engine.operating_point`` / ``engine.deployment_manifest``
+    (telemetry labelling; exporting without recompiling).
+    """
+    result = (source if isinstance(source, LoadedSearchResult)
+              else load_search_result(source))
+    point = result.select(policy, index)
+    manifest = manifest_from_point(result, point, config)
+    report = _report_from_manifest(manifest, lut)
+    if num_chips is None:
+        num_chips = recommended_chips(report, config, replicas=replicas)
+    serving = ServingConfig(num_chips=num_chips, mode=mode,
+                            scheduler=scheduler or SchedulerConfig())
+    engine = ServingEngine(report, serving, config, lut)
+    engine.operating_point = point
+    engine.deployment_manifest = manifest
+    return engine
+
+
+# ----------------------------------------------------------------------
+# A/B offered-load sweep
+# ----------------------------------------------------------------------
+
+def ab_offered_load_sweep(engines: Mapping[str, ServingEngine],
+                          num_requests: int = 400,
+                          load_factors: Sequence[float] = AB_LOAD_FACTORS,
+                          seed: int = 0,
+                          rate_fps: Optional[float] = None,
+                          trace: Optional[Sequence[Request]] = None,
+                          priority_levels: int = 1) -> List[Dict]:
+    """Serve identical traces against several deployed operating points.
+
+    ``engines`` maps a label (usually the selection policy) to a deployed
+    engine.  Each load factor is taken against the *minimum* capacity
+    across the fleets (or ``rate_fps`` pins absolute rates, ignoring
+    ``load_factors``), and every fleet replays the *same* Poisson trace —
+    identical arrivals, so latency/energy differences are attributable to
+    the operating point alone.  A recorded ``trace`` replaces the
+    synthetic sweep entirely: one row per fleet at the trace's own
+    measured arrival rate.
+
+    Each row carries the serving telemetry (p50/p99 latency, achieved
+    throughput, shed count) plus ``energy_per_request_mj``, the deployed
+    design's per-image energy — the number a batch fleet provisions by.
+    """
+    if not engines:
+        raise ValueError("ab_offered_load_sweep needs at least one engine")
+    if trace is not None:
+        replay = sorted(trace, key=lambda r: (r.arrival_ms, r.request_id))
+        if not replay:
+            raise ValueError("cannot A/B an empty trace")
+        span_ms = replay[-1].arrival_ms - replay[0].arrival_ms
+        offered = (len(replay) / span_ms * 1000.0 if span_ms > 0
+                   else float(len(replay)))
+        jobs = [(offered, replay)]
+    else:
+        base = min(engine.plan.throughput_fps for engine in engines.values())
+        rates = ([rate_fps] if rate_fps is not None
+                 else [factor * base for factor in load_factors])
+        jobs = [(rate, synthetic_trace(num_requests, rate_rps=rate,
+                                       seed=seed,
+                                       priority_levels=priority_levels))
+                for rate in rates]
+    rows: List[Dict] = []
+    for rate, requests in jobs:
+        for label, engine in engines.items():
+            telemetry = engine.serve(requests)
+            rows.append({
+                "point": label,
+                "offered_fps": rate,
+                "capacity_fps": engine.plan.throughput_fps,
+                "achieved_fps": telemetry.throughput_fps(),
+                "p50_ms": telemetry.latency_percentile(50.0),
+                "p99_ms": telemetry.latency_percentile(99.0),
+                "shed": telemetry.num_rejected,
+                "energy_per_request_mj": engine.report.energy_mj,
+                "num_chips": engine.config.num_chips,
+            })
+    return rows
+
+
+def render_ab(rows: Sequence[Dict],
+              title: str = "A/B operating points under load") -> str:
+    """Render A/B sweep rows as a paper-style table."""
+    table = Table(["point", "chips", "offered_fps", "achieved_fps",
+                   "p50_ms", "p99_ms", "shed", "energy/req (mJ)"],
+                  title=title)
+    for row in rows:
+        table.add_row(row["point"], row["num_chips"], row["offered_fps"],
+                      row["achieved_fps"], row["p50_ms"], row["p99_ms"],
+                      row["shed"], row["energy_per_request_mj"])
+    return table.render()

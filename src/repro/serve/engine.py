@@ -88,6 +88,11 @@ class ServingEngine:
                 f"{config.num_chips} chip(s)); serving what-if timings for "
                 "hardware that cannot be built — provision more chips or "
                 "use mode='auto'/'layer'", stacklevel=2)
+        # Filled by repro.serve.deploy when the engine serves a searched
+        # operating point; None for manifest/spec deployments.  The
+        # manifest is kept so exporting the deployment needs no recompile.
+        self.operating_point = None
+        self.deployment_manifest = None
         self.executors: List[_Executor] = []
         chip = 0
         for replica in range(self.plan.num_replicas):
@@ -143,6 +148,20 @@ class ServingEngine:
                 activation_bits=activation_bits,
                 use_wrapping=use_wrapping, config=hardware, lut=lut)
         return cls(report, config, hardware, lut)
+
+    @classmethod
+    def from_search(cls, source, policy: str = "knee", **kwargs
+                    ) -> "ServingEngine":
+        """Deploy an operating point of a ``repro search --json`` result
+        (path, payload dict, or a pre-parsed
+        :class:`~repro.serve.deploy.LoadedSearchResult`).
+
+        Thin delegate to :func:`repro.serve.deploy.engine_from_search`,
+        which documents the policy choices and fleet-size derivation.
+        """
+        from .deploy import engine_from_search
+
+        return engine_from_search(source, policy=policy, **kwargs)
 
     # ------------------------------------------------------------------
     # Serving
@@ -226,7 +245,14 @@ class ServingEngine:
     def describe(self) -> str:
         """One-paragraph engine summary (deployment + shard plan)."""
         r = self.report
-        return "\n".join([
+        header = []
+        if self.operating_point is not None:
+            p = self.operating_point
+            header.append(
+                f"operating point: {p.label} ({len(p.assignment)} epitome "
+                f"layers; search eval {p.crossbars} XBs, "
+                f"{p.latency_ms:.3f} ms, {p.energy_mj:.4f} mJ)")
+        return "\n".join(header + [
             f"deployment: {len(r.layers)} layers, {r.num_crossbars} "
             f"crossbars, fill latency {r.latency_ms:.3f} ms, "
             f"image interval {r.image_interval_ms:.3f} ms",

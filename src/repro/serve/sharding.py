@@ -31,7 +31,8 @@ from ..pim.lut import DEFAULT_LUT, ComponentLUT
 from ..pim.noc import layer_tiles
 from ..pim.simulator import LayerReport, NetworkReport
 
-__all__ = ["ChipShard", "ShardPlan", "plan_sharding", "partition_layers"]
+__all__ = ["ChipShard", "ShardPlan", "plan_sharding", "partition_layers",
+           "recommended_chips"]
 
 # Off-chip serdes is slower than the on-chip mesh; boundary traffic pays
 # this multiple of the per-link NoC latency.
@@ -180,6 +181,22 @@ def _min_fitting_parts(report: NetworkReport, config: HardwareConfig,
         return None
     parts = chips_required(report, config)
     return parts if parts <= max_parts else None
+
+
+def recommended_chips(report: NetworkReport,
+                      config: HardwareConfig = DEFAULT_CONFIG,
+                      replicas: int = 1) -> int:
+    """Fleet size derived from a deployment's crossbar demand: the minimum
+    chips one full copy needs (tile accounting via
+    :func:`repro.pim.accelerator.chips_required`), times ``replicas``.
+
+    This is how ``repro serve --from-search`` provisions when the operator
+    does not pin ``--num-chips``: the searched assignment decides its own
+    capacity floor, and replicas scale throughput from there.
+    """
+    if replicas < 1:
+        raise ValueError("replicas must be >= 1")
+    return chips_required(report, config) * replicas
 
 
 # ----------------------------------------------------------------------

@@ -89,3 +89,13 @@ def test_serve_deep_queue_runs():
                            FAST_ONE_SHOT)
     assert result.unit == "requests"
     assert result.counters["requests_drained"] == result.items
+
+
+def test_serve_ab_operating_points_runs_and_checks_structure():
+    """The A/B benchmark doubles as a correctness smoke: its workload
+    asserts latency-opt wins p99 and energy-opt wins energy/request."""
+    registry = load_suites()
+    result = run_benchmark(registry.get("serve.ab_operating_points"),
+                           FAST_ONE_SHOT)
+    assert result.unit == "requests"
+    assert result.counters["requests_offered"] == result.items

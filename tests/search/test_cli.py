@@ -47,6 +47,39 @@ class TestSearchCLI:
         for point in payload["front"]:
             assert point["crossbars"] <= payload["budget"]
 
+    def test_json_is_versioned_deployable_contract(self, capsys, tmp_path):
+        """The --json payload is the schema-v1 artifact `repro serve
+        --from-search` consumes (docs/search-to-serve.md)."""
+        path = tmp_path / "design.json"
+        code, _ = run(capsys, "--objective", "pareto",
+                      "--weight-bits", "7", "--json", str(path))
+        assert code == 0
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == "repro-search-result"
+        assert payload["schema_version"] == 1
+        assert payload["precision"] == {"weight_bits": 7,
+                                        "activation_bits": 9,
+                                        "use_wrapping": True}
+        assert len(payload["layers"]) == len(payload["best"]["genome"])
+        for point in payload["front"]:
+            assert len(point["genome"]) == len(payload["layers"])
+        # and it parses on the serve side
+        from repro.serve.deploy import load_search_result
+        result = load_search_result(path)
+        assert result.weight_bits == 7
+        assert len(result.front) == len(payload["front"])
+
+    def test_emit_deployment_writes_servable_manifest(self, capsys,
+                                                      tmp_path):
+        manifest_path = tmp_path / "deploy.json"
+        code, out = run(capsys, "--objective", "latency",
+                        "--emit-deployment", str(manifest_path))
+        assert code == 0
+        assert "wrote deployment manifest" in out
+        from repro.serve import ServingEngine
+        engine = ServingEngine.from_manifest(str(manifest_path))
+        assert engine.report.num_crossbars > 0
+
     def test_invalid_config_exits_2(self, capsys):
         code = main(["search", "--model", "resnet18", "--population", "0"])
         assert code == 2

@@ -11,6 +11,7 @@ from repro.search import (
     evolution_search,
     non_dominated_mask,
     pareto_search,
+    select_index,
 )
 from repro.models.specs import resnet18_spec
 
@@ -92,6 +93,40 @@ class TestParetoFront:
     def test_history_tracks_front_size(self, front):
         assert len(front.history) == 2 * 15      # restarts x iterations
         assert all(size >= 0 for size in front.history)
+
+    def test_select_policies(self, front):
+        assert front.select("latency-opt").eval.latency_ms == \
+            min(p.eval.latency_ms for p in front.points)
+        assert front.select("energy-opt").eval.energy_mj == \
+            min(p.eval.energy_mj for p in front.points)
+        assert front.select("knee") == front.knee()
+        assert front.select("index", index=0) == front.points[0]
+
+
+class TestSelectIndex:
+    # (latency, energy, edp): argmins at 0, 1 and 2 respectively.
+    METRICS = [(10.0, 5.0, 50.0), (30.0, 1.0, 30.0), (13.0, 2.0, 26.0)]
+
+    def test_each_policy(self):
+        assert select_index(self.METRICS, "latency-opt") == 0
+        assert select_index(self.METRICS, "energy-opt") == 1
+        assert select_index(self.METRICS, "knee") == 2
+        assert select_index(self.METRICS, "index", 1) == 1
+
+    def test_ties_break_on_other_objective_then_order(self):
+        tied = [(1.0, 9.0, 9.0), (1.0, 2.0, 2.0), (1.0, 2.0, 2.0)]
+        assert select_index(tied, "latency-opt") == 1
+        assert select_index(tied, "knee") == 1
+
+    def test_errors(self):
+        with pytest.raises(ValueError, match="unknown selection"):
+            select_index(self.METRICS, "cheapest")
+        with pytest.raises(ValueError, match="empty front"):
+            select_index([], "knee")
+        with pytest.raises(ValueError, match="explicit index"):
+            select_index(self.METRICS, "index")
+        with pytest.raises(ValueError, match="out of range"):
+            select_index(self.METRICS, "index", 3)
 
 
 class TestParetoViaEvolutionSearch:

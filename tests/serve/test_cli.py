@@ -2,9 +2,19 @@
 
 import json
 
+import pytest
 
 from repro.analysis.cli import main
+from repro.bench.suites.serve import synthetic_search_payload
 from repro.serve.trace import save_trace, synthetic_trace
+
+
+@pytest.fixture(scope="module")
+def search_result(tmp_path_factory):
+    """A deployable two-point search-result file (no search needed)."""
+    path = tmp_path_factory.mktemp("search") / "result.json"
+    path.write_text(json.dumps(synthetic_search_payload()))
+    return str(path)
 
 
 class TestServeCommand:
@@ -45,3 +55,96 @@ class TestServeCommand:
                      "--mode", "layer", "--num-chips", "2",
                      "--num-requests", "30"]) == 0
         assert "sharding" in capsys.readouterr().out
+
+
+class TestFromSearch:
+    def test_deploys_selected_policy(self, search_result, capsys):
+        assert main(["serve", "--from-search", search_result,
+                     "--policy", "latency-opt",
+                     "--num-requests", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "operating point: front[0]" in out
+        assert "p99" in out
+
+    def test_policy_index(self, search_result, capsys):
+        assert main(["serve", "--from-search", search_result,
+                     "--policy", "index", "--point-index", "1",
+                     "--num-requests", "30"]) == 0
+        assert "operating point: front[1]" in capsys.readouterr().out
+
+    def test_chips_derived_unless_pinned(self, search_result, capsys):
+        assert main(["serve", "--from-search", search_result,
+                     "--num-requests", "30"]) == 0
+        assert "1 chip(s) on 1 provisioned" in capsys.readouterr().out
+        assert main(["serve", "--from-search", search_result,
+                     "--num-chips", "2", "--num-requests", "30"]) == 0
+        assert "on 2 provisioned" in capsys.readouterr().out
+
+    def test_ab_sweep_reports_both_policies(self, search_result, capsys):
+        assert main(["serve", "--from-search", search_result,
+                     "--policy", "latency-opt",
+                     "--ab-policy", "energy-opt",
+                     "--num-requests", "60", "--json"]) == 0
+        out = capsys.readouterr().out
+        assert "[latency-opt]" in out and "[energy-opt]" in out
+        assert "energy/req" in out
+        rows = json.loads(out[out.rindex("\n[") + 1:])
+        assert len(rows) == 4
+        assert {row["point"] for row in rows} == {"latency-opt",
+                                                  "energy-opt"}
+
+    def test_missing_file_exits_2(self, capsys):
+        assert main(["serve", "--from-search", "/nope/result.json"]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_conflicting_sources_exit_2(self, search_result, tmp_path,
+                                        capsys):
+        manifest = tmp_path / "deploy.json"
+        manifest.write_text("{}")
+        assert main(["serve", "--from-search", search_result,
+                     "--manifest", str(manifest)]) == 2
+        assert "exactly one" in capsys.readouterr().err
+
+    def test_ab_without_from_search_exits_2(self, capsys):
+        assert main(["serve", "--ab-policy", "energy-opt"]) == 2
+        assert "--from-search" in capsys.readouterr().err
+
+    def test_same_ab_policies_exit_2(self, search_result, capsys):
+        assert main(["serve", "--from-search", search_result,
+                     "--policy", "knee", "--ab-policy", "knee"]) == 2
+        assert "two different policies" in capsys.readouterr().err
+
+    def test_export_manifest_from_search(self, search_result, tmp_path,
+                                         capsys):
+        manifest = tmp_path / "deploy.json"
+        assert main(["serve", "--from-search", search_result,
+                     "--policy", "energy-opt",
+                     "--export-manifest", str(manifest),
+                     "--num-requests", "30"]) == 0
+        assert "wrote deployment manifest" in capsys.readouterr().out
+        assert main(["serve", "--manifest", str(manifest),
+                     "--num-requests", "30"]) == 0
+        assert "p99" in capsys.readouterr().out
+
+    def test_ab_replays_recorded_trace(self, search_result, tmp_path,
+                                       capsys):
+        path = tmp_path / "trace.json"
+        save_trace(synthetic_trace(50, 150.0, seed=2), path)
+        assert main(["serve", "--from-search", search_result,
+                     "--policy", "latency-opt",
+                     "--ab-policy", "energy-opt",
+                     "--requests", str(path), "--json"]) == 0
+        out = capsys.readouterr().out
+        assert "replaying 50 recorded requests" in out
+        rows = json.loads(out[out.rindex("\n[") + 1:])
+        assert len(rows) == 2                     # one row per fleet
+
+    def test_ab_rejects_ambiguous_artifact_flags(self, search_result,
+                                                 tmp_path, capsys):
+        base = ["serve", "--from-search", search_result,
+                "--policy", "latency-opt", "--ab-policy", "energy-opt"]
+        assert main(base + ["--save-trace", str(tmp_path / "t.json")]) == 2
+        assert "not supported in A/B" in capsys.readouterr().err
+        assert main(base + ["--export-manifest",
+                            str(tmp_path / "d.json")]) == 2
+        assert "ambiguous in A/B" in capsys.readouterr().err

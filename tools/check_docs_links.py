@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Verify that local markdown links in README.md and docs/ resolve.
+
+The README links docs/architecture.md and docs/search-to-serve.md (and
+the docs cross-link each other); this script fails CI when a rename or
+deletion leaves a dangling reference. External (http/https/mailto)
+links are out of scope — only repo-relative paths are checked, resolved
+against the file that contains the link.
+
+Usage: python tools/check_docs_links.py   (exit 1 on any broken link)
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+LINK = re.compile(r"\[[^\]]*\]\(([^)#\s]+)(#[^)\s]*)?\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:")
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def iter_sources():
+    yield REPO / "README.md"
+    yield from sorted((REPO / "docs").glob("*.md"))
+
+
+def main() -> int:
+    broken = []
+    checked = 0
+    for source in iter_sources():
+        for match in LINK.finditer(source.read_text()):
+            target = match.group(1)
+            if target.startswith(SKIP_PREFIXES):
+                continue
+            checked += 1
+            if not (source.parent / target).exists():
+                broken.append(f"{source.relative_to(REPO)}: "
+                              f"broken link -> {target}")
+    for line in broken:
+        print(line, file=sys.stderr)
+    print(f"{checked} local links checked, {len(broken)} broken")
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
