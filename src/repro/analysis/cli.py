@@ -11,6 +11,7 @@ Usage::
     python -m repro search [...]       # design-space search (repro.search.cli)
     python -m repro serve [...]        # serving runtime (repro.serve.cli)
     python -m repro bench [...]        # benchmark harness (repro.bench.cli)
+    python -m repro obs [...]          # trace/metrics artifacts (repro.obs.cli)
 
 ``--preset`` controls the accuracy-side cost (smoke | default | full); the
 hardware columns are always exact.  ``--no-accuracy`` skips training
@@ -26,6 +27,7 @@ from typing import List, Optional
 from .accuracy import PRESETS
 from .experiments import run_figure3, run_figure4, run_table1, run_table2, run_table3
 from ..bench.cli import add_bench_parser, run_bench
+from ..obs.cli import add_obs_parser, run_obs
 from ..search.cli import add_search_parser, run_search_cli
 from ..serve.cli import add_serve_parser, run_serve
 
@@ -73,6 +75,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_search_parser(sub)
     add_serve_parser(sub)
     add_bench_parser(sub)
+    add_obs_parser(sub)
     return parser
 
 
@@ -102,6 +105,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return run_serve(args)
     elif args.command == "bench":
         return run_bench(args)
+    elif args.command == "obs":
+        return run_obs(args)
     return 0
 
 

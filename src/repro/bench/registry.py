@@ -142,5 +142,5 @@ def benchmark(name: str, suite: str, description: str = "",
 def load_suites() -> BenchmarkRegistry:
     """Import every first-class suite module (idempotent) and return the
     populated default registry."""
-    from .suites import nn, pim, pipeline, search, serve  # noqa: F401
+    from .suites import nn, obs, pim, pipeline, search, serve  # noqa: F401
     return DEFAULT_REGISTRY

@@ -1,0 +1,95 @@
+"""Process-wide observability context: the installed tracer and registry.
+
+Instrumented code (serve engine/scheduler/cache, search loops, the PIM
+simulator counters) resolves its sinks here at call time::
+
+    from ..obs.runtime import get_metrics, get_tracer
+
+so a CLI (or test) can swap in a fresh registry / real tracer for one run
+and everything downstream publishes into it without threading parameters
+through every layer.  The defaults are a no-op :class:`NullTracer` and a
+single always-on :class:`MetricsRegistry` (counters are a float add; the
+expensive publication paths are bulk, post-run).
+
+Worker processes spawned by the search fan-out inherit whatever was
+installed at fork time, but their increments stay in the worker — only
+:class:`repro.pim.simulator.SimCounters` deltas are merged back (see
+``repro.search.parallel``).  Cross-process metric aggregation is a
+documented non-goal for now.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Optional
+
+from .metrics import MetricsRegistry
+from .tracer import NullTracer, Tracer
+
+__all__ = [
+    "get_metrics",
+    "set_metrics",
+    "get_tracer",
+    "set_tracer",
+    "use_metrics",
+    "use_tracer",
+    "reset",
+]
+
+_NULL_TRACER = NullTracer()
+_tracer: Tracer = _NULL_TRACER
+_metrics = MetricsRegistry()
+
+
+def get_tracer() -> Tracer:
+    """The installed tracer (a no-op :class:`NullTracer` by default)."""
+    return _tracer
+
+
+def set_tracer(tracer: Optional[Tracer]) -> Tracer:
+    """Install ``tracer`` process-wide (None restores the no-op default);
+    returns the previously installed tracer."""
+    global _tracer
+    previous = _tracer
+    _tracer = tracer if tracer is not None else _NULL_TRACER
+    return previous
+
+
+def get_metrics() -> MetricsRegistry:
+    """The installed process-wide metrics registry."""
+    return _metrics
+
+
+def set_metrics(registry: Optional[MetricsRegistry]) -> MetricsRegistry:
+    """Install ``registry`` process-wide (None installs a fresh empty
+    one); returns the previously installed registry."""
+    global _metrics
+    previous = _metrics
+    _metrics = registry if registry is not None else MetricsRegistry()
+    return previous
+
+
+@contextmanager
+def use_tracer(tracer: Tracer):
+    """Scoped tracer install (tests, single CLI runs)."""
+    previous = set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(previous)
+
+
+@contextmanager
+def use_metrics(registry: MetricsRegistry):
+    """Scoped registry install (tests, single CLI runs)."""
+    previous = set_metrics(registry)
+    try:
+        yield registry
+    finally:
+        set_metrics(previous)
+
+
+def reset() -> None:
+    """Restore the no-op tracer and a fresh registry (test isolation)."""
+    set_tracer(None)
+    set_metrics(None)

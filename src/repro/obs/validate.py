@@ -1,0 +1,195 @@
+"""Validators for the observability artifacts the CLIs emit.
+
+Three formats, each validated structurally (not just "is it JSON"):
+
+- **Chrome trace-event JSON** (``--trace-out t.json``): a top-level
+  object with a ``traceEvents`` list (or a bare event list).  Complete
+  ``X`` events need a numeric ``ts`` and non-negative ``dur``; duration
+  ``B``/``E`` events must nest properly per ``(pid, tid)`` track; per
+  track, ``ts`` must be non-decreasing in file order (what the in-repo
+  tracer guarantees and Perfetto's importer is happiest with).
+- **Prometheus text** (``--metrics-out m.prom``): must parse under
+  :func:`repro.obs.export.parse_prometheus_text`; histogram families
+  must have non-decreasing cumulative buckets, a ``+Inf`` bucket, and a
+  ``_count`` equal to it.
+- **JSONL** (``--metrics-out m.jsonl``, span JSONL): every non-empty
+  line must be individually ``json.loads``-able.
+
+Each validator returns a list of human-readable problems (empty = valid);
+:func:`validate_file` sniffs the format from the suffix/content and is
+what ``repro obs validate`` calls.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Dict, List, Tuple, Union
+
+from .export import PrometheusParseError, parse_prometheus_text
+
+__all__ = [
+    "validate_chrome_trace",
+    "validate_prometheus",
+    "validate_jsonl",
+    "validate_file",
+    "sniff_format",
+]
+
+_PHASES_OK = {"X", "B", "E", "M", "i", "I", "C"}
+
+
+def validate_chrome_trace(payload) -> List[str]:
+    """Structural problems of a parsed Chrome trace (empty list = valid)."""
+    problems: List[str] = []
+    if isinstance(payload, dict):
+        events = payload.get("traceEvents")
+        if not isinstance(events, list):
+            return ["top-level object has no 'traceEvents' list"]
+    elif isinstance(payload, list):
+        events = payload
+    else:
+        return [f"expected an object or array, got {type(payload).__name__}"]
+
+    last_ts: Dict[Tuple, float] = {}
+    open_stacks: Dict[Tuple, List[str]] = {}
+    timed = 0
+    for i, event in enumerate(events):
+        where = f"event[{i}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        phase = event.get("ph")
+        if not isinstance(phase, str) or not phase:
+            problems.append(f"{where}: missing 'ph' phase")
+            continue
+        if phase not in _PHASES_OK:
+            problems.append(f"{where}: unsupported phase {phase!r}")
+            continue
+        if "name" not in event:
+            problems.append(f"{where}: missing 'name'")
+        if phase == "M":
+            continue        # metadata events carry no timestamp
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or isinstance(ts, bool) \
+                or math.isnan(float(ts)) or float(ts) < 0:
+            problems.append(f"{where}: 'ts' must be a non-negative number, "
+                            f"got {ts!r}")
+            continue
+        timed += 1
+        track = (event.get("pid", 0), event.get("tid", 0))
+        previous = last_ts.get(track)
+        if previous is not None and float(ts) < previous:
+            problems.append(
+                f"{where}: ts {ts} goes backwards on track pid/tid "
+                f"{track} (previous {previous})")
+        last_ts[track] = float(ts)
+        if phase == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or isinstance(dur, bool) \
+                    or math.isnan(float(dur)) or float(dur) < 0:
+                problems.append(f"{where}: X event needs a non-negative "
+                                f"'dur', got {dur!r}")
+        elif phase == "B":
+            open_stacks.setdefault(track, []).append(
+                str(event.get("name", "")))
+        elif phase == "E":
+            stack = open_stacks.get(track)
+            if not stack:
+                problems.append(f"{where}: E event with no open B on "
+                                f"track pid/tid {track}")
+            else:
+                stack.pop()
+    for track, stack in open_stacks.items():
+        for name in stack:
+            problems.append(f"unclosed B event {name!r} on track "
+                            f"pid/tid {track}")
+    if timed == 0 and not problems:
+        problems.append("trace has no timed events")
+    return problems
+
+
+def validate_prometheus(text: str) -> List[str]:
+    """Parse + histogram-consistency problems (empty list = valid)."""
+    try:
+        families = parse_prometheus_text(text)
+    except PrometheusParseError as exc:
+        return [str(exc)]
+    problems: List[str] = []
+    if not any(family["samples"] for family in families.values()):
+        problems.append("no samples found")
+    for name, family in families.items():
+        if family["type"] != "histogram":
+            continue
+        buckets = [(s[1].get("le"), s[2]) for s in family["samples"]
+                   if s[0] == f"{name}_bucket"]
+        counts = [s[2] for s in family["samples"] if s[0] == f"{name}_count"]
+        if not buckets:
+            problems.append(f"histogram {name}: no _bucket samples")
+            continue
+        if buckets[-1][0] != "+Inf":
+            problems.append(f"histogram {name}: last bucket must be "
+                            f'le="+Inf", got le={buckets[-1][0]!r}')
+        values = [v for _, v in buckets]
+        if any(b > a for b, a in zip(values, values[1:])):
+            problems.append(f"histogram {name}: cumulative bucket counts "
+                            "decrease")
+        if counts and values and counts[0] != values[-1]:
+            problems.append(f"histogram {name}: _count {counts[0]} != "
+                            f"+Inf bucket {values[-1]}")
+    return problems
+
+
+def validate_jsonl(text: str) -> List[str]:
+    """Problems with a JSONL payload (empty list = valid)."""
+    problems: List[str] = []
+    seen = 0
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        seen += 1
+        try:
+            json.loads(line)
+        except json.JSONDecodeError as exc:
+            problems.append(f"line {lineno}: not valid JSON ({exc.msg})")
+    if seen == 0:
+        problems.append("no JSON lines found")
+    return problems
+
+
+def sniff_format(path: Path, text: str) -> str:
+    """``chrome-trace`` | ``jsonl`` | ``prometheus``, from suffix then
+    content."""
+    if path.suffix == ".jsonl":
+        return "jsonl"
+    if path.suffix in (".prom", ".txt"):
+        return "prometheus"
+    stripped = text.lstrip()
+    if stripped.startswith(("{", "[")):
+        try:
+            json.loads(text)
+            return "chrome-trace"
+        except json.JSONDecodeError:
+            # Many JSON objects on separate lines: JSONL.
+            return "jsonl"
+    return "prometheus"
+
+
+def validate_file(path: Union[str, Path]) -> Tuple[str, List[str]]:
+    """Validate one artifact; returns ``(format, problems)``."""
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        return ("unreadable", [f"cannot read {path}: {exc}"])
+    kind = sniff_format(path, text)
+    if kind == "chrome-trace":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            return (kind, [f"not valid JSON: {exc}"])
+        return (kind, validate_chrome_trace(payload))
+    if kind == "jsonl":
+        return (kind, validate_jsonl(text))
+    return (kind, validate_prometheus(text))

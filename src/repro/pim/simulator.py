@@ -98,6 +98,23 @@ class SimCounters:
         self.analog_mac_ops += int(delta.get("analog_mac_ops", 0))
         self.crossbar_tiles += int(delta.get("crossbar_tiles", 0))
 
+    def publish(self, registry=None) -> None:
+        """Mirror the counters into a
+        :class:`~repro.obs.metrics.MetricsRegistry` as
+        ``pim.simulator.*`` gauges (default: the installed registry).
+
+        Gauges, not counters: these values are process-global and
+        monotone only between resets, so last-write-wins snapshots are
+        the honest exposition.  CLIs call this once before exporting.
+        """
+        if registry is None:
+            from ..obs.runtime import get_metrics
+            registry = get_metrics()
+        for name, value in self.as_dict().items():
+            registry.gauge(f"pim.simulator.{name}",
+                           help=f"simulator work counter: {name}"
+                           ).set(value)
+
 
 _COUNTERS = SimCounters()
 

@@ -30,6 +30,11 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
+from ..obs.export import write_metrics
+from ..obs.metrics import MetricsRegistry
+from ..obs.runtime import use_metrics, use_tracer
+from ..obs.tracer import NullTracer, Tracer
+from ..pim.simulator import sim_counters
 from .evolve import EvoSearchConfig
 from .gridcache import GridCache
 
@@ -88,6 +93,13 @@ def add_search_parser(subparsers) -> argparse.ArgumentParser:
     p.add_argument("--activation-bits", type=int, default=9)
     p.add_argument("--no-wrapping", action="store_true",
                    help="disable channel wrapping in the candidate grid")
+    p.add_argument("--trace-out", default=None, metavar="PATH",
+                   help="write per-generation search spans: .json = "
+                        "Chrome trace-event (Perfetto-loadable), .jsonl "
+                        "= one span per line")
+    p.add_argument("--metrics-out", default=None, metavar="PATH",
+                   help="export search.*/pim.* metrics: .prom/.txt = "
+                        "Prometheus text, .jsonl = JSON lines")
     p.add_argument("--json", default=None, metavar="PATH",
                    help="write the result (genome/front/history) as "
                         "versioned JSON — the artifact `repro serve "
@@ -186,18 +198,32 @@ def run_search_cli(args) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     cache = None if args.no_cache else GridCache(args.cache_dir)
-    outcome = run_search(
-        model_name=args.model,
-        objective=args.objective,
-        budget=args.budget,
-        budget_fraction=args.budget_fraction,
-        search=search,
-        weight_bits=args.weight_bits,
-        activation_bits=args.activation_bits,
-        use_wrapping=not args.no_wrapping,
-        grid_workers=args.workers,
-        grid_cache=cache,
-    )
+    tracer = Tracer() if args.trace_out is not None else NullTracer()
+    registry = MetricsRegistry()
+    with use_tracer(tracer), use_metrics(registry):
+        outcome = run_search(
+            model_name=args.model,
+            objective=args.objective,
+            budget=args.budget,
+            budget_fraction=args.budget_fraction,
+            search=search,
+            weight_bits=args.weight_bits,
+            activation_bits=args.activation_bits,
+            use_wrapping=not args.no_wrapping,
+            grid_workers=args.workers,
+            grid_cache=cache,
+        )
+    if args.metrics_out is not None:
+        sim_counters().publish(registry)
+        write_metrics(registry, args.metrics_out)
+        print(f"wrote metrics -> {args.metrics_out}", file=sys.stderr)
+    if args.trace_out is not None:
+        if args.trace_out.endswith(".jsonl"):
+            tracer.write_jsonl(args.trace_out)
+        else:
+            tracer.write_chrome_trace(args.trace_out)
+        print(f"wrote trace ({len(tracer)} spans) -> {args.trace_out}",
+              file=sys.stderr)
     stats = outcome.grid_stats
     if stats is not None:
         # stderr, so cold and warm runs produce identical stdout (CI

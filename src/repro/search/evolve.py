@@ -29,6 +29,7 @@ from typing import TYPE_CHECKING, List, Optional, Sequence
 
 import numpy as np
 
+from ..obs.runtime import get_metrics, get_tracer
 from ..pim.lut import DEFAULT_LUT, ComponentLUT
 from .parallel import parallel_map
 from .grid import (
@@ -287,17 +288,28 @@ def _evolution_search_once(grid: CandidateGrid,
                            crossbar_budget: Optional[int],
                            search: EvoSearchConfig,
                            lut: ComponentLUT) -> SearchResult:
-    """One population's evolution (Algorithm 1, vectorized)."""
+    """One population's evolution (Algorithm 1, vectorized).
+
+    Each generation is traced as a wall-clock span on the
+    ``evolve seed=N`` track (restart runs get distinct tracks) and the
+    run's totals land under ``search.evolve.*`` in the installed metrics
+    registry.  Worker processes inherit the no-op defaults, so the
+    fan-out path costs nothing extra.
+    """
+    tracer = get_tracer()
+    metrics = get_metrics()
     rng = np.random.default_rng(search.seed)
     matrices = grid.matrices()
     population = initial_population(grid, search.population_size, rng)
+    track = f"evolve seed={search.seed}"
 
     history: List[float] = []
     best_genome: Optional[np.ndarray] = None
     best_reward = -1.0
     stall = 0
 
-    for _ in range(search.iterations):
+    for generation in range(search.iterations):
+        span_start = tracer.now_ms() if tracer.enabled else 0.0
         evals = evaluate_population(matrices, population, lut)
         rewards = population_rewards(evals, crossbar_budget, search.objective)
         order = np.argsort(-rewards, kind="stable")
@@ -306,12 +318,29 @@ def _evolution_search_once(grid: CandidateGrid,
             best_reward = float(rewards[order[0]])
             best_genome = population[order[0]].copy()
         history.append(float(rewards[order[0]]))
+        if tracer.enabled:
+            tracer.record(
+                f"generation[{generation}]", "search.evolve",
+                span_start, tracer.now_ms(), track=track,
+                args={"generation": generation, "seed": search.seed,
+                      "best_reward": float(rewards[order[0]]),
+                      "population": len(population)})
         if search.patience is not None:
             stall = 0 if improved else stall + 1
             if stall >= search.patience:
                 break
         parents = population[order[:search.num_parents]]
         population = breed(parents, search, matrices.num_options, rng)
+
+    metrics.counter("search.evolve.generations",
+                    help="evolution generations evaluated"
+                    ).inc(len(history))
+    metrics.counter("search.evolve.individuals",
+                    help="individuals scored"
+                    ).inc(len(history) * search.population_size)
+    metrics.gauge("search.evolve.best_reward",
+                  help="best reward of the last finished run"
+                  ).set(best_reward)
 
     if best_genome is None:      # pragma: no cover - population is never empty
         best_genome = population[0]

@@ -28,6 +28,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..obs.runtime import get_metrics, get_tracer
 from ..pim.lut import DEFAULT_LUT, ComponentLUT
 from .parallel import parallel_map
 from .evolve import (
@@ -248,6 +249,9 @@ def pareto_search(grid: CandidateGrid,
         genome = tuple(decode_genome(matrices, genomes[i]))
         points.append(ParetoPoint(genome=genome,
                                   eval=evaluate_assignment(grid, genome, lut)))
+    get_metrics().gauge("search.pareto.front_size",
+                        help="points on the last merged Pareto front"
+                        ).set(len(points))
     return ParetoResult(points=points, layer_names=matrices.layer_names,
                         history=history, feasible=feasible)
 
@@ -263,16 +267,24 @@ def _pareto_search_once(grid: CandidateGrid,
                         search: EvoSearchConfig,
                         lut: ComponentLUT
                         ) -> Tuple[np.ndarray, np.ndarray, List[float]]:
-    """One archive's evolution; returns (genomes, objectives, history)."""
+    """One archive's evolution; returns (genomes, objectives, history).
+
+    Per-generation spans land on the ``pareto seed=N`` track; run totals
+    go to ``search.pareto.*`` in the installed registry.
+    """
+    tracer = get_tracer()
+    metrics = get_metrics()
     rng = np.random.default_rng(search.seed)
     matrices = grid.matrices()
     population = initial_population(grid, search.population_size, rng)
     archive_g = np.empty((0, matrices.num_layers), dtype=np.int64)
     archive_o = np.empty((0, 3), dtype=np.float64)
     history: List[float] = []
+    track = f"pareto seed={search.seed}"
     stall = 0
 
-    for _ in range(search.iterations):
+    for generation in range(search.iterations):
+        span_start = tracer.now_ms() if tracer.enabled else 0.0
         evals = evaluate_population(matrices, population, lut)
         objectives = np.stack([evals.latency_ms, evals.energy_mj,
                                evals.crossbars.astype(np.float64)], axis=1)
@@ -293,6 +305,13 @@ def _pareto_search_once(grid: CandidateGrid,
                        != {g.tobytes() for g in archive_g})
             archive_g, archive_o = new_g, new_o
         history.append(float(len(archive_g)))
+        if tracer.enabled:
+            tracer.record(
+                f"generation[{generation}]", "search.pareto",
+                span_start, tracer.now_ms(), track=track,
+                args={"generation": generation, "seed": search.seed,
+                      "archive_size": len(archive_g),
+                      "population": len(population)})
         if search.patience is not None:
             stall = 0 if changed else stall + 1
             if stall >= search.patience:
@@ -306,4 +325,10 @@ def _pareto_search_once(grid: CandidateGrid,
             parents = population[order[:search.num_parents]]
         population = breed(parents, search, matrices.num_options, rng)
 
+    metrics.counter("search.pareto.generations",
+                    help="Pareto generations evaluated"
+                    ).inc(len(history))
+    metrics.gauge("search.pareto.archive_size",
+                  help="archive size at the end of the last run"
+                  ).set(len(archive_g))
     return archive_g, archive_o, history

@@ -20,6 +20,7 @@ from typing import Callable, Dict, Optional
 
 from ..core.designer import EpitomeAssignment, build_deployments
 from ..models.specs import NetworkSpec
+from ..obs.runtime import get_metrics
 from ..pim.config import DEFAULT_CONFIG, HardwareConfig
 from ..pim.lut import DEFAULT_LUT, ComponentLUT
 from ..pim.simulator import NetworkReport, simulate_network
@@ -128,18 +129,27 @@ class DeploymentCache:
         """Return the cached report for ``key``, building on first use.
 
         A hit refreshes recency; when full, the least-recently-used entry
-        is evicted.
+        is evicted.  Outcomes are mirrored into the installed metrics
+        registry under ``serve.cache.*`` — deploys are rare next to
+        requests, so the per-call counter increment is noise.
         """
+        registry = get_metrics()
         if key in self._entries:
             self.hits += 1
+            registry.counter("serve.cache.hits",
+                             help="deployment-cache key hits").inc()
             self._entries.move_to_end(key)
             return self._entries[key]
         self.misses += 1
+        registry.counter("serve.cache.misses",
+                         help="deployment-cache compiles").inc()
         report = builder()
         self._entries[key] = report
         if len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
             self.evictions += 1
+            registry.counter("serve.cache.evictions",
+                             help="LRU evictions").inc()
         return report
 
     def deploy(self, spec: NetworkSpec,

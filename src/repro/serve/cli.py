@@ -37,7 +37,12 @@ from typing import List, Optional
 from ..core.designer import build_deployments, uniform_assignment
 from ..core.export import export_deployments, write_manifest
 from ..models.specs import get_network_spec
+from ..obs.metrics import MetricsRegistry
+from ..obs.runtime import use_metrics, use_tracer
+from ..obs.slo import DEFAULT_AVAILABILITY, SLO
+from ..obs.tracer import NullTracer, Tracer
 from ..pim.config import DEFAULT_CONFIG
+from ..pim.simulator import sim_counters
 from ..search.pareto import SELECTION_POLICIES
 from .deploy import (
     AB_LOAD_FACTORS,
@@ -120,9 +125,63 @@ def add_serve_parser(subparsers) -> argparse.ArgumentParser:
     load.add_argument("--save-trace", default=None, metavar="PATH",
                       help="write the (synthetic) trace before replaying")
 
+    obs = p.add_argument_group("observability")
+    obs.add_argument("--trace-out", default=None, metavar="PATH",
+                     help="write request/batch spans: .json = Chrome "
+                          "trace-event (Perfetto-loadable), .jsonl = one "
+                          "span per line")
+    obs.add_argument("--metrics-out", default=None, metavar="PATH",
+                     help="export the run's metrics registry: .prom/.txt "
+                          "= Prometheus text, .jsonl = JSON lines")
+    obs.add_argument("--slo-p99-ms", type=float, default=None,
+                     metavar="MS",
+                     help="p99 latency SLO target (default: 5x the "
+                          "deployment's fill latency + batching window)")
+    obs.add_argument("--slo-availability", type=float, default=None,
+                     metavar="FRAC",
+                     help="availability SLO target "
+                          f"(default: {DEFAULT_AVAILABILITY})")
+
     p.add_argument("--json", action="store_true",
                    help="also print the telemetry summary as JSON")
     return p
+
+
+def _default_slo(args, engines) -> SLO:
+    """The SLO a run is judged against when flags don't pin one.
+
+    The derived p99 target is ``5 x (fill latency + batching window)`` of
+    the *slowest* fleet — generous enough that a healthy, <=70%-loaded
+    deployment attains it, tight enough that saturation or queue collapse
+    shows up as a miss.  Explicit ``--slo-p99-ms``/``--slo-availability``
+    override either half independently.
+    """
+    p99 = args.slo_p99_ms
+    if p99 is None:
+        p99 = 5.0 * max(engine.plan.per_image_latency_ms
+                        + engine.config.scheduler.window_ms
+                        for engine in engines)
+    availability = (args.slo_availability
+                    if args.slo_availability is not None
+                    else DEFAULT_AVAILABILITY)
+    return SLO(p99_ms=p99, availability=availability, name="serve")
+
+
+def _write_obs_artifacts(args, tracer: Tracer,
+                         registry: MetricsRegistry) -> None:
+    """Write ``--trace-out`` / ``--metrics-out`` after a run."""
+    if args.metrics_out is not None:
+        sim_counters().publish(registry)
+        from ..obs.export import write_metrics
+
+        write_metrics(registry, args.metrics_out)
+        print(f"wrote metrics -> {args.metrics_out}")
+    if args.trace_out is not None:
+        if args.trace_out.endswith(".jsonl"):
+            tracer.write_jsonl(args.trace_out)
+        else:
+            tracer.write_chrome_trace(args.trace_out)
+        print(f"wrote trace ({len(tracer)} spans) -> {args.trace_out}")
 
 
 def _scheduler_config(args) -> SchedulerConfig:
@@ -200,13 +259,20 @@ def _run_ab(args) -> int:
         print(f"replaying {len(trace)} recorded requests "
               f"from {args.requests} against both fleets")
         print()
-    rows = ab_offered_load_sweep(engines, num_requests=args.num_requests,
-                                 load_factors=AB_LOAD_FACTORS,
-                                 seed=args.seed, rate_fps=args.rate_fps,
-                                 trace=trace,
-                                 priority_levels=args.priority_levels)
+    slo = _default_slo(args, engines.values())
+    tracer = Tracer() if args.trace_out is not None else NullTracer()
+    registry = MetricsRegistry()
+    with use_tracer(tracer), use_metrics(registry):
+        rows = ab_offered_load_sweep(engines,
+                                     num_requests=args.num_requests,
+                                     load_factors=AB_LOAD_FACTORS,
+                                     seed=args.seed, rate_fps=args.rate_fps,
+                                     trace=trace,
+                                     priority_levels=args.priority_levels,
+                                     slo=slo)
     print(render_ab(rows, title=f"A/B {args.policy} vs {args.ab_policy} — "
                                 f"{result.model}"))
+    _write_obs_artifacts(args, tracer, registry)
     if args.json:
         print()
         print(json.dumps(rows, indent=2))
@@ -256,11 +322,16 @@ def _run_serve(args) -> int:
             print(f"wrote trace -> {args.save_trace}")
     print()
 
-    telemetry = engine.serve(trace)
-    print(telemetry.report())
+    slo = _default_slo(args, [engine])
+    tracer = Tracer() if args.trace_out is not None else NullTracer()
+    registry = MetricsRegistry()
+    with use_tracer(tracer), use_metrics(registry):
+        telemetry = engine.serve(trace)
+    print(telemetry.report(slo=slo))
+    _write_obs_artifacts(args, tracer, registry)
     if args.json:
         print()
-        print(json.dumps(telemetry.summary(), indent=2))
+        print(json.dumps(telemetry.summary(slo=slo), indent=2))
     return 0
 
 

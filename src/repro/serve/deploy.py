@@ -35,6 +35,7 @@ from ..analysis.tables import Table
 from ..core.designer import EpitomeAssignment, build_deployments
 from ..core.export import export_deployments
 from ..models.specs import get_network_spec
+from ..obs.slo import SLO
 from ..pim.config import DEFAULT_CONFIG, HardwareConfig
 from ..pim.lut import DEFAULT_LUT, ComponentLUT
 from ..pim.simulator import NetworkReport, simulate_network
@@ -332,7 +333,8 @@ def ab_offered_load_sweep(engines: Mapping[str, ServingEngine],
                           seed: int = 0,
                           rate_fps: Optional[float] = None,
                           trace: Optional[Sequence[Request]] = None,
-                          priority_levels: int = 1) -> List[Dict]:
+                          priority_levels: int = 1,
+                          slo: Optional[SLO] = None) -> List[Dict]:
     """Serve identical traces against several deployed operating points.
 
     ``engines`` maps a label (usually the selection policy) to a deployed
@@ -347,6 +349,10 @@ def ab_offered_load_sweep(engines: Mapping[str, ServingEngine],
     Each row carries the serving telemetry (p50/p99 latency, achieved
     throughput, shed count) plus ``energy_per_request_mj``, the deployed
     design's per-image energy — the number a batch fleet provisions by.
+    With ``slo`` given, every row also gains the flat ``slo_*``
+    attainment keys of :meth:`repro.obs.slo.SLOReport.as_dict`, so the
+    A/B answers "which operating point still meets the SLO at this
+    load" directly.
     """
     if not engines:
         raise ValueError("ab_offered_load_sweep needs at least one engine")
@@ -370,7 +376,7 @@ def ab_offered_load_sweep(engines: Mapping[str, ServingEngine],
     for rate, requests in jobs:
         for label, engine in engines.items():
             telemetry = engine.serve(requests)
-            rows.append({
+            row = {
                 "point": label,
                 "offered_fps": rate,
                 "capacity_fps": engine.plan.throughput_fps,
@@ -380,18 +386,33 @@ def ab_offered_load_sweep(engines: Mapping[str, ServingEngine],
                 "shed": telemetry.num_rejected,
                 "energy_per_request_mj": engine.report.energy_mj,
                 "num_chips": engine.config.num_chips,
-            })
+            }
+            if slo is not None:
+                row.update(telemetry.slo_attainment(slo).as_dict())
+            rows.append(row)
     return rows
 
 
 def render_ab(rows: Sequence[Dict],
               title: str = "A/B operating points under load") -> str:
-    """Render A/B sweep rows as a paper-style table."""
-    table = Table(["point", "chips", "offered_fps", "achieved_fps",
-                   "p50_ms", "p99_ms", "shed", "energy/req (mJ)"],
-                  title=title)
+    """Render A/B sweep rows as a paper-style table.
+
+    Rows produced with an SLO (see :func:`ab_offered_load_sweep`) gain an
+    ``SLO`` verdict column — ``yes``/``NO`` per (point, load) cell.
+    """
+    with_slo = any("slo_attained" in row for row in rows)
+    columns = ["point", "chips", "offered_fps", "achieved_fps",
+               "p50_ms", "p99_ms", "shed", "energy/req (mJ)"]
+    if with_slo:
+        columns.append("SLO")
+    table = Table(columns, title=title)
     for row in rows:
-        table.add_row(row["point"], row["num_chips"], row["offered_fps"],
-                      row["achieved_fps"], row["p50_ms"], row["p99_ms"],
-                      row["shed"], row["energy_per_request_mj"])
+        cells = [row["point"], row["num_chips"], row["offered_fps"],
+                 row["achieved_fps"], row["p50_ms"], row["p99_ms"],
+                 row["shed"], row["energy_per_request_mj"]]
+        if with_slo:
+            verdict = row.get("slo_attained")
+            cells.append("-" if verdict is None
+                         else ("yes" if verdict else "NO"))
+        table.add_row(*cells)
     return table.render()

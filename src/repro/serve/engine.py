@@ -23,9 +23,14 @@ import warnings
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple, Union
 
+import numpy as np
+
 from ..core.designer import EpitomeAssignment, uniform_assignment
 from ..core.export import deployments_from_manifest
 from ..models.specs import NetworkSpec, get_network_spec
+from ..obs.metrics import MetricsRegistry
+from ..obs.runtime import get_metrics, get_tracer
+from ..obs.tracer import Tracer
 from ..pim.config import DEFAULT_CONFIG, HardwareConfig
 from ..pim.lut import DEFAULT_LUT, ComponentLUT
 from ..pim.simulator import NetworkReport, simulate_network
@@ -61,10 +66,43 @@ class _Executor:
     chip_ids: Tuple[int, ...]
     plan: ShardPlan
     free_at_ms: float = 0.0
+    track: str = ""             # tracer track name, precomputed
 
     def occupancy_ms(self, batch_size: int) -> float:
         """Time until the first pipeline stage can accept the next batch."""
         return batch_size * self.plan.image_interval_ms
+
+
+def _span_events(records: List[RequestRecord], tracks) -> List[tuple]:
+    """Synthesize the serve span set from completed-request records.
+
+    Lazy tracer source (see :meth:`repro.obs.tracer.Tracer.add_source`):
+    one ``request`` span per record on the ``requests`` track running
+    arrival to finish (queue wait and service time are its geometry —
+    it overlaps its batch span from dispatch on), plus one ``batch``
+    span per dispatch on the owning replica's track.  Batches are
+    recovered by grouping consecutive records sharing a dispatch time
+    and chip set; ``tracks`` maps ``chip_ids`` to ``(replica, track)``.
+    """
+    events: List[tuple] = [
+        ("request", "serve.request", r.arrival_ms, r.finish_ms,
+         "requests", r.request_id) for r in records]
+    batches: List[list] = []
+    key = None
+    for r in records:
+        k = (r.start_ms, r.chip_ids)
+        if k != key:
+            key = k
+            batches.append([r.start_ms, r.finish_ms, r.chip_ids,
+                            r.batch_size])
+        else:
+            batches[-1][1] = r.finish_ms
+    for start, finish, chips, size in batches:
+        replica, track = tracks.get(chips, (-1, "replica?"))
+        events.append(("batch", "serve.batch", start, finish, track,
+                       {"batch_size": size, "chips": chips,
+                        "replica": replica}))
+    return events
 
 
 class ServingEngine:
@@ -99,7 +137,8 @@ class ServingEngine:
             ids = tuple(range(chip, chip + self.plan.chips_per_replica))
             chip += self.plan.chips_per_replica
             self.executors.append(_Executor(index=replica, chip_ids=ids,
-                                            plan=self.plan))
+                                            plan=self.plan,
+                                            track=f"replica{replica}"))
 
     # ------------------------------------------------------------------
     # Construction paths
@@ -166,9 +205,24 @@ class ServingEngine:
     # ------------------------------------------------------------------
     # Serving
     # ------------------------------------------------------------------
-    def serve(self, requests: Sequence[Request]) -> TelemetryCollector:
+    def serve(self, requests: Sequence[Request],
+              tracer: Optional[Tracer] = None,
+              metrics: Optional[MetricsRegistry] = None
+              ) -> TelemetryCollector:
         """Replay a trace through the scheduler/executors; returns the
-        telemetry of the whole run (simulated time)."""
+        telemetry of the whole run (simulated time).
+
+        Observability: spans go to ``tracer`` (default: the installed
+        :func:`repro.obs.runtime.get_tracer`, a no-op unless a run
+        installs a real one) and the run's aggregate metrics are published
+        in bulk under ``serve.engine.*`` / ``serve.scheduler.*`` into
+        ``metrics`` (default: the installed registry).  Tracing costs the
+        replay loop nothing either way: an enabled tracer receives one
+        lazy closure per run that expands the telemetry records into
+        spans at export time — see the ``obs.overhead`` benchmark.
+        """
+        tracer = tracer if tracer is not None else get_tracer()
+        metrics = metrics if metrics is not None else get_metrics()
         trace = sorted(requests,
                        key=lambda r: (r.arrival_ms, r.request_id))
         scheduler = MicroBatchScheduler(self.config.scheduler)
@@ -217,6 +271,17 @@ class ServingEngine:
                 now += _EPS
                 continue
             now = min(candidates)
+        # Tracing costs the replay loop nothing: the telemetry records
+        # already hold every request's full lifecycle, so an enabled
+        # tracer gets one lazy closure that synthesizes the request and
+        # batch spans if and when they are exported (see
+        # Tracer.add_source and the obs.overhead benchmark).
+        if tracer.enabled:
+            tracks = {ex.chip_ids: (ex.index, ex.track)
+                      for ex in self.executors}
+            tracer.add_source(
+                lambda: _span_events(telemetry.records, tracks))
+        self._publish_metrics(telemetry, scheduler, metrics)
         return telemetry
 
     def _execute(self, executor: _Executor, batch: Batch, now: float,
@@ -240,6 +305,57 @@ class ServingEngine:
                 batch_size=size,
                 priority=request.priority,
             ))
+
+    def _publish_metrics(self, telemetry: TelemetryCollector,
+                         scheduler: MicroBatchScheduler,
+                         registry: MetricsRegistry) -> None:
+        """Bulk post-run publication under ``serve.engine.*`` /
+        ``serve.scheduler.*`` (docs/observability.md).  Deliberately not
+        per-event: one vectorized ``observe_many`` per histogram keeps the
+        instrumented hot loop indistinguishable from the bare one."""
+        eng = "serve.engine"
+        registry.counter(f"{eng}.requests_completed",
+                         help="requests served to completion"
+                         ).inc(telemetry.num_completed)
+        registry.counter(f"{eng}.requests_rejected",
+                         help="requests shed by the bounded queue"
+                         ).inc(telemetry.num_rejected)
+        registry.counter(f"{eng}.batches_dispatched",
+                         help="micro-batches executed"
+                         ).inc(len(telemetry.batch_sizes))
+        registry.gauge(f"{eng}.chips",
+                       help="chips provisioned by the shard plan"
+                       ).set(self.config.num_chips)
+        registry.gauge(f"{eng}.throughput_fps",
+                       help="achieved completions/s of the last run"
+                       ).set(telemetry.throughput_fps())
+        if telemetry.records:
+            records = telemetry.records
+            latency = np.array([r.latency_ms for r in records])
+            wait = np.array([r.wait_ms for r in records])
+            registry.histogram(f"{eng}.latency_ms",
+                               help="end-to-end request latency (ms)"
+                               ).observe_many(latency)
+            registry.histogram(f"{eng}.wait_ms",
+                               help="queueing delay (ms)"
+                               ).observe_many(wait)
+            registry.histogram(f"{eng}.service_ms",
+                               help="chip service time (ms)"
+                               ).observe_many(latency - wait)
+        if telemetry.batch_sizes:
+            registry.histogram(
+                f"{eng}.batch_size",
+                buckets=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0),
+                help="formed micro-batch sizes"
+                ).observe_many(telemetry.batch_sizes)
+        if telemetry.queue_samples:
+            registry.histogram(
+                f"{eng}.queue_depth",
+                buckets=(0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0,
+                         128.0, 256.0),
+                help="queue depth at engine events"
+                ).observe_many([d for _, d in telemetry.queue_samples])
+        scheduler.publish_metrics(registry)
 
     # ------------------------------------------------------------------
     def describe(self) -> str:

@@ -111,7 +111,9 @@ class MicroBatchScheduler:
         self._arrival_heap: List[Tuple[float, int]] = []
         self._live: dict = {}       # seq still queued -> arrival_ms
         self._seq = 0
+        self.num_submitted = 0
         self.num_rejected = 0
+        self.num_batches = 0
 
     def __len__(self) -> int:
         return len(self._live)
@@ -128,6 +130,7 @@ class MicroBatchScheduler:
     # ------------------------------------------------------------------
     def submit(self, request: Request) -> bool:
         """Enqueue a request; False when the bounded queue sheds it."""
+        self.num_submitted += 1
         if len(self._live) >= self.config.queue_depth:
             self.num_rejected += 1
             return False
@@ -186,4 +189,20 @@ class MicroBatchScheduler:
             key, request = heapq.heappop(self._release_heap)
             self._live.pop(key[-1], None)   # keys end with the seq number
             released.append(request)
+        self.num_batches += 1
         return Batch(requests=tuple(released), formed_ms=now_ms)
+
+    # ------------------------------------------------------------------
+    def publish_metrics(self, registry) -> None:
+        """Fold this scheduler's lifetime counters into a
+        :class:`~repro.obs.metrics.MetricsRegistry` under
+        ``serve.scheduler.*`` (the engine calls this once per run)."""
+        registry.counter("serve.scheduler.submitted",
+                         help="requests offered to the scheduler"
+                         ).inc(self.num_submitted)
+        registry.counter("serve.scheduler.shed",
+                         help="requests rejected by the bounded queue"
+                         ).inc(self.num_rejected)
+        registry.counter("serve.scheduler.batches_formed",
+                         help="micro-batches released"
+                         ).inc(self.num_batches)

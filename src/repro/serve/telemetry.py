@@ -17,6 +17,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..analysis.tables import Table
+from ..obs.slo import SLO, SLOReport
 
 __all__ = ["RequestRecord", "TelemetryCollector"]
 
@@ -106,10 +107,36 @@ class TelemetryCollector:
                 "p95": self.latency_percentile(95.0),
                 "p99": self.latency_percentile(99.0)}
 
+    def _component_percentiles(self, attr: str) -> Dict[str, float]:
+        """p50/p95/p99/mean over one latency component (wait or service)."""
+        if not self.records:
+            nan = float("nan")
+            return {"p50": nan, "p95": nan, "p99": nan, "mean": nan}
+        values = np.array([getattr(r, attr) for r in self.records])
+        p50, p95, p99 = np.percentile(values, [50.0, 95.0, 99.0])
+        return {"p50": float(p50), "p95": float(p95), "p99": float(p99),
+                "mean": float(np.mean(values))}
+
+    def wait_percentiles(self) -> Dict[str, float]:
+        """Queueing delay (arrival -> dispatch) percentiles + mean."""
+        return self._component_percentiles("wait_ms")
+
+    def service_percentiles(self) -> Dict[str, float]:
+        """Chip time (dispatch -> completion) percentiles + mean."""
+        return self._component_percentiles("service_ms")
+
     def mean_latency_ms(self) -> float:
         if not self.records:
             return float("nan")
         return float(np.mean([r.latency_ms for r in self.records]))
+
+    def availability(self) -> float:
+        """Fraction of offered requests that completed (shed requests
+        count against it); NaN when the run saw no traffic."""
+        offered = self.num_completed + self.num_rejected
+        if offered == 0:
+            return float("nan")
+        return self.num_completed / offered
 
     def throughput_fps(self) -> float:
         """Achieved completions/second over the whole run."""
@@ -119,33 +146,48 @@ class TelemetryCollector:
     def rolling_throughput(self, window_ms: float = 1000.0
                            ) -> List[Tuple[float, float]]:
         """Completions/second in consecutive ``window_ms`` buckets,
-        returned as ``(bucket_end_ms, fps)`` pairs."""
+        returned as ``(bucket_end_ms, fps)`` pairs.
+
+        Buckets tile ``[first_arrival, last_finish]``; idle windows inside
+        that span emit explicit zero buckets (a gap in the series would
+        otherwise read as "no data" where the truth is "zero throughput").
+        A finish landing exactly on a bucket edge belongs to the bucket
+        *ending* there, and the series stops at the bucket containing the
+        last finish — no trailing all-zero bucket.
+        """
         if not self.records or window_ms <= 0:
             return []
-        finishes = sorted(r.finish_ms for r in self.records)
+        finishes = np.array([r.finish_ms for r in self.records])
         start = min(r.arrival_ms for r in self.records)
-        out: List[Tuple[float, float]] = []
-        edge = start + window_ms
-        count = 0
-        i = 0
-        while i < len(finishes):
-            if finishes[i] <= edge:
-                count += 1
-                i += 1
-            else:
-                out.append((edge, count / window_ms * 1000.0))
-                edge += window_ms
-                count = 0
-        out.append((edge, count / window_ms * 1000.0))
-        return out
+        # Bucket k covers (start + k*w, start + (k+1)*w]; ceil maps an
+        # exact-edge finish into the bucket that ends there, and finishes
+        # at (or numerically before) `start` clamp into bucket 0.
+        index = np.ceil((finishes - start) / window_ms).astype(np.int64) - 1
+        index = np.maximum(index, 0)
+        counts = np.bincount(index)
+        return [(start + (k + 1) * window_ms,
+                 int(count) / window_ms * 1000.0)
+                for k, count in enumerate(counts)]
 
     def chip_utilization(self) -> Dict[int, float]:
-        """Busy fraction per chip over the makespan (0 when idle run)."""
+        """Raw busy fraction per chip over the makespan (0 when idle run).
+
+        Deliberately *not* clamped at 1.0: a fraction above one means the
+        busy-time accounting booked more chip-milliseconds than the run's
+        makespan — a real signal (double-counted dispatches, overlapping
+        busy intervals) that a clamp would silently mask.  ``report()``
+        surfaces such chips with a ``saturated`` warning.
+        """
         span = self.makespan_ms
         if span <= 0:
             return {chip: 0.0 for chip in self.chip_busy_ms}
-        return {chip: min(1.0, busy / span)
+        return {chip: busy / span
                 for chip, busy in sorted(self.chip_busy_ms.items())}
+
+    def saturated_chips(self, tolerance: float = 1e-9) -> List[int]:
+        """Chips whose raw utilization exceeds 1.0 (accounting anomaly)."""
+        return [chip for chip, util in self.chip_utilization().items()
+                if util > 1.0 + tolerance]
 
     def mean_queue_depth(self) -> float:
         if not self.queue_samples:
@@ -162,42 +204,73 @@ class TelemetryCollector:
             return 0.0
         return float(np.mean(self.batch_sizes))
 
+    def slo_attainment(self, slo: SLO) -> SLOReport:
+        """Evaluate an :class:`~repro.obs.slo.SLO` against this run
+        (observed p99 latency and availability)."""
+        return slo.evaluate(p99_ms=self.latency_percentile(99.0),
+                            availability=self.availability())
+
     # ---- presentation -------------------------------------------------
-    def summary(self) -> Dict[str, Optional[float]]:
+    def summary(self, slo: Optional["SLO"] = None
+                ) -> Dict[str, Optional[float]]:
         """Flat metric dict (the JSON output of the serve CLI).
+
+        End-to-end latency is reported alongside its wait (queueing) and
+        service (chip time) components, so an operator can tell a batching
+        /queueing problem from a slow deployment straight from the JSON.
+        With ``slo`` given, the dict gains the ``slo_*`` attainment keys
+        of :meth:`repro.obs.slo.SLOReport.as_dict`.
 
         Metrics undefined for the run (e.g. latency percentiles with zero
         completions) are ``None``, not NaN — the output must stay valid
         JSON for strict consumers (jq, JSON.parse).
         """
         pct = self.latency_percentiles()
+        wait = self.wait_percentiles()
+        service = self.service_percentiles()
         out = {
             "completed": float(self.num_completed),
             "rejected": float(self.num_rejected),
+            "availability": self.availability(),
             "makespan_ms": self.makespan_ms,
             "throughput_fps": self.throughput_fps(),
             "latency_mean_ms": self.mean_latency_ms(),
             "latency_p50_ms": pct["p50"],
             "latency_p95_ms": pct["p95"],
             "latency_p99_ms": pct["p99"],
+            "wait_mean_ms": wait["mean"],
+            "wait_p50_ms": wait["p50"],
+            "wait_p95_ms": wait["p95"],
+            "wait_p99_ms": wait["p99"],
+            "service_mean_ms": service["mean"],
+            "service_p50_ms": service["p50"],
+            "service_p95_ms": service["p95"],
+            "service_p99_ms": service["p99"],
             "mean_batch_size": self.mean_batch_size(),
             "mean_queue_depth": self.mean_queue_depth(),
             "max_queue_depth": float(self.max_queue_depth()),
         }
         for chip, util in self.chip_utilization().items():
             out[f"chip{chip}_utilization"] = util
+        if slo is not None:
+            out.update(self.slo_attainment(slo).as_dict())
         return {key: None if isinstance(value, float) and np.isnan(value)
                 else value
                 for key, value in out.items()}
 
-    def report(self) -> str:
-        """Operator-facing text report (latency, throughput, chips)."""
+    def report(self, slo: Optional["SLO"] = None) -> str:
+        """Operator-facing text report (latency, throughput, chips, and —
+        with ``slo`` — attainment)."""
         pct = self.latency_percentiles()
-        latency = Table(["metric", "value"], title="request latency (ms)")
-        latency.add_row("mean", self.mean_latency_ms())
-        latency.add_row("p50", pct["p50"])
-        latency.add_row("p95", pct["p95"])
-        latency.add_row("p99", pct["p99"])
+        wait = self.wait_percentiles()
+        service = self.service_percentiles()
+        latency = Table(["metric", "total", "wait", "service"],
+                        title="request latency (ms; total = wait + service)")
+        latency.add_row("mean", self.mean_latency_ms(), wait["mean"],
+                        service["mean"])
+        latency.add_row("p50", pct["p50"], wait["p50"], service["p50"])
+        latency.add_row("p95", pct["p95"], wait["p95"], service["p95"])
+        latency.add_row("p99", pct["p99"], wait["p99"], service["p99"])
 
         load = Table(["metric", "value"], title="load")
         load.add_row("completed", self.num_completed)
@@ -212,4 +285,25 @@ class TelemetryCollector:
         for chip, util in self.chip_utilization().items():
             chips.add_row(chip, self.chip_busy_ms.get(chip, 0.0), util)
 
-        return "\n\n".join([latency.render(), load.render(), chips.render()])
+        sections = [latency.render(), load.render(), chips.render()]
+        saturated = self.saturated_chips()
+        if saturated:
+            sections.append(
+                f"WARNING: chip(s) {saturated} report utilization > 1.0 — "
+                "busy-time accounting booked more chip-ms than the "
+                "makespan; investigate double-counted dispatches")
+        if slo is not None:
+            attainment = self.slo_attainment(slo)
+            table = Table(["target", "goal", "observed", "attained"],
+                          title=f"SLO attainment ({attainment.name})")
+            if slo.p99_ms is not None:
+                table.add_row("p99 latency (ms)", slo.p99_ms,
+                              attainment.p99_observed_ms,
+                              "yes" if attainment.p99_attained else "NO")
+            if slo.availability is not None:
+                table.add_row("availability", slo.availability,
+                              attainment.availability_observed,
+                              "yes" if attainment.availability_attained
+                              else "NO")
+            sections.append(table.render())
+        return "\n\n".join(sections)

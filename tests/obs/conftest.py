@@ -1,0 +1,13 @@
+"""Observability tests run against pristine process-wide defaults."""
+
+import pytest
+
+from repro.obs import runtime
+
+
+@pytest.fixture(autouse=True)
+def _fresh_obs_runtime():
+    """No-op tracer + empty registry before and after every test."""
+    runtime.reset()
+    yield
+    runtime.reset()

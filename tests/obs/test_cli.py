@@ -1,0 +1,101 @@
+"""Tests for ``repro obs`` and the serve CLI's observability flags."""
+
+import json
+
+import pytest
+
+from repro.analysis.cli import main
+
+
+@pytest.fixture
+def artifacts(tmp_path, capsys):
+    """A (trace, metrics) pair written by a real serve run."""
+    trace = tmp_path / "t.json"
+    metrics = tmp_path / "m.prom"
+    assert main(["serve", "--num-requests", "40", "--seed", "2",
+                 "--trace-out", str(trace),
+                 "--metrics-out", str(metrics)]) == 0
+    capsys.readouterr()
+    return trace, metrics
+
+
+class TestObsValidate:
+    def test_serve_artifacts_pass(self, artifacts, capsys):
+        trace, metrics = artifacts
+        assert main(["obs", "validate", str(trace), str(metrics)]) == 0
+        out = capsys.readouterr().out
+        assert "ok (chrome-trace)" in out
+        assert "ok (prometheus)" in out
+
+    def test_invalid_file_fails_with_details(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"traceEvents": "nope"}')
+        assert main(["obs", "validate", str(bad)]) == 1
+        assert "INVALID" in capsys.readouterr().out
+
+
+class TestObsSummarize:
+    def test_prometheus_table(self, artifacts, capsys):
+        _, metrics = artifacts
+        assert main(["obs", "summarize", str(metrics)]) == 0
+        out = capsys.readouterr().out
+        assert "serve_engine_requests_completed" in out
+        assert "histogram" in out
+
+    def test_jsonl_table(self, tmp_path, capsys):
+        trace = tmp_path / "t.json"
+        metrics = tmp_path / "m.jsonl"
+        assert main(["serve", "--num-requests", "30", "--seed", "2",
+                     "--trace-out", str(trace),
+                     "--metrics-out", str(metrics)]) == 0
+        capsys.readouterr()
+        assert main(["obs", "summarize", str(metrics)]) == 0
+        assert "serve.engine.latency_ms" in capsys.readouterr().out
+
+    def test_trace_file_is_rejected(self, artifacts, capsys):
+        trace, _ = artifacts
+        assert main(["obs", "summarize", str(trace)]) == 2
+        assert "Perfetto" in capsys.readouterr().err
+
+
+class TestServeObsFlags:
+    def test_trace_out_holds_request_spans(self, artifacts):
+        trace, _ = artifacts
+        payload = json.loads(trace.read_text())
+        names = {e["name"] for e in payload["traceEvents"]}
+        assert {"request", "batch"} <= names
+
+    def test_metrics_out_prometheus(self, artifacts):
+        _, metrics = artifacts
+        text = metrics.read_text()
+        assert "serve_engine_latency_ms_bucket" in text
+        assert "pim_simulator_layers" in text
+
+    def test_json_summary_carries_slo(self, tmp_path, capsys):
+        assert main(["serve", "--num-requests", "40", "--seed", "2",
+                     "--json"]) == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out[out.index("{"):])
+        assert "slo_attained" in payload
+        assert "slo_p99_target_ms" in payload
+
+    def test_explicit_slo_targets_respected(self, capsys):
+        assert main(["serve", "--num-requests", "40", "--seed", "2",
+                     "--slo-p99-ms", "0.001", "--json"]) == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out[out.index("{"):])
+        assert payload["slo_p99_target_ms"] == pytest.approx(0.001)
+        assert payload["slo_p99_attained"] == 0.0
+        assert payload["slo_attained"] == 0.0
+
+    def test_search_cli_writes_obs_artifacts(self, tmp_path, capsys):
+        trace = tmp_path / "search.json"
+        metrics = tmp_path / "search-metrics.jsonl"
+        assert main(["search", "--model", "resnet18",
+                     "--objective", "pareto",
+                     "--population", "8", "--iterations", "2",
+                     "--restarts", "1", "--no-cache",
+                     "--trace-out", str(trace),
+                     "--metrics-out", str(metrics)]) == 0
+        capsys.readouterr()
+        assert main(["obs", "validate", str(trace), str(metrics)]) == 0

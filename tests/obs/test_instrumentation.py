@@ -1,0 +1,141 @@
+"""End-to-end instrumentation tests: serve/search/pim publish into the
+observability layer (tracer spans + namespaced registry metrics)."""
+
+import pytest
+
+from repro.models.specs import resnet18_spec
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.runtime import get_metrics, use_metrics, use_tracer
+from repro.obs.tracer import Tracer
+from repro.pim.simulator import sim_counters
+from repro.search import (
+    EvoSearchConfig,
+    build_candidate_grid,
+    evolution_search,
+    pareto_search,
+)
+from repro.serve.engine import ServingConfig, ServingEngine
+from repro.serve.scheduler import SchedulerConfig
+from repro.serve.trace import synthetic_trace
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return ServingEngine.from_spec(
+        "resnet18", ServingConfig(
+            num_chips=2, scheduler=SchedulerConfig(max_batch_size=4)))
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return build_candidate_grid(resnet18_spec(), weight_bits=9,
+                                activation_bits=9)
+
+
+class TestServeMetrics:
+    def test_engine_publishes_namespaced_metrics(self, engine):
+        registry = MetricsRegistry()
+        trace = synthetic_trace(40, rate_rps=0.8 * engine.plan.throughput_fps,
+                                seed=3)
+        telemetry = engine.serve(trace, metrics=registry)
+        assert registry.get("serve.engine.requests_completed").value \
+            == telemetry.num_completed
+        assert registry.get("serve.engine.batches_dispatched").value \
+            == len(telemetry.batch_sizes)
+        assert registry.get("serve.engine.chips").value == 2.0
+        latency = registry.get("serve.engine.latency_ms")
+        assert latency.count == telemetry.num_completed
+        assert registry.get("serve.engine.wait_ms").count \
+            == telemetry.num_completed
+        assert registry.get("serve.scheduler.submitted").value == 40.0
+
+    def test_engine_defaults_to_installed_registry(self, engine):
+        trace = synthetic_trace(10, rate_rps=100.0, seed=4)
+        with use_metrics(MetricsRegistry()) as registry:
+            engine.serve(trace)
+            assert registry.get("serve.engine.requests_completed") \
+                is not None
+        # and the ambient default saw nothing from that scoped run
+        assert get_metrics().get("serve.engine.requests_completed") is None
+
+
+class TestServeSpans:
+    def test_request_and_batch_spans_synthesized(self, engine):
+        tracer = Tracer()
+        trace = synthetic_trace(25, rate_rps=0.8 * engine.plan.throughput_fps,
+                                seed=5)
+        telemetry = engine.serve(trace, tracer=tracer)
+        spans = tracer.spans
+        requests = [s for s in spans if s.name == "request"]
+        batches = [s for s in spans if s.name == "batch"]
+        assert len(requests) == telemetry.num_completed
+        assert len(batches) == len(telemetry.batch_sizes)
+        record = telemetry.records[0]
+        span = next(s for s in requests
+                    if s.args["id"] == record.request_id)
+        assert span.start_ms == pytest.approx(record.arrival_ms)
+        assert span.end_ms == pytest.approx(record.finish_ms)
+        assert span.track == "requests"
+
+    def test_batch_spans_carry_replica_attribution(self, engine):
+        tracer = Tracer()
+        trace = synthetic_trace(25, rate_rps=0.8 * engine.plan.throughput_fps,
+                                seed=5)
+        engine.serve(trace, tracer=tracer)
+        batches = [s for s in tracer.spans if s.name == "batch"]
+        tracks = {ex.track for ex in engine.executors}
+        for span in batches:
+            assert span.track in tracks
+            assert span.args["batch_size"] >= 1
+            assert tuple(span.args["chips"]) \
+                in {ex.chip_ids for ex in engine.executors}
+
+    def test_disabled_tracer_records_nothing(self, engine):
+        trace = synthetic_trace(10, rate_rps=100.0, seed=6)
+        engine.serve(trace)            # ambient NullTracer
+        tracer = Tracer()
+        with use_tracer(tracer):
+            engine.serve(trace)
+        assert len(tracer) > 0
+
+
+class TestSearchInstrumentation:
+    def test_evolution_search_publishes(self, grid):
+        config = EvoSearchConfig(population_size=8, iterations=3,
+                                 restarts=1, seed=0)
+        registry = MetricsRegistry()
+        tracer = Tracer()
+        with use_tracer(tracer), use_metrics(registry):
+            evolution_search(grid, crossbar_budget=4000, search=config)
+        assert registry.get("search.evolve.generations").value > 0
+        assert registry.get("search.evolve.individuals").value > 0
+        spans = [s for s in tracer.spans if s.category == "search.evolve"]
+        assert spans and all("generation" in s.name for s in spans)
+
+    def test_pareto_search_publishes(self, grid):
+        config = EvoSearchConfig(population_size=8, iterations=3,
+                                 restarts=1, seed=0)
+        registry = MetricsRegistry()
+        tracer = Tracer()
+        with use_tracer(tracer), use_metrics(registry):
+            result = pareto_search(grid, crossbar_budget=4000,
+                                   search=config)
+        assert registry.get("search.pareto.front_size").value \
+            == len(result.points)
+        assert [s for s in tracer.spans
+                if s.category == "search.pareto"]
+
+
+class TestSimCountersPublish:
+    def test_publish_sets_pim_gauges(self):
+        registry = MetricsRegistry()
+        counters = sim_counters()
+        counters.publish(registry)
+        for key in ("pim.simulator.layers", "pim.simulator.positions",
+                    "pim.simulator.analog_mac_ops"):
+            assert registry.get(key) is not None
+
+    def test_publish_defaults_to_installed_registry(self):
+        with use_metrics(MetricsRegistry()) as registry:
+            sim_counters().publish()
+            assert registry.get("pim.simulator.layers") is not None

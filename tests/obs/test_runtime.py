@@ -1,0 +1,79 @@
+"""Tests for the process-wide tracer/registry runtime context."""
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.runtime import (
+    get_metrics,
+    get_tracer,
+    reset,
+    set_metrics,
+    set_tracer,
+    use_metrics,
+    use_tracer,
+)
+from repro.obs.tracer import NullTracer, Tracer
+
+
+class TestDefaults:
+    def test_default_tracer_is_disabled(self):
+        assert get_tracer().enabled is False
+        assert isinstance(get_tracer(), NullTracer)
+
+    def test_default_registry_is_always_on(self):
+        reg = get_metrics()
+        assert isinstance(reg, MetricsRegistry)
+        reg.counter("x").inc()
+        assert get_metrics().get("x").value == 1.0
+
+
+class TestScoping:
+    def test_use_tracer_installs_and_restores(self):
+        tracer = Tracer()
+        with use_tracer(tracer) as installed:
+            assert installed is tracer
+            assert get_tracer() is tracer
+        assert get_tracer().enabled is False
+
+    def test_use_metrics_installs_and_restores(self):
+        mine = MetricsRegistry()
+        default = get_metrics()
+        with use_metrics(mine):
+            get_metrics().counter("scoped").inc()
+        assert get_metrics() is default
+        assert mine.get("scoped").value == 1.0
+        assert default.get("scoped") is None
+
+    def test_nested_scopes_unwind_in_order(self):
+        outer, inner = Tracer(), Tracer()
+        with use_tracer(outer):
+            with use_tracer(inner):
+                assert get_tracer() is inner
+            assert get_tracer() is outer
+
+    def test_restore_happens_on_exception(self):
+        try:
+            with use_tracer(Tracer()):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert get_tracer().enabled is False
+
+
+class TestSetAndReset:
+    def test_set_returns_previous(self):
+        tracer = Tracer()
+        previous = set_tracer(tracer)
+        assert previous.enabled is False
+        assert set_tracer(None) is tracer
+        assert get_tracer().enabled is False
+
+    def test_set_metrics_none_installs_fresh(self):
+        get_metrics().counter("old").inc()
+        set_metrics(None)
+        assert get_metrics().get("old") is None
+
+    def test_reset_restores_noop_world(self):
+        set_tracer(Tracer())
+        get_metrics().counter("junk").inc()
+        reset()
+        assert get_tracer().enabled is False
+        assert len(get_metrics()) == 0

@@ -1,0 +1,127 @@
+"""Tests for the span tracer and its Chrome/JSONL exports."""
+
+import json
+
+import pytest
+
+from repro.obs.tracer import NullTracer, Span, Tracer
+
+
+class TestRecording:
+    def test_record_materializes_spans(self):
+        t = Tracer()
+        t.record("req", "serve", 1.0, 4.0, track="requests",
+                 args={"id": 7})
+        (span,) = t.spans
+        assert span.name == "req"
+        assert span.duration_ms == pytest.approx(3.0)
+        assert span.args == {"id": 7}
+
+    def test_record_swaps_reversed_interval(self):
+        t = Tracer()
+        t.record("x", "c", 5.0, 2.0)
+        (span,) = t.spans
+        assert (span.start_ms, span.end_ms) == (2.0, 5.0)
+
+    def test_extend_scalar_args_become_id_dict(self):
+        t = Tracer()
+        t.extend([("request", "serve.request", 0.0, 2.0, "requests", 42),
+                  ("request", "serve.request", 1.0, 3.0, "requests", None)])
+        spans = t.spans
+        assert spans[0].args == {"id": 42}
+        assert spans[1].args is None
+        assert len(t) == 2
+
+    def test_span_context_manager_uses_wall_clock(self):
+        t = Tracer()
+        with t.span("work", category="test", args={"k": 1}):
+            pass
+        (span,) = t.spans
+        assert span.category == "test"
+        assert span.end_ms >= span.start_ms >= 0.0
+
+    def test_add_source_is_lazy(self):
+        t = Tracer()
+        calls = []
+
+        def source():
+            calls.append(1)
+            return [("late", "lazy", 0.0, 1.0, "main", None)]
+
+        t.add_source(source)
+        assert calls == []            # nothing materialized yet
+        assert len(t) == 1            # flushing counts it
+        assert calls == [1]
+        assert t.spans[0].name == "late"
+        assert calls == [1]           # evaluated exactly once
+
+
+class TestNullTracer:
+    def test_everything_is_a_noop(self):
+        t = NullTracer()
+        assert t.enabled is False
+        t.record("x", "c", 0.0, 1.0)
+        t.extend([("x", "c", 0.0, 1.0, "main", None)])
+        t.add_source(lambda: [("x", "c", 0.0, 1.0, "main", None)])
+        with t.span("y"):
+            pass
+        assert len(t) == 0
+        assert t.spans == []
+
+    def test_real_tracer_is_enabled(self):
+        assert Tracer().enabled is True
+
+
+class TestChromeExport:
+    @pytest.fixture
+    def tracer(self):
+        t = Tracer()
+        t.record("b", "cat", 2.0, 5.0, track="replica0",
+                 args={"batch_size": 2})
+        t.record("a", "cat", 0.0, 4.0, track="requests")
+        return t
+
+    def test_trace_structure(self, tracer):
+        payload = tracer.to_chrome_trace()
+        events = payload["traceEvents"]
+        meta = [e for e in events if e["ph"] == "M"]
+        timed = [e for e in events if e["ph"] == "X"]
+        assert {e["args"]["name"] for e in meta} == {"replica0", "requests"}
+        assert len(timed) == 2
+        # sorted by start, ms -> us
+        assert timed[0]["name"] == "a"
+        assert timed[0]["ts"] == pytest.approx(0.0)
+        assert timed[1]["ts"] == pytest.approx(2000.0)
+        assert timed[1]["dur"] == pytest.approx(3000.0)
+        assert timed[1]["args"] == {"batch_size": 2}
+
+    def test_tracks_map_to_distinct_tids(self, tracer):
+        events = tracer.to_chrome_trace()["traceEvents"]
+        timed = [e for e in events if e["ph"] == "X"]
+        assert timed[0]["tid"] != timed[1]["tid"]
+
+    def test_write_chrome_trace_round_trips(self, tracer, tmp_path):
+        path = tracer.write_chrome_trace(tmp_path / "t.json")
+        payload = json.loads(path.read_text())
+        assert payload["displayTimeUnit"] == "ms"
+        assert len(payload["traceEvents"]) == 4
+
+
+class TestJsonlExport:
+    def test_write_jsonl_ordered_spans(self, tmp_path):
+        t = Tracer()
+        t.record("later", "c", 10.0, 11.0)
+        t.record("first", "c", 0.0, 1.0)
+        path = t.write_jsonl(tmp_path / "spans.jsonl")
+        lines = [json.loads(line)
+                 for line in path.read_text().splitlines()]
+        assert [d["name"] for d in lines] == ["first", "later"]
+        assert lines[0]["dur_ms"] == pytest.approx(1.0)
+
+
+class TestSpan:
+    def test_as_dict_omits_empty_args(self):
+        span = Span("n", "c", 0.0, 2.0)
+        d = span.as_dict()
+        assert "args" not in d
+        assert d["dur_ms"] == pytest.approx(2.0)

@@ -55,11 +55,31 @@ class TestThroughputAndUtilization:
         assert util[0] == pytest.approx(0.75)
         assert util[1] == pytest.approx(0.0)   # provisioned but idle
 
-    def test_utilization_capped_at_one(self):
+    def test_utilization_not_clamped(self):
+        # Busy time exceeding the makespan is an accounting anomaly; the
+        # raw fraction must surface it rather than clamp to 1.0.
         telemetry = TelemetryCollector(num_chips=1)
         telemetry.record_completion(record(0, 0.0, 0.0, 10.0))
         telemetry.record_chip_busy(0, 1000.0)
-        assert telemetry.chip_utilization()[0] == 1.0
+        assert telemetry.chip_utilization()[0] == pytest.approx(100.0)
+        assert telemetry.saturated_chips() == [0]
+
+    def test_saturated_chips_empty_when_sane(self):
+        telemetry = TelemetryCollector(num_chips=2)
+        telemetry.record_completion(record(0, 0.0, 0.0, 100.0))
+        telemetry.record_chip_busy(0, 100.0)   # exactly the makespan: ok
+        telemetry.record_chip_busy(1, 40.0)
+        assert telemetry.saturated_chips() == []
+
+    def test_saturation_warning_in_report(self):
+        telemetry = TelemetryCollector(num_chips=1)
+        telemetry.record_completion(record(0, 0.0, 0.0, 10.0))
+        telemetry.record_chip_busy(0, 1000.0)
+        assert "utilization > 1.0" in telemetry.report()
+        sane = TelemetryCollector(num_chips=1)
+        sane.record_completion(record(0, 0.0, 0.0, 10.0))
+        sane.record_chip_busy(0, 5.0)
+        assert "utilization > 1.0" not in sane.report()
 
     def test_rolling_throughput_buckets(self):
         telemetry = TelemetryCollector(num_chips=1)
@@ -70,6 +90,33 @@ class TestThroughputAndUtilization:
         buckets = telemetry.rolling_throughput(window_ms=500.0)
         assert len(buckets) == 2
         assert buckets[0][1] == pytest.approx(10.0)  # 5 per 500ms window
+
+    def test_rolling_throughput_gap_emits_zero_buckets(self):
+        telemetry = TelemetryCollector(num_chips=1)
+        # finishes at 100ms and 2100ms: three idle 500ms windows between
+        telemetry.record_completion(record(0, 0.0, 0.0, 100.0))
+        telemetry.record_completion(record(1, 0.0, 0.0, 2100.0))
+        buckets = telemetry.rolling_throughput(window_ms=500.0)
+        assert [end for end, _ in buckets] == pytest.approx(
+            [500.0, 1000.0, 1500.0, 2000.0, 2500.0])
+        assert [fps for _, fps in buckets] == pytest.approx(
+            [2.0, 0.0, 0.0, 0.0, 2.0])
+
+    def test_rolling_throughput_no_trailing_bucket_on_exact_edge(self):
+        telemetry = TelemetryCollector(num_chips=1)
+        # last finish lands exactly on a bucket edge: it belongs to the
+        # bucket ending there, and no spurious all-zero bucket follows
+        telemetry.record_completion(record(0, 0.0, 0.0, 500.0))
+        telemetry.record_completion(record(1, 0.0, 0.0, 1000.0))
+        buckets = telemetry.rolling_throughput(window_ms=500.0)
+        assert buckets == [(500.0, pytest.approx(2.0)),
+                           (1000.0, pytest.approx(2.0))]
+
+    def test_rolling_throughput_finish_at_start(self):
+        telemetry = TelemetryCollector(num_chips=1)
+        telemetry.record_completion(record(0, 0.0, 0.0, 0.0))
+        buckets = telemetry.rolling_throughput(window_ms=500.0)
+        assert buckets == [(500.0, pytest.approx(2.0))]
 
 
 class TestQueueAndBatchStats:
@@ -108,13 +155,54 @@ class TestPresentation:
     def test_summary_keys(self):
         summary = self._loaded().summary()
         for key in ("completed", "throughput_fps", "latency_p50_ms",
-                    "latency_p95_ms", "latency_p99_ms",
+                    "latency_p95_ms", "latency_p99_ms", "availability",
                     "chip0_utilization", "chip1_utilization"):
             assert key in summary
         assert summary["completed"] == 20.0
+
+    def test_summary_wait_service_breakdown(self):
+        # Every record: wait 1ms, service 10ms — the decomposition must
+        # separate queueing delay from chip time exactly.
+        summary = self._loaded().summary()
+        for stat in ("mean", "p50", "p95", "p99"):
+            assert summary[f"wait_{stat}_ms"] == pytest.approx(1.0)
+            assert summary[f"service_{stat}_ms"] == pytest.approx(10.0)
+            assert summary[f"latency_{stat}_ms"] == pytest.approx(11.0)
+        assert summary["latency_mean_ms"] == pytest.approx(
+            summary["wait_mean_ms"] + summary["service_mean_ms"])
+
+    def test_summary_with_slo(self):
+        from repro.obs import SLO
+
+        telemetry = self._loaded()
+        summary = telemetry.summary(slo=SLO(p99_ms=100.0, availability=0.9))
+        assert summary["slo_attained"] == 1.0
+        assert summary["slo_p99_target_ms"] == 100.0
+        tight = telemetry.summary(slo=SLO(p99_ms=0.5))
+        assert tight["slo_attained"] == 0.0
+
+    def test_slo_attainment_counts_shed_requests(self):
+        from repro.obs import SLO
+
+        telemetry = self._loaded()
+        for i in range(100, 120):
+            telemetry.record_rejection(i)
+        assert telemetry.availability() == pytest.approx(0.5)
+        report = telemetry.slo_attainment(SLO(availability=0.99))
+        assert report.availability_attained is False
+        assert report.attained is False
 
     def test_report_renders(self):
         text = self._loaded().report()
         assert "p99" in text
         assert "chip utilization" in text
         assert "throughput" in text
+        assert "wait" in text and "service" in text
+
+    def test_report_with_slo_table(self):
+        from repro.obs import SLO
+
+        text = self._loaded().report(slo=SLO(p99_ms=100.0,
+                                             availability=0.9))
+        assert "SLO attainment" in text
+        assert "p99 latency" in text
