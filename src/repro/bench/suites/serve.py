@@ -19,16 +19,22 @@ correctness smoke while its wall time feeds the perf trajectory.
 
 from __future__ import annotations
 
+import gc
+import time
 from typing import Dict, List, Sequence
 
 from ...analysis.tables import Table
+from ...obs.metrics import MetricsRegistry
+from ...obs.runtime import use_metrics
 from ...serve import (
+    FaultPlan,
     MicroBatchScheduler,
     SchedulerConfig,
     ServingConfig,
     ServingEngine,
     ab_offered_load_sweep,
     engine_from_search,
+    get_scenario,
     synthetic_trace,
 )
 from ..registry import Workload, benchmark
@@ -36,6 +42,7 @@ from ..registry import Workload, benchmark
 __all__ = [
     "CHIP_COUNTS",
     "LOAD_FACTORS",
+    "SCENARIO_OVERHEAD_BUDGET_PCT",
     "build_engine",
     "run_sweep",
     "render",
@@ -43,6 +50,8 @@ __all__ = [
     "offered_load_factory",
     "scheduler_deep_queue_factory",
     "ab_operating_points_factory",
+    "scenario_replay_factory",
+    "measure_scenario_overhead",
     "synthetic_search_payload",
     "check_ab_structure",
 ]
@@ -224,6 +233,104 @@ def ab_operating_points_factory(fast: bool) -> Workload:
 
     return Workload(fn=fn, items=float(num_requests * cells),
                     unit="requests", counters=lambda: dict(served))
+
+
+# The engine's fault-aware path must be free when nothing fails: a run
+# with an (empty) fault plan over a scenario-generated trace may cost at
+# most this much more than the plain-Poisson fast path.
+SCENARIO_OVERHEAD_BUDGET_PCT = 5.0
+
+_SCENARIO_CHIP_COUNTS = (1, 2)
+_SCENARIO_LOAD_FACTORS = (0.5, 1.3)
+
+
+def measure_scenario_overhead(num_requests: int,
+                              passes: int) -> Dict[str, float]:
+    """Min-of-``passes`` serve time: plain Poisson trace on the fast path
+    vs a steady-poisson scenario trace through the fault-aware path
+    (empty :class:`~repro.serve.FaultPlan`, so no event ever fires).
+
+    Both traces are pregenerated outside the timed region — the claim
+    under test is the replay loop's fault bookkeeping, not trace
+    synthesis — and the steady scenario matches the plain trace's
+    arrival statistics, so the ratio isolates the fault machinery.
+    Same timing discipline as ``obs.overhead``: one timed region per
+    (pass, mode) across all cells, modes interleaved, min per mode,
+    GC out of the timed region.
+    """
+    steady = get_scenario("steady-poisson")
+    jobs = []
+    for chips in _SCENARIO_CHIP_COUNTS:
+        engine = build_engine(chips)
+        for factor in _SCENARIO_LOAD_FACTORS:
+            offered = factor * engine.plan.throughput_fps
+            jobs.append((engine,
+                         synthetic_trace(num_requests, rate_rps=offered,
+                                         seed=17),
+                         steady.to_trace(num_requests, rate_rps=offered,
+                                         seed=17)))
+    empty_plan = FaultPlan([])
+
+    def sweep_plain() -> float:
+        t0 = time.perf_counter()
+        for engine, plain, _ in jobs:
+            with use_metrics(MetricsRegistry()):
+                engine.serve(plain)
+        return time.perf_counter() - t0
+
+    def sweep_scenario() -> float:
+        t0 = time.perf_counter()
+        for engine, _, scenario_trace in jobs:
+            with use_metrics(MetricsRegistry()):
+                engine.serve(scenario_trace, faults=empty_plan)
+        return time.perf_counter() - t0
+
+    sweep_plain()
+    sweep_scenario()
+    plain_s = scenario_s = float("inf")
+    gc.collect()
+    gc.disable()
+    try:
+        for _ in range(passes):
+            plain_s = min(plain_s, sweep_plain())
+            scenario_s = min(scenario_s, sweep_scenario())
+    finally:
+        gc.enable()
+    overhead_pct = (scenario_s / plain_s - 1.0) * 100.0
+    return {"plain_s": plain_s, "scenario_s": scenario_s,
+            "overhead_pct": overhead_pct}
+
+
+@benchmark("serve.scenario_replay", suite="serve",
+           description="scenario-trace replay through the fault-aware "
+                       "path vs plain Poisson",
+           warmup=0, repeats=2, min_sample_ms=0.0)
+def scenario_replay_factory(fast: bool) -> Workload:
+    num_requests = 150 if fast else 400
+    passes = 25 if fast else 15
+    cells = len(_SCENARIO_CHIP_COUNTS) * len(_SCENARIO_LOAD_FACTORS)
+    measured: Dict[str, float] = {}
+
+    def fn():
+        # Same retry discipline as obs.overhead: a shared-machine noise
+        # spike can exceed the budget on its own; a real regression
+        # fails all three attempts.
+        for attempt in range(3):
+            result = measure_scenario_overhead(num_requests, passes)
+            if result["overhead_pct"] < SCENARIO_OVERHEAD_BUDGET_PCT:
+                break
+        assert result["overhead_pct"] < SCENARIO_OVERHEAD_BUDGET_PCT, (
+            f"fault-free scenario replay costs "
+            f"{result['overhead_pct']:.2f}% over plain Poisson — budget "
+            f"is {SCENARIO_OVERHEAD_BUDGET_PCT}% (plain "
+            f"{result['plain_s'] * 1e3:.2f} ms, scenario "
+            f"{result['scenario_s'] * 1e3:.2f} ms)")
+        measured.update(result)
+        return result
+
+    # Each timed call replays every cell twice (plain + scenario) per pass.
+    return Workload(fn=fn, items=float(num_requests * cells * 2 * passes),
+                    unit="requests", counters=lambda: dict(measured))
 
 
 @benchmark("serve.scheduler_deep_queue", suite="serve",

@@ -11,7 +11,9 @@ Three formats, each validated structurally (not just "is it JSON"):
 - **Prometheus text** (``--metrics-out m.prom``): must parse under
   :func:`repro.obs.export.parse_prometheus_text`; histogram families
   must have non-decreasing cumulative buckets, a ``+Inf`` bucket, and a
-  ``_count`` equal to it.
+  ``_count`` equal to it.  When the ``serve_faults_*`` family is present
+  (a fault-injected serve run, docs/scenarios.md) the per-kind counters
+  must sum to ``serve_faults_injected``.
 - **JSONL** (``--metrics-out m.jsonl``, span JSONL): every non-empty
   line must be individually ``json.loads``-able.
 
@@ -138,6 +140,46 @@ def validate_prometheus(text: str) -> List[str]:
         if counts and values and counts[0] != values[-1]:
             problems.append(f"histogram {name}: _count {counts[0]} != "
                             f"+Inf bucket {values[-1]}")
+    problems.extend(_faults_consistency(families))
+    return problems
+
+
+def _faults_consistency(families: Dict) -> List[str]:
+    """Cross-family invariant of fault-injected serve runs: the per-kind
+    ``serve_faults_*`` counters partition ``serve_faults_injected``."""
+
+    def total(metric: str):
+        family = families.get(metric)
+        if family is None:
+            return None
+        return sum(sample[2] for sample in family["samples"]
+                   if sample[0] == metric)
+
+    injected = total("serve_faults_injected")
+    if injected is None:
+        return []
+    problems: List[str] = []
+    kinds = {"serve_faults_chip_kills": total("serve_faults_chip_kills"),
+             "serve_faults_stragglers": total("serve_faults_stragglers"),
+             "serve_faults_cache_wipes": total("serve_faults_cache_wipes")}
+    missing = sorted(name for name, value in kinds.items() if value is None)
+    if missing:
+        problems.append(
+            "serve_faults_injected present but per-kind counter(s) "
+            f"missing: {', '.join(missing)}")
+    else:
+        by_kind = sum(kinds.values())
+        if by_kind != injected:
+            problems.append(
+                f"serve_faults_injected ({injected:g}) != sum of per-kind "
+                f"fault counters ({by_kind:g})")
+    failovers = total("serve_faults_failovers")
+    kills = kinds.get("serve_faults_chip_kills")
+    if failovers is not None and kills is not None and failovers > kills:
+        problems.append(
+            f"serve_faults_failovers ({failovers:g}) exceeds "
+            f"serve_faults_chip_kills ({kills:g}) — a failover without "
+            "a kill")
     return problems
 
 

@@ -15,8 +15,11 @@ endpoint that answers request traffic:
 - :mod:`repro.serve.deploy` — deploy ``repro search --json`` results:
   operating-point selection off a Pareto front (latency-opt / energy-opt /
   knee / index) and the A/B offered-load sweep;
+- :mod:`repro.serve.scenarios` — named load scenarios (diurnal, flash
+  crowd, bursty MMPP, multi-model mix) and the fault-injection layer
+  (chip kills with replicated-shard failover, stragglers, cache wipes);
 - :mod:`repro.serve.telemetry` — latency percentiles, queue depth, chip
-  utilization, rolling throughput;
+  utilization, rolling throughput, fault/failover accounting;
 - :mod:`repro.serve.cli` — ``python -m repro serve`` trace replay.
 """
 
@@ -39,6 +42,14 @@ from .deploy import (
     manifest_from_point,
     render_ab,
     report_from_point,
+)
+from .scenarios import (
+    FaultPlan,
+    Scenario,
+    get_scenario,
+    list_scenarios,
+    parse_faults,
+    register_scenario,
 )
 from .scheduler import Batch, MicroBatchScheduler, SchedulerConfig
 from .sharding import (
@@ -73,6 +84,12 @@ __all__ = [
     "TelemetryCollector",
     "ServingConfig",
     "ServingEngine",
+    "Scenario",
+    "register_scenario",
+    "get_scenario",
+    "list_scenarios",
+    "FaultPlan",
+    "parse_faults",
     "AB_LOAD_FACTORS",
     "LoadedSearchResult",
     "OperatingPoint",

@@ -52,6 +52,7 @@ from .deploy import (
     render_ab,
 )
 from .engine import ServingConfig, ServingEngine
+from .scenarios import get_scenario, parse_faults, scenario_table
 from .scheduler import SchedulerConfig
 from .trace import load_trace, save_trace, synthetic_trace
 
@@ -66,6 +67,14 @@ def add_serve_parser(subparsers) -> argparse.ArgumentParser:
     """Register the ``serve`` subcommand on an existing subparser set."""
     p = subparsers.add_parser(
         "serve", help="replay a request trace against a deployed network")
+    serve_sub = p.add_subparsers(dest="serve_command",
+                                 metavar="{scenarios}")
+    scenarios = serve_sub.add_parser(
+        "scenarios", help="inspect the load-scenario registry")
+    scenarios_sub = scenarios.add_subparsers(dest="scenarios_command",
+                                             required=True)
+    scenarios_sub.add_parser("list",
+                             help="list registered load scenarios")
     src = p.add_argument_group("deployment source")
     src.add_argument("--manifest", default=None,
                      help="format-2 deployment manifest JSON to serve")
@@ -122,6 +131,13 @@ def add_serve_parser(subparsers) -> argparse.ArgumentParser:
                            "(with --sched-policy priority)")
     load.add_argument("--seed", type=int, default=0,
                       help="synthetic trace RNG seed")
+    load.add_argument("--scenario", default=None, metavar="NAME",
+                      help="generate the trace from a registered load "
+                           "scenario (see `repro serve scenarios list`)")
+    load.add_argument("--faults", default=None, metavar="SPEC",
+                      help="inject timed faults, e.g. 'chip-kill@t=0.5' "
+                           "or 'straggler@t=0.2:chip=1:factor=3' "
+                           "(grammar: docs/scenarios.md)")
     load.add_argument("--save-trace", default=None, metavar="PATH",
                       help="write the (synthetic) trace before replaying")
 
@@ -239,7 +255,7 @@ def run_serve(args) -> int:
         return 2
 
 
-def _run_ab(args) -> int:
+def _run_ab(args, fault_plan=None) -> int:
     """A/B mode: two operating points of one search result, swept under
     identical offered load (see repro.serve.deploy.ab_offered_load_sweep)."""
     result = load_search_result(args.from_search)
@@ -269,7 +285,9 @@ def _run_ab(args) -> int:
                                      seed=args.seed, rate_fps=args.rate_fps,
                                      trace=trace,
                                      priority_levels=args.priority_levels,
-                                     slo=slo)
+                                     slo=slo,
+                                     scenario=args.scenario,
+                                     faults=fault_plan)
     print(render_ab(rows, title=f"A/B {args.policy} vs {args.ab_policy} — "
                                 f"{result.model}"))
     _write_obs_artifacts(args, tracer, registry)
@@ -280,9 +298,20 @@ def _run_ab(args) -> int:
 
 
 def _run_serve(args) -> int:
+    if getattr(args, "serve_command", None) == "scenarios":
+        print(scenario_table())
+        return 0
     if args.from_search is not None and args.manifest is not None:
         raise ValueError("--from-search and --manifest are both deployment "
                          "sources; pass exactly one")
+    if args.scenario is not None and args.requests is not None:
+        raise ValueError("--scenario generates a synthetic trace and "
+                         "--requests replays a recorded one; pass exactly "
+                         "one workload source")
+    # Parse the fault spec before compiling anything — a typo should fail
+    # in milliseconds, not after a deployment build.
+    fault_plan = (parse_faults(args.faults)
+                  if args.faults is not None else None)
     if args.ab_policy is not None:
         if args.from_search is None:
             raise ValueError("--ab-policy needs --from-search "
@@ -299,7 +328,7 @@ def _run_serve(args) -> int:
             raise ValueError("--export-manifest is ambiguous in A/B mode "
                              "(two operating points); export from a "
                              "single-fleet --from-search run")
-        return _run_ab(args)
+        return _run_ab(args, fault_plan=fault_plan)
     engine = _build_engine(args)
     print(engine.describe())
     print()
@@ -312,21 +341,31 @@ def _run_serve(args) -> int:
         rate = args.rate_fps
         if rate is None:
             rate = 0.7 * engine.plan.throughput_fps
-        trace = synthetic_trace(args.num_requests, rate_rps=rate,
-                                seed=args.seed,
-                                priority_levels=args.priority_levels)
-        print(f"synthetic trace: {len(trace)} requests at "
-              f"{rate:.1f} req/s offered")
+        if args.scenario is not None:
+            scenario = get_scenario(args.scenario)
+            trace = scenario.to_trace(args.num_requests, rate_rps=rate,
+                                      seed=args.seed)
+            print(f"scenario {scenario.name!r}: {len(trace)} requests at "
+                  f"{rate:.1f} req/s mean offered "
+                  f"({scenario.description})")
+        else:
+            trace = synthetic_trace(args.num_requests, rate_rps=rate,
+                                    seed=args.seed,
+                                    priority_levels=args.priority_levels)
+            print(f"synthetic trace: {len(trace)} requests at "
+                  f"{rate:.1f} req/s offered")
         if args.save_trace is not None:
             save_trace(trace, args.save_trace)
             print(f"wrote trace -> {args.save_trace}")
+    if fault_plan is not None:
+        print(f"fault plan: {fault_plan.describe()}")
     print()
 
     slo = _default_slo(args, [engine])
     tracer = Tracer() if args.trace_out is not None else NullTracer()
     registry = MetricsRegistry()
     with use_tracer(tracer), use_metrics(registry):
-        telemetry = engine.serve(trace)
+        telemetry = engine.serve(trace, faults=fault_plan)
     print(telemetry.report(slo=slo))
     _write_obs_artifacts(args, tracer, registry)
     if args.json:

@@ -31,6 +31,8 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
+import numpy as np
+
 from ..analysis.tables import Table
 from ..core.designer import EpitomeAssignment, build_deployments
 from ..core.export import export_deployments
@@ -327,6 +329,18 @@ def engine_from_search(source: Union[str, Path, Mapping, LoadedSearchResult],
 # A/B offered-load sweep
 # ----------------------------------------------------------------------
 
+def _job_seed(seed: int, index: int) -> int:
+    """Deterministic per-job trace seed for the A/B sweep.
+
+    Each (sweep seed, job index) pair spawns an independent stream via
+    :class:`numpy.random.SeedSequence` — explicit propagation, never the
+    global numpy RNG state, so a sweep is reproducible regardless of what
+    any surrounding code did to ``np.random`` and different load factors
+    do not replay the same underlying uniform draws.
+    """
+    return int(np.random.SeedSequence([seed, index]).generate_state(1)[0])
+
+
 def ab_offered_load_sweep(engines: Mapping[str, ServingEngine],
                           num_requests: int = 400,
                           load_factors: Sequence[float] = AB_LOAD_FACTORS,
@@ -334,17 +348,29 @@ def ab_offered_load_sweep(engines: Mapping[str, ServingEngine],
                           rate_fps: Optional[float] = None,
                           trace: Optional[Sequence[Request]] = None,
                           priority_levels: int = 1,
-                          slo: Optional[SLO] = None) -> List[Dict]:
+                          slo: Optional[SLO] = None,
+                          scenario=None,
+                          faults=None) -> List[Dict]:
     """Serve identical traces against several deployed operating points.
 
     ``engines`` maps a label (usually the selection policy) to a deployed
     engine.  Each load factor is taken against the *minimum* capacity
     across the fleets (or ``rate_fps`` pins absolute rates, ignoring
-    ``load_factors``), and every fleet replays the *same* Poisson trace —
+    ``load_factors``), and every fleet replays the *same* trace —
     identical arrivals, so latency/energy differences are attributable to
     the operating point alone.  A recorded ``trace`` replaces the
     synthetic sweep entirely: one row per fleet at the trace's own
     measured arrival rate.
+
+    Trace seeds are derived per job as ``SeedSequence([seed, job_index])``
+    and passed explicitly to the generator — the sweep never consults
+    numpy's global RNG state, so results are reproducible from ``seed``
+    alone.  ``scenario`` (a registered name or
+    :class:`~repro.serve.scenarios.Scenario`) swaps the plain Poisson
+    generator for that scenario's arrival process; ``faults`` (spec
+    string or :class:`~repro.serve.scenarios.faults.FaultPlan`) injects
+    the same fault plan into every fleet's replay, and the rows then gain
+    ``failed``/``availability`` columns.
 
     Each row carries the serving telemetry (p50/p99 latency, achieved
     throughput, shed count) plus ``energy_per_request_mj``, the deployed
@@ -356,6 +382,10 @@ def ab_offered_load_sweep(engines: Mapping[str, ServingEngine],
     """
     if not engines:
         raise ValueError("ab_offered_load_sweep needs at least one engine")
+    if isinstance(scenario, str):
+        from .scenarios import get_scenario
+
+        scenario = get_scenario(scenario)
     if trace is not None:
         replay = sorted(trace, key=lambda r: (r.arrival_ms, r.request_id))
         if not replay:
@@ -368,14 +398,19 @@ def ab_offered_load_sweep(engines: Mapping[str, ServingEngine],
         base = min(engine.plan.throughput_fps for engine in engines.values())
         rates = ([rate_fps] if rate_fps is not None
                  else [factor * base for factor in load_factors])
-        jobs = [(rate, synthetic_trace(num_requests, rate_rps=rate,
-                                       seed=seed,
-                                       priority_levels=priority_levels))
-                for rate in rates]
+        if scenario is not None:
+            jobs = [(rate, scenario.to_trace(num_requests, rate_rps=rate,
+                                             seed=_job_seed(seed, index)))
+                    for index, rate in enumerate(rates)]
+        else:
+            jobs = [(rate, synthetic_trace(num_requests, rate_rps=rate,
+                                           seed=_job_seed(seed, index),
+                                           priority_levels=priority_levels))
+                    for index, rate in enumerate(rates)]
     rows: List[Dict] = []
     for rate, requests in jobs:
         for label, engine in engines.items():
-            telemetry = engine.serve(requests)
+            telemetry = engine.serve(requests, faults=faults)
             row = {
                 "point": label,
                 "offered_fps": rate,
@@ -387,6 +422,9 @@ def ab_offered_load_sweep(engines: Mapping[str, ServingEngine],
                 "energy_per_request_mj": engine.report.energy_mj,
                 "num_chips": engine.config.num_chips,
             }
+            if faults is not None:
+                row["failed"] = telemetry.num_failed
+                row["availability"] = telemetry.availability()
             if slo is not None:
                 row.update(telemetry.slo_attainment(slo).as_dict())
             rows.append(row)

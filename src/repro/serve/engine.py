@@ -35,14 +35,20 @@ from ..pim.config import DEFAULT_CONFIG, HardwareConfig
 from ..pim.lut import DEFAULT_LUT, ComponentLUT
 from ..pim.simulator import NetworkReport, simulate_network
 from .cache import DeploymentCache, compile_deployment
+from .scenarios.faults import FaultPlan, ResolvedFault, parse_faults
 from .scheduler import Batch, MicroBatchScheduler, SchedulerConfig
 from .sharding import ShardPlan, plan_sharding
 from .telemetry import RequestRecord, TelemetryCollector
 from .trace import Request
 
-__all__ = ["ServingConfig", "ServingEngine"]
+__all__ = ["ServingConfig", "ServingEngine", "DEFAULT_WIPE_STALL_FACTOR"]
 
 _EPS = 1e-9
+
+# A cache wipe stalls each replica's next dispatch for a recompile,
+# priced as this multiple of the deployment's pipeline fill latency
+# unless the fault spec pins an explicit ``stall_ms``.
+DEFAULT_WIPE_STALL_FACTOR = 20.0
 
 
 @dataclass(frozen=True)
@@ -60,20 +66,41 @@ class ServingConfig:
 
 @dataclass
 class _Executor:
-    """One replica group's dispatch state."""
+    """One replica group's dispatch state (including fault state)."""
 
     index: int
     chip_ids: Tuple[int, ...]
     plan: ShardPlan
     free_at_ms: float = 0.0
     track: str = ""             # tracer track name, precomputed
+    alive: bool = True
+    straggle_factor: float = 1.0
+    straggle_until_ms: Optional[float] = None
+    pending_stall_ms: float = 0.0       # recompile debt from a cache wipe
 
     def occupancy_ms(self, batch_size: int) -> float:
         """Time until the first pipeline stage can accept the next batch."""
         return batch_size * self.plan.image_interval_ms
 
+    def service_factor(self, now_ms: float) -> float:
+        """Current service-time multiplier (1.0 healthy; a straggler
+        window multiplies intervals until it expires)."""
+        if self.straggle_until_ms is not None \
+                and now_ms >= self.straggle_until_ms:
+            self.straggle_factor = 1.0
+            self.straggle_until_ms = None
+        return self.straggle_factor
 
-def _span_events(records: List[RequestRecord], tracks) -> List[tuple]:
+    def reset(self) -> None:
+        self.free_at_ms = 0.0
+        self.alive = True
+        self.straggle_factor = 1.0
+        self.straggle_until_ms = None
+        self.pending_stall_ms = 0.0
+
+
+def _span_events(records: List[RequestRecord], tracks,
+                 fault_events: Sequence[dict] = ()) -> List[tuple]:
     """Synthesize the serve span set from completed-request records.
 
     Lazy tracer source (see :meth:`repro.obs.tracer.Tracer.add_source`):
@@ -83,6 +110,11 @@ def _span_events(records: List[RequestRecord], tracks) -> List[tuple]:
     span per dispatch on the owning replica's track.  Batches are
     recovered by grouping consecutive records sharing a dispatch time
     and chip set; ``tracks`` maps ``chip_ids`` to ``(replica, track)``.
+
+    Fault episodes land on a dedicated ``faults`` track: a ``failover``
+    span runs from a chip kill to the last requeued request's eventual
+    finish, a ``straggler`` span covers its degradation window, and a
+    ``cache-wipe`` marks the wipe instant (zero duration).
     """
     events: List[tuple] = [
         ("request", "serve.request", r.arrival_ms, r.finish_ms,
@@ -102,6 +134,36 @@ def _span_events(records: List[RequestRecord], tracks) -> List[tuple]:
         events.append(("batch", "serve.batch", start, finish, track,
                        {"batch_size": size, "chips": chips,
                         "replica": replica}))
+    if fault_events:
+        finish_by_id = {r.request_id: r.finish_ms for r in records}
+        for event in fault_events:
+            start = float(event.get("at_ms", 0.0))
+            kind = event.get("kind")
+            if kind == "chip-kill":
+                ends = [finish_by_id[rid]
+                        for rid in event.get("retried_ids", ())
+                        if rid in finish_by_id]
+                end = max(ends) if ends else start
+                events.append((
+                    "failover", "serve.failover", start, end, "faults",
+                    {"chip": event.get("chip"),
+                     "replica": event.get("replica", -1),
+                     "requeued": event.get("requeued", 0),
+                     "lost": event.get("lost", 0),
+                     "outcome": event.get("outcome", "")}))
+            elif kind == "straggler":
+                end = event.get("until_ms")
+                events.append((
+                    "straggler", "serve.fault", start,
+                    start if end is None else float(end), "faults",
+                    {"chip": event.get("chip"),
+                     "factor": event.get("factor"),
+                     "outcome": event.get("outcome", "")}))
+            else:
+                events.append((
+                    "cache-wipe", "serve.fault", start, start, "faults",
+                    {"stall_ms": event.get("stall_ms"),
+                     "outcome": event.get("outcome", "")}))
     return events
 
 
@@ -131,14 +193,10 @@ class ServingEngine:
         # manifest is kept so exporting the deployment needs no recompile.
         self.operating_point = None
         self.deployment_manifest = None
-        self.executors: List[_Executor] = []
-        chip = 0
-        for replica in range(self.plan.num_replicas):
-            ids = tuple(range(chip, chip + self.plan.chips_per_replica))
-            chip += self.plan.chips_per_replica
-            self.executors.append(_Executor(index=replica, chip_ids=ids,
-                                            plan=self.plan,
-                                            track=f"replica{replica}"))
+        self.executors: List[_Executor] = [
+            _Executor(index=replica, chip_ids=ids, plan=self.plan,
+                      track=f"replica{replica}")
+            for replica, ids in enumerate(self.plan.replica_groups())]
 
     # ------------------------------------------------------------------
     # Construction paths
@@ -207,35 +265,82 @@ class ServingEngine:
     # ------------------------------------------------------------------
     def serve(self, requests: Sequence[Request],
               tracer: Optional[Tracer] = None,
-              metrics: Optional[MetricsRegistry] = None
+              metrics: Optional[MetricsRegistry] = None,
+              faults: Union[FaultPlan, str, None] = None
               ) -> TelemetryCollector:
         """Replay a trace through the scheduler/executors; returns the
         telemetry of the whole run (simulated time).
 
+        ``faults`` injects timed adverse events — a
+        :class:`~repro.serve.scenarios.faults.FaultPlan` or a spec string
+        like ``"chip-kill@t=0.5"`` (see :mod:`repro.serve.scenarios.faults`
+        for the grammar).  A killed chip takes its whole replica group
+        down; in-flight requests on it are retried once on the surviving
+        replicas (failover), and requests that cannot be recovered count
+        against availability.  With ``faults=None`` the fast path is
+        numerically identical to previous releases.
+
         Observability: spans go to ``tracer`` (default: the installed
         :func:`repro.obs.runtime.get_tracer`, a no-op unless a run
         installs a real one) and the run's aggregate metrics are published
-        in bulk under ``serve.engine.*`` / ``serve.scheduler.*`` into
-        ``metrics`` (default: the installed registry).  Tracing costs the
-        replay loop nothing either way: an enabled tracer receives one
-        lazy closure per run that expands the telemetry records into
-        spans at export time — see the ``obs.overhead`` benchmark.
+        in bulk under ``serve.engine.*`` / ``serve.scheduler.*`` (plus
+        ``serve.faults.*`` when a plan is supplied) into ``metrics``
+        (default: the installed registry).  Tracing costs the replay loop
+        nothing either way: an enabled tracer receives one lazy closure
+        per run that expands the telemetry records into spans at export
+        time — see the ``obs.overhead`` benchmark.
         """
         tracer = tracer if tracer is not None else get_tracer()
         metrics = metrics if metrics is not None else get_metrics()
+        if isinstance(faults, str):
+            faults = parse_faults(faults)
         trace = sorted(requests,
                        key=lambda r: (r.arrival_ms, r.request_id))
         scheduler = MicroBatchScheduler(self.config.scheduler)
         telemetry = TelemetryCollector(num_chips=self.config.num_chips)
         for ex in self.executors:
-            ex.free_at_ms = 0.0
+            ex.reset()
 
         i, n = 0, len(trace)
         if n == 0:
             return telemetry
         now = trace[0].arrival_ms
 
-        while i < n or len(scheduler):
+        fault_queue: List[ResolvedFault] = []
+        if faults is not None:
+            fault_queue = faults.resolve(trace[0].arrival_ms,
+                                         trace[-1].arrival_ms)
+        fault_idx = 0
+        retried_ids: set = set()    # retry-once budget across the run
+        max_finish_ms = now         # latest completion dispatched so far
+
+        # Faults with firing times past the last queue event still apply
+        # while dispatched work is in flight (a kill during drain must
+        # retract those completions), hence the third loop condition.
+        while i < n or len(scheduler) or (
+                fault_idx < len(fault_queue)
+                and fault_queue[fault_idx].at_ms <= max_finish_ms + _EPS):
+            if fault_idx < len(fault_queue):
+                while (fault_idx < len(fault_queue)
+                       and fault_queue[fault_idx].at_ms <= now + _EPS):
+                    fault = fault_queue[fault_idx]
+                    fault_idx += 1
+                    if self._apply_fault(fault, scheduler, telemetry,
+                                         retried_ids):
+                        # Total outage: no replica left to serve anything.
+                        # Queued and still-arriving requests are lost.
+                        while len(scheduler):
+                            batch = scheduler.next_batch(now, force=True)
+                            for request in batch.requests:
+                                telemetry.record_failure(request.request_id)
+                        for request in trace[i:]:
+                            telemetry.record_failure(request.request_id)
+                        i = n
+                        fault_idx = len(fault_queue)
+                        break
+                if i >= n and not len(scheduler):
+                    break
+
             while i < n and trace[i].arrival_ms <= now + _EPS:
                 if not scheduler.submit(trace[i]):
                     telemetry.record_rejection(trace[i].request_id)
@@ -243,12 +348,14 @@ class ServingEngine:
 
             while scheduler.has_ready_batch(now):
                 free = [ex for ex in self.executors
-                        if ex.free_at_ms <= now + _EPS]
+                        if ex.alive and ex.free_at_ms <= now + _EPS]
                 if not free:
                     break
                 ex = min(free, key=lambda e: (e.free_at_ms, e.index))
                 batch = scheduler.next_batch(now)
-                self._execute(ex, batch, now, telemetry)
+                last_finish = self._execute(ex, batch, now, telemetry)
+                if last_finish > max_finish_ms:
+                    max_finish_ms = last_finish
             # Exactly one depth sample per event (the settled post-dispatch
             # state) — asymmetric sampling would bias the mean.
             telemetry.record_queue_depth(now, len(scheduler))
@@ -261,7 +368,10 @@ class ServingEngine:
                 if timeout is not None:
                     candidates.append(timeout)
                 candidates.extend(ex.free_at_ms for ex in self.executors
-                                  if ex.free_at_ms > now + _EPS)
+                                  if ex.alive and ex.free_at_ms > now + _EPS)
+            if (fault_idx < len(fault_queue)
+                    and fault_queue[fault_idx].at_ms <= max_finish_ms + _EPS):
+                candidates.append(fault_queue[fault_idx].at_ms)
             candidates = [c for c in candidates if c > now + _EPS]
             if not candidates:
                 if i >= n and not len(scheduler):
@@ -280,20 +390,27 @@ class ServingEngine:
             tracks = {ex.chip_ids: (ex.index, ex.track)
                       for ex in self.executors}
             tracer.add_source(
-                lambda: _span_events(telemetry.records, tracks))
-        self._publish_metrics(telemetry, scheduler, metrics)
+                lambda: _span_events(telemetry.records, tracks,
+                                     telemetry.fault_events))
+        self._publish_metrics(telemetry, scheduler, metrics,
+                              faults_active=faults is not None)
         return telemetry
 
     def _execute(self, executor: _Executor, batch: Batch, now: float,
-                 telemetry: TelemetryCollector) -> None:
+                 telemetry: TelemetryCollector) -> float:
+        """Dispatch ``batch`` on ``executor``; returns the finish time of
+        the batch's last image (the engine's in-flight horizon)."""
         size = batch.size
-        executor.free_at_ms = now + executor.occupancy_ms(size)
+        factor = executor.service_factor(now)
+        stall = executor.pending_stall_ms
+        executor.pending_stall_ms = 0.0
+        interval = self.plan.image_interval_ms * factor
+        fill = self.plan.per_image_latency_ms * factor + stall
+        executor.free_at_ms = now + stall + size * interval
         telemetry.record_batch(size)
         for chip_id, shard in zip(executor.chip_ids, self.plan.shards):
-            telemetry.record_chip_busy(chip_id,
-                                       size * shard.image_interval_ms)
-        fill = self.plan.per_image_latency_ms
-        interval = self.plan.image_interval_ms
+            telemetry.record_chip_busy(
+                chip_id, stall + size * shard.image_interval_ms * factor)
         for j, request in enumerate(batch.requests):
             finish = now + fill + j * interval
             telemetry.record_completion(RequestRecord(
@@ -304,13 +421,120 @@ class ServingEngine:
                 chip_ids=executor.chip_ids,
                 batch_size=size,
                 priority=request.priority,
+                model=request.model,
             ))
+        return now + fill + (size - 1) * interval
+
+    # ------------------------------------------------------------------
+    # Fault application
+    # ------------------------------------------------------------------
+    def _executor_for_chip(self, chip_id: int) -> Optional[_Executor]:
+        replica = self.plan.replica_of_chip(chip_id)
+        if replica is None or replica >= len(self.executors):
+            return None
+        return self.executors[replica]
+
+    def _apply_fault(self, fault: ResolvedFault,
+                     scheduler: MicroBatchScheduler,
+                     telemetry: TelemetryCollector,
+                     retried_ids: set) -> bool:
+        """Apply one resolved fault; returns True when the whole fleet is
+        down afterwards (total outage — the caller fails everything)."""
+        if fault.kind == "chip-kill":
+            return self._apply_chip_kill(fault, scheduler, telemetry,
+                                         retried_ids)
+        if fault.kind == "straggler":
+            ex = self._executor_for_chip(fault.chip)
+            event = {"kind": "straggler", "at_ms": fault.at_ms,
+                     "chip": fault.chip, "until_ms": fault.until_ms,
+                     "factor": fault.factor,
+                     "label": f"straggler chip={fault.chip} "
+                              f"x{fault.factor:g}"}
+            if ex is None or not ex.alive:
+                event["outcome"] = "no-op (chip unowned or dead)"
+            else:
+                ex.straggle_factor = fault.factor
+                ex.straggle_until_ms = fault.until_ms
+                event["replica"] = ex.index
+                event["outcome"] = (f"replica{ex.index} degraded "
+                                    f"{fault.factor:g}x")
+            telemetry.record_fault(event)
+            return False
+        # cache-wipe: every live replica pays a recompile stall on its
+        # next dispatch.
+        stall = (fault.stall_ms if fault.stall_ms is not None
+                 else DEFAULT_WIPE_STALL_FACTOR
+                 * self.plan.per_image_latency_ms)
+        touched = 0
+        for ex in self.executors:
+            if ex.alive:
+                ex.pending_stall_ms += stall
+                touched += 1
+        telemetry.record_fault({
+            "kind": "cache-wipe", "at_ms": fault.at_ms,
+            "stall_ms": stall, "label": "cache-wipe",
+            "outcome": f"{touched} replica(s) stalled {stall:g} ms"})
+        return False
+
+    def _apply_chip_kill(self, fault: ResolvedFault,
+                         scheduler: MicroBatchScheduler,
+                         telemetry: TelemetryCollector,
+                         retried_ids: set) -> bool:
+        """Kill the replica group owning ``fault.chip``; fail over its
+        in-flight requests (retry once on survivors)."""
+        ex = self._executor_for_chip(fault.chip)
+        event = {"kind": "chip-kill", "at_ms": fault.at_ms,
+                 "chip": fault.chip,
+                 "label": f"chip-kill chip={fault.chip}"}
+        if ex is None or not ex.alive:
+            event.update(outcome="no-op (chip unowned or already dead)",
+                         failover=False, requeued=0, lost=0,
+                         retried_ids=())
+            telemetry.record_fault(event)
+            return not any(e.alive for e in self.executors)
+        ex.alive = False
+        # Completions are recorded eagerly at dispatch; retract every
+        # record this replica would have emitted after the kill instant.
+        inflight = [r for r in telemetry.records
+                    if r.chip_ids == ex.chip_ids
+                    and r.finish_ms > fault.at_ms + _EPS]
+        telemetry.drop_records(inflight)
+        survivors = any(e.alive for e in self.executors)
+        requeued = lost = 0
+        requeued_ids = []
+        for rec in sorted(inflight,
+                          key=lambda r: (r.arrival_ms, r.request_id)):
+            can_retry = survivors and rec.request_id not in retried_ids
+            if can_retry:
+                retried_ids.add(rec.request_id)
+                resubmitted = scheduler.submit(Request(
+                    request_id=rec.request_id,
+                    arrival_ms=rec.arrival_ms,
+                    priority=rec.priority,
+                    model=rec.model))
+                if resubmitted:
+                    telemetry.record_retry(rec.request_id)
+                    requeued += 1
+                    requeued_ids.append(rec.request_id)
+                    continue
+            telemetry.record_failure(rec.request_id)
+            lost += 1
+        event.update(
+            outcome=(f"replica{ex.index} down; {requeued} retried, "
+                     f"{lost} lost" if survivors
+                     else f"replica{ex.index} down; fleet offline"),
+            replica=ex.index, failover=survivors, requeued=requeued,
+            lost=lost, retried_ids=tuple(requeued_ids))
+        telemetry.record_fault(event)
+        return not survivors
 
     def _publish_metrics(self, telemetry: TelemetryCollector,
                          scheduler: MicroBatchScheduler,
-                         registry: MetricsRegistry) -> None:
+                         registry: MetricsRegistry,
+                         faults_active: bool = False) -> None:
         """Bulk post-run publication under ``serve.engine.*`` /
-        ``serve.scheduler.*`` (docs/observability.md).  Deliberately not
+        ``serve.scheduler.*`` — plus ``serve.faults.*`` when a fault plan
+        was supplied (docs/observability.md).  Deliberately not
         per-event: one vectorized ``observe_many`` per histogram keeps the
         instrumented hot loop indistinguishable from the bare one."""
         eng = "serve.engine"
@@ -355,6 +579,41 @@ class ServingEngine:
                          128.0, 256.0),
                 help="queue depth at engine events"
                 ).observe_many([d for _, d in telemetry.queue_samples])
+        if faults_active:
+            flt = "serve.faults"
+            by_kind = {"chip-kill": 0, "straggler": 0, "cache-wipe": 0}
+            for event in telemetry.fault_events:
+                kind = event.get("kind")
+                if kind in by_kind:
+                    by_kind[kind] += 1
+            registry.counter(f"{flt}.injected",
+                             help="fault events applied to the run"
+                             ).inc(len(telemetry.fault_events))
+            registry.counter(f"{flt}.chip_kills",
+                             help="chip-kill events applied"
+                             ).inc(by_kind["chip-kill"])
+            registry.counter(f"{flt}.stragglers",
+                             help="straggler events applied"
+                             ).inc(by_kind["straggler"])
+            registry.counter(f"{flt}.cache_wipes",
+                             help="cache-wipe events applied"
+                             ).inc(by_kind["cache-wipe"])
+            registry.counter(f"{flt}.retries",
+                             help="in-flight requests requeued by failover"
+                             ).inc(telemetry.num_retried)
+            registry.counter(f"{flt}.failovers",
+                             help="chip kills survived by re-routing to "
+                                  "replicas"
+                             ).inc(telemetry.num_failovers)
+            registry.counter(f"{flt}.unrecoverable",
+                             help="requests lost to faults (counted "
+                                  "against availability)"
+                             ).inc(telemetry.num_failed)
+            registry.gauge(f"{flt}.chips_lost",
+                           help="chips dead at end of run"
+                           ).set(sum(len(ex.chip_ids)
+                                     for ex in self.executors
+                                     if not ex.alive))
         scheduler.publish_metrics(registry)
 
     # ------------------------------------------------------------------

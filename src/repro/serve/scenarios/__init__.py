@@ -1,0 +1,57 @@
+"""repro.serve.scenarios — named load scenarios + fault injection.
+
+The serving stack's original load model was a single homogeneous Poisson
+trace.  Real PIM benchmarking work (Gomez-Luna et al., arXiv:2105.03814,
+arXiv:2110.01709) stresses that workload *diversity*, not peak numbers,
+characterizes a system — so this package provides:
+
+- :mod:`~repro.serve.scenarios.base` — the :class:`Scenario` contract:
+  seeded, reproducible trace generation via inhomogeneous-Poisson
+  inversion of a rate profile (``to_trace(n, rate, seed)``);
+- :mod:`~repro.serve.scenarios.catalog` — the built-in registry entries:
+  ``steady-poisson``, ``diurnal``, ``flash-crowd``, ``bursty-mmpp``,
+  ``multi-model-mix``;
+- :mod:`~repro.serve.scenarios.registry` — name -> scenario lookup
+  (``repro serve scenarios list`` renders it);
+- :mod:`~repro.serve.scenarios.faults` — the fault-spec grammar
+  (``chip-kill@t=0.5,straggler@t=0.2:factor=3``) and the timed
+  :class:`FaultPlan` the engine replays against the fleet.
+
+See docs/scenarios.md for the taxonomy, the fault grammar, and the
+failover semantics the engine implements.
+"""
+
+from .base import ProfileScenario, Scenario
+from .catalog import BUILTIN_SCENARIOS
+from .faults import (
+    DEFAULT_STRAGGLER_FACTOR,
+    FAULT_KINDS,
+    FaultEvent,
+    FaultPlan,
+    FaultSpecError,
+    ResolvedFault,
+    parse_faults,
+)
+from .registry import (
+    get_scenario,
+    list_scenarios,
+    register_scenario,
+    scenario_table,
+)
+
+__all__ = [
+    "Scenario",
+    "ProfileScenario",
+    "BUILTIN_SCENARIOS",
+    "register_scenario",
+    "get_scenario",
+    "list_scenarios",
+    "scenario_table",
+    "FAULT_KINDS",
+    "DEFAULT_STRAGGLER_FACTOR",
+    "FaultSpecError",
+    "FaultEvent",
+    "ResolvedFault",
+    "FaultPlan",
+    "parse_faults",
+]

@@ -83,6 +83,28 @@ class ShardPlan:
     def chips_used(self) -> int:
         return self.chips_per_replica * self.num_replicas
 
+    def replica_groups(self) -> Tuple[Tuple[int, ...], ...]:
+        """Chip ids per replica group, in replica order.
+
+        This is the placement contract the engine's executors and the
+        fault-injection layer share: chip ``k`` belongs to replica
+        ``k // chips_per_replica``, so a chip failure takes down exactly
+        one replica group and the survivors keep serving.
+        """
+        groups = []
+        chip = 0
+        for _ in range(self.num_replicas):
+            groups.append(tuple(range(chip, chip + self.chips_per_replica)))
+            chip += self.chips_per_replica
+        return tuple(groups)
+
+    def replica_of_chip(self, chip_id: int) -> Optional[int]:
+        """The replica group owning ``chip_id`` (None for a provisioned
+        chip outside every group — replication remainders)."""
+        if 0 <= chip_id < self.chips_used:
+            return chip_id // self.chips_per_replica
+        return None
+
     def summary(self) -> str:
         shard_text = ", ".join(
             f"chip{s.chip_index}:{len(s.layer_names)}L/{s.num_tiles}T"

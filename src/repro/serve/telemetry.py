@@ -33,6 +33,7 @@ class RequestRecord:
     chip_ids: Tuple[int, ...]
     batch_size: int
     priority: int = 0
+    model: str = ""
 
     @property
     def latency_ms(self) -> float:
@@ -55,6 +56,9 @@ class TelemetryCollector:
         self.num_chips = num_chips
         self.records: List[RequestRecord] = []
         self.rejected: List[int] = []
+        self.failed: List[int] = []
+        self.retried: List[int] = []
+        self.fault_events: List[Dict] = []
         self.queue_samples: List[Tuple[float, int]] = []
         self.chip_busy_ms: Dict[int, float] = {c: 0.0 for c in range(num_chips)}
         self.batch_sizes: List[int] = []
@@ -66,6 +70,28 @@ class TelemetryCollector:
     def record_rejection(self, request_id: int) -> None:
         """A request shed because the bounded queue was full."""
         self.rejected.append(request_id)
+
+    def record_failure(self, request_id: int) -> None:
+        """A request lost to a fault and not recoverable (already
+        retried once, retry queue full, or the whole fleet is down) —
+        counts against availability exactly like a shed request."""
+        self.failed.append(request_id)
+
+    def record_retry(self, request_id: int) -> None:
+        """An in-flight request pulled off a failed replica and
+        requeued onto the survivors (at most once per request)."""
+        self.retried.append(request_id)
+
+    def record_fault(self, event: Dict) -> None:
+        """One applied fault event (kind, firing time, and its failover
+        outcome — see :meth:`repro.serve.engine.ServingEngine.serve`)."""
+        self.fault_events.append(event)
+
+    def drop_records(self, records: List[RequestRecord]) -> None:
+        """Retract completion records for requests that were in flight
+        on a failed replica — their images never made it out."""
+        doomed = set(id(r) for r in records)
+        self.records = [r for r in self.records if id(r) not in doomed]
 
     def record_queue_depth(self, now_ms: float, depth: int) -> None:
         self.queue_samples.append((now_ms, depth))
@@ -85,6 +111,20 @@ class TelemetryCollector:
     @property
     def num_rejected(self) -> int:
         return len(self.rejected)
+
+    @property
+    def num_failed(self) -> int:
+        return len(self.failed)
+
+    @property
+    def num_retried(self) -> int:
+        return len(self.retried)
+
+    @property
+    def num_failovers(self) -> int:
+        """Chip-kill events survived by re-routing onto live replicas."""
+        return sum(1 for e in self.fault_events
+                   if e.get("kind") == "chip-kill" and e.get("failover"))
 
     @property
     def makespan_ms(self) -> float:
@@ -131,9 +171,10 @@ class TelemetryCollector:
         return float(np.mean([r.latency_ms for r in self.records]))
 
     def availability(self) -> float:
-        """Fraction of offered requests that completed (shed requests
-        count against it); NaN when the run saw no traffic."""
-        offered = self.num_completed + self.num_rejected
+        """Fraction of offered requests that completed (shed *and*
+        fault-lost requests count against it); NaN when the run saw no
+        traffic."""
+        offered = self.num_completed + self.num_rejected + self.num_failed
         if offered == 0:
             return float("nan")
         return self.num_completed / offered
@@ -231,6 +272,10 @@ class TelemetryCollector:
         out = {
             "completed": float(self.num_completed),
             "rejected": float(self.num_rejected),
+            "failed": float(self.num_failed),
+            "retries": float(self.num_retried),
+            "failovers": float(self.num_failovers),
+            "fault_events": float(len(self.fault_events)),
             "availability": self.availability(),
             "makespan_ms": self.makespan_ms,
             "throughput_fps": self.throughput_fps(),
@@ -275,6 +320,9 @@ class TelemetryCollector:
         load = Table(["metric", "value"], title="load")
         load.add_row("completed", self.num_completed)
         load.add_row("rejected", self.num_rejected)
+        if self.fault_events or self.failed or self.retried:
+            load.add_row("failed (faults)", self.num_failed)
+            load.add_row("retried (failover)", self.num_retried)
         load.add_row("throughput (req/s)", self.throughput_fps())
         load.add_row("mean batch size", self.mean_batch_size())
         load.add_row("mean queue depth", self.mean_queue_depth())
@@ -286,6 +334,14 @@ class TelemetryCollector:
             chips.add_row(chip, self.chip_busy_ms.get(chip, 0.0), util)
 
         sections = [latency.render(), load.render(), chips.render()]
+        if self.fault_events:
+            faults = Table(["t_ms", "fault", "outcome"],
+                           title="injected faults")
+            for event in self.fault_events:
+                faults.add_row(event.get("at_ms", float("nan")),
+                               event.get("label", event.get("kind", "?")),
+                               event.get("outcome", ""))
+            sections.append(faults.render())
         saturated = self.saturated_chips()
         if saturated:
             sections.append(

@@ -33,11 +33,18 @@ class Request:
     priority:
         Larger = more urgent; only consulted by the ``"priority"``
         scheduling policy.
+    model:
+        Model class tag for multi-model request mixes (see
+        :mod:`repro.serve.scenarios`); empty for single-model traces.
+        Pure accounting today — the engine serves whatever deployment
+        it holds — but it round-trips through trace files so recorded
+        mixes replay faithfully.
     """
 
     request_id: int
     arrival_ms: float
     priority: int = 0
+    model: str = ""
 
     def __post_init__(self):
         if self.arrival_ms < 0:
@@ -74,10 +81,15 @@ def save_trace(requests: Sequence[Request], path: Union[str, Path]) -> None:
     """Write a trace as JSON (``{"requests": [...]}``)."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    payload: Dict = {"requests": [
-        {"id": r.request_id, "arrival_ms": r.arrival_ms,
-         "priority": r.priority}
-        for r in requests]}
+
+    def entry(r: Request) -> Dict:
+        out = {"id": r.request_id, "arrival_ms": r.arrival_ms,
+               "priority": r.priority}
+        if r.model:
+            out["model"] = r.model
+        return out
+
+    payload: Dict = {"requests": [entry(r) for r in requests]}
     path.write_text(json.dumps(payload, indent=2))
 
 
@@ -86,6 +98,7 @@ def load_trace(path: Union[str, Path]) -> List[Request]:
     payload = json.loads(Path(path).read_text())
     requests = [Request(request_id=int(entry["id"]),
                         arrival_ms=float(entry["arrival_ms"]),
-                        priority=int(entry.get("priority", 0)))
+                        priority=int(entry.get("priority", 0)),
+                        model=str(entry.get("model", "")))
                 for entry in payload["requests"]]
     return sorted(requests, key=lambda r: (r.arrival_ms, r.request_id))

@@ -148,3 +148,60 @@ class TestFromSearch:
         assert main(base + ["--export-manifest",
                             str(tmp_path / "d.json")]) == 2
         assert "ambiguous in A/B" in capsys.readouterr().err
+
+
+class TestScenarioFlags:
+    def test_scenarios_list(self, capsys):
+        assert main(["serve", "scenarios", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("steady-poisson", "flash-crowd", "diurnal",
+                     "bursty-mmpp", "multi-model-mix"):
+            assert name in out
+
+    def test_scenario_run_with_faults_reports_availability(self, capsys):
+        assert main(["serve", "--scenario", "flash-crowd",
+                     "--faults", "chip-kill@t=0.5", "--seed", "7",
+                     "--num-requests", "200", "--json"]) == 0
+        out = capsys.readouterr().out
+        assert "scenario 'flash-crowd'" in out
+        assert "fault plan: chip-kill@t=0.5" in out
+        assert "injected faults" in out
+        summary = json.loads(out[out.index("{"):])
+        assert summary["fault_events"] == 1.0
+        assert summary["availability"] is not None
+        assert summary["availability"] <= 1.0
+
+    def test_same_seed_scenario_runs_identically(self, capsys):
+        argv = ["serve", "--scenario", "bursty-mmpp", "--seed", "3",
+                "--num-requests", "150", "--json"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert first[first.index("{"):] == second[second.index("{"):]
+
+    def test_unknown_scenario_fails_cleanly(self, capsys):
+        assert main(["serve", "--scenario", "nope"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_bad_fault_spec_fails_before_compile(self, capsys):
+        assert main(["serve", "--faults", "meteor@t=0.5"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown fault kind" in err
+
+    def test_scenario_conflicts_with_recorded_trace(self, tmp_path, capsys):
+        path = tmp_path / "trace.json"
+        save_trace(synthetic_trace(10, 100.0, seed=0), path)
+        assert main(["serve", "--scenario", "diurnal",
+                     "--requests", str(path)]) == 2
+        assert "exactly one workload source" in capsys.readouterr().err
+
+    def test_ab_accepts_scenario_and_faults(self, search_result, capsys):
+        assert main(["serve", "--from-search", search_result,
+                     "--policy", "latency-opt", "--ab-policy", "energy-opt",
+                     "--scenario", "diurnal",
+                     "--faults", "straggler@t=0.2:factor=2",
+                     "--num-requests", "80", "--json"]) == 0
+        out = capsys.readouterr().out
+        rows = json.loads(out[out.index("[\n"):])
+        assert all("availability" in row for row in rows)

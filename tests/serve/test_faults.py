@@ -1,0 +1,280 @@
+"""Fault-injection tests: spec parsing, engine failover, accounting.
+
+The failover invariant under test throughout: every offered request is
+accounted for exactly once (completed + rejected + failed == offered),
+an in-flight request on a killed replica is retried at most once, and
+the no-fault path stays numerically identical to a run with no plan.
+"""
+
+import pytest
+
+from repro.core.designer import build_deployments, uniform_assignment
+from repro.models.specs import resnet18_spec
+from repro.obs.export import prometheus_text
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
+from repro.obs.validate import validate_prometheus
+from repro.pim.simulator import simulate_network
+from repro.serve.engine import ServingConfig, ServingEngine
+from repro.serve.scenarios.faults import (
+    DEFAULT_STRAGGLER_FACTOR,
+    FaultEvent,
+    FaultPlan,
+    FaultSpecError,
+    parse_faults,
+)
+from repro.serve.scheduler import SchedulerConfig
+from repro.serve.trace import synthetic_trace
+
+
+@pytest.fixture(scope="module")
+def report():
+    spec = resnet18_spec()
+    deployments = build_deployments(spec, uniform_assignment(spec),
+                                    weight_bits=9, activation_bits=9,
+                                    use_wrapping=True)
+    return simulate_network(deployments)
+
+
+def make_engine(report, num_chips=2, **sched_kwargs):
+    return ServingEngine(report, ServingConfig(
+        num_chips=num_chips, scheduler=SchedulerConfig(**sched_kwargs)))
+
+
+def make_trace(report, num=300, load=0.7, seed=0, num_chips=2):
+    engine = make_engine(report, num_chips=num_chips)
+    rate = load * engine.plan.throughput_fps
+    return engine, synthetic_trace(num, rate_rps=rate, seed=seed)
+
+
+class TestParsing:
+    def test_single_event(self):
+        plan = parse_faults("chip-kill@t=0.5")
+        assert len(plan) == 1
+        event = plan.events[0]
+        assert event.kind == "chip-kill"
+        assert event.at == 0.5 and event.at_ms is None
+        assert event.chip == 0
+
+    def test_full_grammar(self):
+        plan = parse_faults("straggler@t=0.2:chip=1:factor=3:until=0.8,"
+                            "cache-wipe@t_ms=120:stall_ms=25,"
+                            "chip-kill@t=0.5:chip=1")
+        assert [e.kind for e in plan.events] == \
+            ["straggler", "cache-wipe", "chip-kill"]
+        straggler, wipe, kill = plan.events
+        assert straggler.factor == 3.0 and straggler.until == 0.8
+        assert wipe.at_ms == 120.0 and wipe.stall_ms == 25.0
+        assert kill.chip == 1
+
+    def test_default_straggler_factor(self):
+        plan = parse_faults("straggler@t=0.1")
+        assert plan.events[0].factor == DEFAULT_STRAGGLER_FACTOR
+
+    @pytest.mark.parametrize("bad, match", [
+        ("", "empty fault spec"),
+        ("chip-kill@t=0.5,", "stray comma"),
+        ("meteor@t=0.5", "unknown fault kind"),
+        ("chip-kill", "missing @t="),
+        ("chip-kill@chip=1", "needs t= or t_ms="),
+        ("chip-kill@t=0.5:factor=2", "does not take"),
+        ("chip-kill@t=abc", "not a number"),
+        ("chip-kill@t=0.5:t_ms=10", "exactly one of t / t_ms"),
+        ("straggler@t=0.2:factor=0.5", "factor must be > 1"),
+        ("straggler@t=0.2:until=0.2:until_ms=5", "exclusive"),
+        ("cache-wipe@t=0.2:stall_ms=0", "stall_ms must be > 0"),
+        ("chip-kill@t=0.5:chip=1:chip=2", "duplicate option"),
+    ])
+    def test_rejects_bad_specs(self, bad, match):
+        with pytest.raises(FaultSpecError, match=match):
+            parse_faults(bad)
+
+    def test_resolve_orders_and_scales(self):
+        plan = parse_faults("chip-kill@t=0.75,straggler@t=0.25:until=0.5")
+        schedule = plan.resolve(1000.0, 3000.0)
+        assert [f.kind for f in schedule] == ["straggler", "chip-kill"]
+        assert schedule[0].at_ms == pytest.approx(1500.0)
+        assert schedule[0].until_ms == pytest.approx(2000.0)
+        assert schedule[1].at_ms == pytest.approx(2500.0)
+
+    def test_resolve_rejects_inverted_window(self):
+        plan = FaultPlan([FaultEvent(kind="straggler", at=0.5,
+                                     until_ms=1.0)])
+        with pytest.raises(FaultSpecError, match="must come after"):
+            plan.resolve(1000.0, 3000.0)
+
+    def test_fraction_past_one_is_legal(self):
+        schedule = parse_faults("chip-kill@t=1.5").resolve(0.0, 1000.0)
+        assert schedule[0].at_ms == pytest.approx(1500.0)
+
+    def test_plan_is_always_truthy(self):
+        assert FaultPlan([])
+        assert parse_faults("chip-kill@t=0.5")
+        assert len(FaultPlan([])) == 0
+
+    def test_describe_round_trips_spec(self):
+        spec = "chip-kill@t=0.5 chip=1"
+        assert parse_faults("chip-kill@t=0.5:chip=1").describe() == spec
+
+
+class TestFailover:
+    def test_empty_plan_matches_no_plan_exactly(self, report):
+        engine, trace = make_trace(report)
+        plain = engine.serve(trace)
+        planned = engine.serve(trace, faults=FaultPlan([]))
+        assert plain.summary() == planned.summary()
+
+    def test_chip_kill_accounts_for_every_request(self, report):
+        engine, trace = make_trace(report)
+        telemetry = engine.serve(trace, faults="chip-kill@t=0.5")
+        offered = len(trace)
+        assert telemetry.num_completed + telemetry.num_rejected \
+            + telemetry.num_failed == offered
+        assert telemetry.num_failovers == 1
+        assert telemetry.availability() <= 1.0
+        # The dead replica's chips stop accumulating busy time.
+        event = telemetry.fault_events[0]
+        assert event["kind"] == "chip-kill"
+        assert event["failover"] is True
+
+    def test_chip_kill_is_deterministic(self, report):
+        engine, trace = make_trace(report)
+        a = engine.serve(trace, faults="chip-kill@t=0.5")
+        b = engine.serve(trace, faults="chip-kill@t=0.5")
+        assert a.summary() == b.summary()
+
+    def test_retried_requests_complete_on_survivor(self, report):
+        engine, trace = make_trace(report)
+        telemetry = engine.serve(trace, faults="chip-kill@t=0.5")
+        survivor = engine.executors[1].chip_ids
+        retried = set(telemetry.retried)
+        assert retried
+        finished = {r.request_id: r for r in telemetry.records}
+        for request_id in retried:
+            if request_id in finished:
+                assert finished[request_id].chip_ids == survivor
+
+    def test_double_kill_fails_everything_in_flight(self, report):
+        engine, trace = make_trace(report)
+        telemetry = engine.serve(
+            trace, faults="chip-kill@t=0.3,chip-kill@t=0.5:chip=1")
+        assert telemetry.num_failed > 0
+        assert telemetry.availability() < 1.0
+        assert telemetry.num_completed + telemetry.num_rejected \
+            + telemetry.num_failed == len(trace)
+        # Second kill had no survivors: not a failover.
+        assert telemetry.num_failovers == 1
+
+    def test_straggler_degrades_then_recovers(self, report):
+        engine, trace = make_trace(report, load=0.5)
+        healthy = engine.serve(trace)
+        slowed = engine.serve(
+            trace, faults="straggler@t=0.1:chip=1:factor=6:until=0.6")
+        assert slowed.latency_percentile(99.0) \
+            > healthy.latency_percentile(99.0)
+        assert slowed.num_completed + slowed.num_rejected \
+            + slowed.num_failed == len(trace)
+
+    def test_cache_wipe_stalls_next_dispatch(self, report):
+        engine, trace = make_trace(report, load=0.5)
+        healthy = engine.serve(trace)
+        wiped = engine.serve(trace, faults="cache-wipe@t=0.5:stall_ms=40")
+        assert wiped.mean_latency_ms() > healthy.mean_latency_ms()
+        assert wiped.fault_events[0]["stall_ms"] == 40.0
+
+    def test_kill_during_drain_still_retracts_inflight(self, report):
+        # A fraction > 1 fires after the last arrival; in-flight batches
+        # must still be failed over, not silently kept.
+        engine, trace = make_trace(report, num=80, load=3.0)
+        telemetry = engine.serve(trace, faults="chip-kill@t=1.0")
+        assert telemetry.num_completed + telemetry.num_rejected \
+            + telemetry.num_failed == len(trace)
+
+    def test_single_replica_kill_is_total_outage(self, report):
+        engine, trace = make_trace(report, num_chips=1, num=150)
+        telemetry = engine.serve(trace, faults="chip-kill@t=0.5")
+        assert telemetry.num_failovers == 0
+        assert telemetry.availability() < 1.0
+        assert telemetry.num_completed + telemetry.num_rejected \
+            + telemetry.num_failed == len(trace)
+
+    def test_unknown_chip_is_noop(self, report):
+        engine, trace = make_trace(report)
+        telemetry = engine.serve(trace, faults="chip-kill@t=0.5:chip=99")
+        assert telemetry.num_failed == 0
+        assert telemetry.availability() == 1.0
+        assert "no-op" in telemetry.fault_events[0]["outcome"]
+
+
+class TestFaultObservability:
+    def test_metrics_published_and_consistent(self, report):
+        engine, trace = make_trace(report)
+        registry = MetricsRegistry()
+        engine.serve(trace, metrics=registry,
+                     faults="chip-kill@t=0.5,cache-wipe@t=0.2")
+        text = prometheus_text(registry)
+        assert "serve_faults_injected 2" in text
+        assert "serve_faults_chip_kills 1" in text
+        assert "serve_faults_cache_wipes 1" in text
+        assert "serve_faults_failovers 1" in text
+        assert "serve_faults_chips_lost 1" in text
+        assert validate_prometheus(text) == []
+
+    def test_no_fault_metrics_without_plan(self, report):
+        engine, trace = make_trace(report)
+        registry = MetricsRegistry()
+        engine.serve(trace, metrics=registry)
+        assert "serve_faults" not in prometheus_text(registry)
+
+    def test_failover_span_emitted(self, report):
+        engine, trace = make_trace(report)
+        tracer = Tracer()
+        engine.serve(trace, tracer=tracer, faults="chip-kill@t=0.5")
+        spans = [s for s in tracer.spans
+                 if s.category == "serve.failover"]
+        assert len(spans) == 1
+        span = spans[0]
+        assert span.name == "failover" and span.track == "faults"
+        assert span.end_ms >= span.start_ms
+        assert span.args["requeued"] > 0
+
+    def test_validator_flags_inconsistent_fault_counters(self):
+        bad = "\n".join([
+            "# TYPE serve_faults_injected counter",
+            "serve_faults_injected 3",
+            "# TYPE serve_faults_chip_kills counter",
+            "serve_faults_chip_kills 1",
+            "# TYPE serve_faults_stragglers counter",
+            "serve_faults_stragglers 0",
+            "# TYPE serve_faults_cache_wipes counter",
+            "serve_faults_cache_wipes 0",
+            "",
+        ])
+        problems = validate_prometheus(bad)
+        assert any("sum of per-kind" in p for p in problems)
+
+    def test_validator_flags_missing_kind_counters(self):
+        bad = "\n".join([
+            "# TYPE serve_faults_injected counter",
+            "serve_faults_injected 1",
+            "",
+        ])
+        problems = validate_prometheus(bad)
+        assert any("per-kind counter" in p for p in problems)
+
+    def test_validator_flags_failovers_exceeding_kills(self):
+        bad = "\n".join([
+            "# TYPE serve_faults_injected counter",
+            "serve_faults_injected 1",
+            "# TYPE serve_faults_chip_kills counter",
+            "serve_faults_chip_kills 1",
+            "# TYPE serve_faults_stragglers counter",
+            "serve_faults_stragglers 0",
+            "# TYPE serve_faults_cache_wipes counter",
+            "serve_faults_cache_wipes 0",
+            "# TYPE serve_faults_failovers counter",
+            "serve_faults_failovers 2",
+            "",
+        ])
+        problems = validate_prometheus(bad)
+        assert any("failover without a kill" in p for p in problems)
