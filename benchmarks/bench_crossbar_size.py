@@ -48,7 +48,7 @@ def test_crossbar_size_sweep(benchmark):
               f"lat={epim.latency_ms:6.1f}ms")
 
     # epitome compresses crossbars at every array size
-    for size, (base, epim) in rows.items():
+    for _size, (base, epim) in rows.items():
         assert epim.num_crossbars < base.num_crossbars
     # smaller arrays fragment less -> utilization no worse
     assert rows[128][0].utilization >= rows[512][0].utilization - 1e-9

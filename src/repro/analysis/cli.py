@@ -12,6 +12,7 @@ Usage::
     python -m repro serve [...]        # serving runtime (repro.serve.cli)
     python -m repro bench [...]        # benchmark harness (repro.bench.cli)
     python -m repro obs [...]          # trace/metrics artifacts (repro.obs.cli)
+    python -m repro lint [...]         # static analysis (repro.lint.cli)
 
 ``--preset`` controls the accuracy-side cost (smoke | default | full); the
 hardware columns are always exact.  ``--no-accuracy`` skips training
@@ -27,6 +28,7 @@ from typing import List, Optional
 from .accuracy import PRESETS
 from .experiments import run_figure3, run_figure4, run_table1, run_table2, run_table3
 from ..bench.cli import add_bench_parser, run_bench
+from ..lint.cli import add_lint_parser, run_lint_cli
 from ..obs.cli import add_obs_parser, run_obs
 from ..search.cli import add_search_parser, run_search_cli
 from ..serve.cli import add_serve_parser, run_serve
@@ -76,6 +78,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_serve_parser(sub)
     add_bench_parser(sub)
     add_obs_parser(sub)
+    add_lint_parser(sub)
     return parser
 
 
@@ -107,6 +110,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return run_bench(args)
     elif args.command == "obs":
         return run_obs(args)
+    elif args.command == "lint":
+        return run_lint_cli(args)
     return 0
 
 

@@ -114,7 +114,7 @@ def overhead_factory(fast: bool) -> Workload:
         # budget itself; a genuine regression shows up in every
         # attempt, so retrying twice keeps the gate sharp without
         # making it flaky.
-        for attempt in range(3):
+        for _attempt in range(3):
             result = measure_overhead(num_requests, passes)
             if result["overhead_pct"] < OVERHEAD_BUDGET_PCT:
                 break

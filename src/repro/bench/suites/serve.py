@@ -315,7 +315,7 @@ def scenario_replay_factory(fast: bool) -> Workload:
         # Same retry discipline as obs.overhead: a shared-machine noise
         # spike can exceed the budget on its own; a real regression
         # fails all three attempts.
-        for attempt in range(3):
+        for _attempt in range(3):
             result = measure_scenario_overhead(num_requests, passes)
             if result["overhead_pct"] < SCENARIO_OVERHEAD_BUDGET_PCT:
                 break

@@ -1,0 +1,43 @@
+"""Project-aware static analysis: ``python -m repro lint``.
+
+``repro.lint`` machine-checks the contracts the rest of the repo only
+promises at runtime:
+
+- **D-rules (determinism)** — no module-global RNG, no unseeded
+  ``default_rng()``, no wall-clock reads or unordered-``set`` iteration
+  inside the deterministic subsystems (``pim``, ``serve``, ``search``).
+- **M-rules (metrics/spans)** — every ``counter()/gauge()/histogram()``
+  name and ``span()/record()`` category must parse against the
+  namespace grammar and appear in the checked-in manifest
+  (``docs/metrics-manifest.json``), which is itself cross-checked
+  against ``docs/observability.md``.  A metric typo fails CI instead of
+  silently vanishing from a dashboard.
+- **H-rules (hot-loop hygiene)** — inside ``# reprolint: hot-loop``
+  regions, no per-iteration allocations, no per-event tracer/metric
+  calls, no f-string logging.
+- **C-rules (contracts)** — ``@benchmark`` factories must declare work
+  (``items=``/``counters=``); CLI flags referenced in docs must exist.
+
+Findings can be suppressed inline (``# reprolint: disable=RULE``) or
+carried in a reviewed baseline file (``lint-baseline.json``).  The rule
+catalog and suppression policy live in ``docs/static-analysis.md``.
+"""
+
+from .baseline import Baseline
+from .config import LintConfig
+from .engine import LintResult, run_lint
+from .findings import Finding
+from .manifest import MetricsManifest, generate_manifest
+from .rules import RULES, all_rule_ids
+
+__all__ = [
+    "Baseline",
+    "Finding",
+    "LintConfig",
+    "LintResult",
+    "MetricsManifest",
+    "RULES",
+    "all_rule_ids",
+    "generate_manifest",
+    "run_lint",
+]

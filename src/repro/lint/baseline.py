@@ -1,0 +1,71 @@
+"""The reviewed-findings baseline.
+
+A baseline entry grandfathers one existing finding (by its
+line-number-independent fingerprint, see :mod:`repro.lint.findings`)
+so the gate can be turned on hard without first fixing the world.  The
+contract:
+
+- a finding whose fingerprint is baselined is reported as *baselined*
+  and does not fail the run;
+- ``--update-baseline`` rewrites the file from the current findings —
+  which also *prunes* entries whose violation has been fixed, so the
+  baseline only ever shrinks unless someone deliberately re-runs the
+  update after introducing a violation (visible in review: the file is
+  checked in);
+- an empty baseline file and a missing baseline file are equivalent.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List
+
+from .findings import Finding
+
+__all__ = ["Baseline"]
+
+BASELINE_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """fingerprint -> recorded entry (rule/path kept for human review)."""
+
+    entries: Dict[str, dict] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        path = Path(path)
+        if not path.exists():
+            return cls()
+        payload = json.loads(path.read_text())
+        if payload.get("version") != BASELINE_VERSION:
+            raise ValueError(
+                f"baseline {path} has version {payload.get('version')!r}, "
+                f"expected {BASELINE_VERSION}")
+        return cls(entries={e["fingerprint"]: e
+                            for e in payload.get("findings", ())})
+
+    def write(self, path: Path) -> Path:
+        path = Path(path)
+        ordered = sorted(self.entries.values(),
+                         key=lambda e: (e["path"], e["rule"],
+                                        e["fingerprint"]))
+        payload = {"version": BASELINE_VERSION, "findings": ordered}
+        path.write_text(json.dumps(payload, indent=2) + "\n")
+        return path
+
+    @classmethod
+    def from_findings(cls, findings: List[Finding]) -> "Baseline":
+        return cls(entries={
+            f.fingerprint: {"fingerprint": f.fingerprint, "rule": f.rule,
+                            "path": f.path, "message": f.message}
+            for f in findings})
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self.entries
+
+    def __len__(self) -> int:
+        return len(self.entries)

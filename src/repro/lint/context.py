@@ -1,0 +1,290 @@
+"""Per-file and per-project analysis context shared by every rule.
+
+One :class:`FileContext` is built per Python file: the parsed AST with
+a parent map, an import-alias map (so ``np.random.default_rng`` and
+``from numpy.random import default_rng`` resolve to the same dotted
+name), the ``# reprolint:`` directives found by tokenizing comments
+(inline suppressions, file suppressions, hot-loop region markers), and
+a single-assignment string-constant resolver used to fold metric names
+like ``f"{eng}.requests_completed"`` where ``eng`` is a local constant.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Set, Tuple
+
+from .config import LintConfig
+
+__all__ = ["FileContext", "ProjectContext", "ImportMap", "HotRegion"]
+
+_DIRECTIVE = re.compile(r"#\s*reprolint:\s*(.+?)\s*$")
+_HOT_NODE_TYPES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.For,
+                   ast.While)
+
+
+class ImportMap:
+    """Resolve local names to the dotted module paths they alias.
+
+    ``import numpy as np``            -> ``np``  maps to ``numpy``
+    ``from numpy.random import rand`` -> ``rand`` maps to ``numpy.random.rand``
+    ``resolve(node)`` walks an ``ast.Attribute``/``ast.Name`` chain and
+    returns the fully-qualified dotted name, or ``None`` when the base
+    is not an import (a local variable, an attribute of ``self``, ...).
+    """
+
+    def __init__(self, tree: ast.AST):
+        self._aliases: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else \
+                        alias.name.split(".")[0]
+                    self._aliases[local] = target
+            elif isinstance(node, ast.ImportFrom) and node.module \
+                    and node.level == 0:
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    self._aliases[local] = f"{node.module}.{alias.name}"
+
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        parts: List[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        base = self._aliases.get(node.id)
+        if base is None:
+            return None
+        return ".".join([base] + list(reversed(parts)))
+
+
+@dataclass(frozen=True)
+class HotRegion:
+    """A ``# reprolint: hot-loop`` marked statement's line range."""
+
+    start: int
+    end: int
+
+    def __contains__(self, line: int) -> bool:
+        return self.start <= line <= self.end
+
+
+def _scan_comments(source: str) -> List[Tuple[int, str]]:
+    """``(line, directive)`` pairs for every ``# reprolint:`` comment."""
+    out: List[Tuple[int, str]] = []
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type == tokenize.COMMENT:
+                match = _DIRECTIVE.search(tok.string)
+                if match:
+                    out.append((tok.start[0], match.group(1)))
+    except (tokenize.TokenError, IndentationError):
+        pass
+    return out
+
+
+class FileContext:
+    """Everything the per-file rules need about one source file."""
+
+    def __init__(self, path: Path, relpath: str, source: str,
+                 tree: ast.Module, config: LintConfig,
+                 project: "ProjectContext"):
+        self.path = path
+        self.relpath = relpath
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = tree
+        self.config = config
+        self.project = project
+        self.imports = ImportMap(tree)
+        self.parents: Dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(tree):
+            for child in ast.iter_child_nodes(parent):
+                self.parents[child] = parent
+        parts = Path(relpath).parts
+        self.deterministic = any(p in config.deterministic_parts
+                                 for p in parts)
+        # ---- reprolint directives -----------------------------------
+        self.suppressed_lines: Dict[int, Set[str]] = {}
+        self.suppressed_file: Set[str] = set()
+        self.hot_regions: List[HotRegion] = []
+        self.dangling_markers: List[int] = []
+        hot_candidates = {
+            node.lineno: node for node in ast.walk(tree)
+            if isinstance(node, _HOT_NODE_TYPES)}
+        for line, raw in _scan_comments(source):
+            # Trailing free text after the directive token is welcome
+            # (e.g. "hot-loop -- scheduler drain path").
+            directive = raw.split()[0] if raw.split() else ""
+            if directive.startswith("disable-file="):
+                self.suppressed_file |= _parse_rules(
+                    directive[len("disable-file="):])
+            elif directive.startswith("disable="):
+                rules = _parse_rules(directive[len("disable="):])
+                self.suppressed_lines.setdefault(line, set()).update(rules)
+            elif directive == "hot-loop":
+                # Marker on the statement's own line, or alone on the
+                # line above it.
+                node = hot_candidates.get(line) or hot_candidates.get(
+                    line + 1)
+                if node is None:
+                    self.dangling_markers.append(line)
+                else:
+                    self.hot_regions.append(
+                        HotRegion(node.lineno, node.end_lineno or
+                                  node.lineno))
+        # ---- single-assignment string constants ---------------------
+        # name -> value for Names assigned exactly once to a str
+        # literal within each scope (module or function).  Used to fold
+        # f-string metric names; anything fancier stays unresolved.
+        self._scope_constants: Dict[Optional[ast.AST], Dict[str, str]] = {}
+        self._collect_constants(tree, None)
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._collect_constants(node, node)
+
+    # ---- helpers ----------------------------------------------------
+    def _collect_constants(self, scope_node: ast.AST,
+                           key: Optional[ast.AST]) -> None:
+        counts: Dict[str, int] = {}
+        values: Dict[str, str] = {}
+
+        def visit(node: ast.AST, top: bool = False) -> None:
+            if not top and isinstance(
+                    node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                           ast.ClassDef, ast.Lambda)):
+                return      # nested scope: different namespace
+            if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                    and isinstance(node.targets[0], ast.Name) \
+                    and isinstance(node.value, ast.Constant) \
+                    and isinstance(node.value.value, str):
+                name = node.targets[0].id
+                counts[name] = counts.get(name, 0) + 1
+                values[name] = node.value.value
+                return      # target/value need no further scanning
+            else:
+                # Any other binding of a name disqualifies it.
+                if isinstance(node, ast.Name) \
+                        and isinstance(node.ctx, ast.Store):
+                    counts[node.id] = counts.get(node.id, 0) + 2
+                for child in ast.iter_child_nodes(node):
+                    visit(child)
+
+        visit(scope_node, top=True)
+        self._scope_constants[key] = {
+            name: value for name, value in values.items()
+            if counts.get(name) == 1}
+
+    def enclosing_function(self, node: ast.AST) \
+            -> Optional[ast.AST]:
+        cursor = self.parents.get(node)
+        while cursor is not None:
+            if isinstance(cursor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return cursor
+            cursor = self.parents.get(cursor)
+        return None
+
+    def qualname(self, node: ast.AST) -> str:
+        """Dotted def/class chain enclosing ``node`` ("" at module level)."""
+        names: List[str] = []
+        cursor: Optional[ast.AST] = node
+        while cursor is not None:
+            if isinstance(cursor, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                   ast.ClassDef)):
+                names.append(cursor.name)
+            cursor = self.parents.get(cursor)
+        return ".".join(reversed(names))
+
+    def lookup_constant(self, node: ast.AST, name: str) -> Optional[str]:
+        fn = self.enclosing_function(node)
+        while True:
+            value = self._scope_constants.get(fn, {}).get(name)
+            if value is not None:
+                return value
+            if fn is None:
+                return None
+            fn = self.enclosing_function(fn)
+
+    def fold_string(self, node: ast.AST, origin: ast.AST) \
+            -> Tuple[Optional[str], Optional[str]]:
+        """Try to resolve ``node`` to a compile-time string.
+
+        Returns ``(value, prefix)``: ``value`` is the full string when
+        every part folds; otherwise ``prefix`` is the longest constant
+        *leading* run (used to match wildcard manifest entries such as
+        ``pim.simulator.*``).  ``(None, None)`` means nothing folded.
+        """
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            return node.value, None
+        if isinstance(node, ast.Name):
+            value = self.lookup_constant(origin, node.id)
+            return (value, None) if value is not None else (None, None)
+        if isinstance(node, ast.JoinedStr):
+            parts: List[Optional[str]] = []
+            for piece in node.values:
+                if isinstance(piece, ast.Constant) \
+                        and isinstance(piece.value, str):
+                    parts.append(piece.value)
+                elif isinstance(piece, ast.FormattedValue) \
+                        and piece.format_spec is None:
+                    folded, _ = self.fold_string(piece.value, origin)
+                    parts.append(folded)
+                else:
+                    parts.append(None)
+            if all(p is not None for p in parts):
+                return "".join(parts), None
+            prefix = ""
+            for p in parts:
+                if p is None:
+                    break
+                prefix += p
+            return None, (prefix or None)
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Add):
+            left, lpre = self.fold_string(node.left, origin)
+            right, _ = self.fold_string(node.right, origin)
+            if left is not None and right is not None:
+                return left + right, None
+            return None, (left or lpre)
+        return None, None
+
+    def source_line(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+    def in_hot_region(self, line: int) -> bool:
+        return any(line in region for region in self.hot_regions)
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        if rule in self.suppressed_file or "all" in self.suppressed_file:
+            return True
+        rules = self.suppressed_lines.get(line, ())
+        return rule in rules or "all" in rules
+
+
+def _parse_rules(spec: str) -> Set[str]:
+    return {token.strip() for token in spec.split(",") if token.strip()}
+
+
+@dataclass
+class ProjectContext:
+    """Cross-file state: the manifest contract plus what the per-file
+    metric scan actually observed (consumed by the project rules)."""
+
+    config: LintConfig
+    manifest: Optional[object] = None          # MetricsManifest | None
+    observed_metrics: Set[str] = field(default_factory=set)
+    observed_prefixes: Set[str] = field(default_factory=set)
+    observed_span_categories: Set[str] = field(default_factory=set)
+    files: List[FileContext] = field(default_factory=list)

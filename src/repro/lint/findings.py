@@ -1,0 +1,71 @@
+"""The lint finding record and its baseline fingerprint.
+
+A fingerprint identifies *what* is wrong, not *where on the page* it
+currently sits: it hashes the rule, the file, the enclosing symbol and
+the normalized source line — never the line number — so reformatting or
+adding code above a baselined finding does not invalidate the baseline.
+Identical findings on identical lines (e.g. a copy-pasted violation)
+are disambiguated by an occurrence index assigned in file order.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+__all__ = ["Finding", "assign_fingerprints"]
+
+
+@dataclass
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str               # e.g. "D101"
+    path: str               # repo-relative posix path
+    line: int               # 1-based
+    col: int                # 0-based (ast convention)
+    message: str
+    symbol: str = ""        # enclosing def/class qualname, "" at module level
+    source_line: str = ""   # stripped text of the offending line
+    fingerprint: str = field(default="", compare=False)
+
+    def as_dict(self) -> Dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "symbol": self.symbol,
+            "fingerprint": self.fingerprint,
+        }
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}"
+
+
+def _stable_key(finding: Finding) -> str:
+    normalized = " ".join(finding.source_line.split())
+    return "\x1f".join((finding.rule, finding.path, finding.symbol,
+                        normalized))
+
+
+def assign_fingerprints(findings: List[Finding]) -> List[Finding]:
+    """Stamp every finding with a line-number-independent fingerprint.
+
+    Findings sharing a stable key (same rule, file, symbol and source
+    text) get an occurrence suffix in (path, line, col) order, so the
+    n-th copy of a duplicated violation keeps the n-th fingerprint even
+    as the block moves around the file.
+    """
+    ordered = sorted(findings, key=lambda f: (f.path, f.line, f.col, f.rule))
+    seen: Dict[str, int] = {}
+    for finding in ordered:
+        key = _stable_key(finding)
+        index = seen.get(key, 0)
+        seen[key] = index + 1
+        digest = hashlib.sha256(
+            f"{key}\x1f{index}".encode("utf-8")).hexdigest()[:16]
+        finding.fingerprint = digest
+    return ordered

@@ -1,0 +1,160 @@
+"""The metrics manifest: the machine-checked metric-namespace contract.
+
+``docs/metrics-manifest.json`` is *generated* from the AST scan
+(``python -m repro lint --write-manifest``) and checked in.  Three
+parties are held together by it:
+
+- **Code**: every statically-resolvable ``counter()/gauge()/histogram()``
+  name must appear in the manifest (rule M202), and every manifest entry
+  must still be published somewhere (rule M205 flags stale entries).
+- **Docs**: every manifest name must be documented in
+  ``docs/observability.md`` and every metric name the doc's tables
+  mention must exist in the manifest (rule M204, both directions).
+- **Runtime**: ``tests/obs/test_manifest_roundtrip.py`` replays a
+  serve+search smoke and asserts the names published at runtime equal
+  the manifest.
+
+Dynamic names with a constant dotted prefix (``f"pim.simulator.{name}"``)
+are represented as wildcard entries (``pim.simulator.*``).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, List, Optional, Set, Tuple
+
+from .config import METRIC_NAME_RE, METRIC_ROOTS
+
+__all__ = ["MetricsManifest", "generate_manifest", "doc_metric_names"]
+
+MANIFEST_VERSION = 1
+
+# Backticked tokens in docs: full dotted names (optionally `prefix.*`)
+# and relative continuations like `.stragglers` that extend the
+# previous full name on the same line.
+_DOC_FULL = re.compile(
+    rf"`((?:{'|'.join(METRIC_ROOTS)})(?:\.[a-z][a-z0-9_]*)+(?:\.\*)?)`")
+_DOC_RELATIVE = re.compile(r"`((?:\.[a-z][a-z0-9_]*)+)`")
+
+
+@dataclass
+class MetricsManifest:
+    """Sorted metric names, wildcard families and span categories."""
+
+    metrics: List[str] = field(default_factory=list)
+    wildcards: List[str] = field(default_factory=list)     # "pim.simulator.*"
+    span_categories: List[str] = field(default_factory=list)
+
+    # ---- membership --------------------------------------------------
+    def covers_metric(self, name: str) -> bool:
+        return name in self._metric_set or self._wildcard_match(name)
+
+    def covers_prefix(self, prefix: str) -> bool:
+        """True when a wildcard family sanctions dynamic names starting
+        with ``prefix`` (the prefix must reach into the family)."""
+        return any(prefix.startswith(w[:-1]) for w in self.wildcards)
+
+    def covers_span_category(self, category: str) -> bool:
+        return category in set(self.span_categories)
+
+    def _wildcard_match(self, name: str) -> bool:
+        return any(name.startswith(w[:-1]) for w in self.wildcards)
+
+    @property
+    def _metric_set(self) -> Set[str]:
+        return set(self.metrics)
+
+    def all_names(self) -> List[str]:
+        return sorted(set(self.metrics) | set(self.wildcards))
+
+    # ---- io ----------------------------------------------------------
+    def as_dict(self) -> dict:
+        return {
+            "version": MANIFEST_VERSION,
+            "metrics": sorted(set(self.metrics)),
+            "wildcards": sorted(set(self.wildcards)),
+            "span_categories": sorted(set(self.span_categories)),
+        }
+
+    def write(self, path: Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.as_dict(), indent=2,
+                                   sort_keys=True) + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path: Path) -> "MetricsManifest":
+        payload = json.loads(Path(path).read_text())
+        if payload.get("version") != MANIFEST_VERSION:
+            raise ValueError(
+                f"manifest {path} has version {payload.get('version')!r}, "
+                f"expected {MANIFEST_VERSION}")
+        return cls(metrics=list(payload.get("metrics", ())),
+                   wildcards=list(payload.get("wildcards", ())),
+                   span_categories=list(payload.get("span_categories", ())))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MetricsManifest):
+            return NotImplemented
+        return self.as_dict() == other.as_dict()
+
+
+def generate_manifest(metrics: Iterable[str], prefixes: Iterable[str],
+                      span_categories: Iterable[str]) -> MetricsManifest:
+    """Build a manifest from the scan's observations.
+
+    ``prefixes`` are the constant leading runs of dynamic names; only
+    prefixes that end at a dot boundary below a valid family root
+    become wildcards (``"pim.simulator."`` -> ``"pim.simulator.*"``).
+    """
+    wildcards = sorted({
+        f"{prefix.rstrip('.')}.*" for prefix in prefixes
+        if prefix.endswith(".")
+        and METRIC_NAME_RE.match(prefix.rstrip(".") + ".x")})
+    return MetricsManifest(metrics=sorted(set(metrics)),
+                           wildcards=wildcards,
+                           span_categories=sorted(set(span_categories)))
+
+
+def doc_metric_names(text: str) -> Tuple[Set[str], Set[str], Set[str]]:
+    """Extract ``(names, wildcards, span_categories)`` from the doc.
+
+    Backticked dotted tokens with >= 3 segments are metric names (the
+    grammar requires subsystem.component.metric); 2-segment tokens are
+    span categories (``serve.request``) or benchmark names
+    (``obs.overhead``) and never metric names.  Handles the compact
+    table idiom where ``.relative`` tokens extend the most recent full
+    name on the same line: in a row naming ``serve.faults.chip_kills``
+    / ``.stragglers``, the relative token replaces the final
+    segment(s) of the previous full name.
+    """
+    names: Set[str] = set()
+    wildcards: Set[str] = set()
+    categories: Set[str] = set()
+    for line in text.splitlines():
+        last_full: Optional[str] = None
+        for match in re.finditer(r"`([^`]+)`", line):
+            token = match.group(1)
+            full = _DOC_FULL.fullmatch(f"`{token}`")
+            if full:
+                value = full.group(1)
+                if value.endswith(".*"):
+                    wildcards.add(value)
+                elif METRIC_NAME_RE.match(value):
+                    names.add(value)
+                    last_full = value
+                else:
+                    categories.add(value)
+                continue
+            relative = _DOC_RELATIVE.fullmatch(f"`{token}`")
+            if relative and last_full is not None:
+                rel_segments = relative.group(1).lstrip(".").split(".")
+                base = last_full.split(".")
+                if len(base) > len(rel_segments):
+                    names.add(".".join(base[:-len(rel_segments)]
+                                       + rel_segments))
+    return names, wildcards, categories

@@ -1,0 +1,103 @@
+"""C-rules: cross-artifact contracts.
+
+- **C401** — every ``@benchmark`` factory must *declare work*: the
+  :class:`~repro.bench.registry.Workload` it returns needs ``items=``
+  (throughput denominator) or ``counters=`` (work-counter sampler), the
+  evidence-of-work convention from PR 2.  A bare ``Workload(fn=...)``
+  times seconds with nothing to normalize them by.
+- **C402** — every ``--flag`` a doc mentions in backticks must be
+  defined by some ``add_argument`` call in the code trees (or be on the
+  configured external-tools allowlist).  Docs drift the moment a flag
+  is renamed; this makes the rename fail CI.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, Set
+
+from . import FileRule, ProjectRule, register
+from ..context import FileContext, ProjectContext
+from ..findings import Finding
+
+_DOC_FLAG = re.compile(r"`(--[a-z][a-z0-9-]*)")
+
+
+def _decorated_with_benchmark(node: ast.FunctionDef) -> bool:
+    for deco in node.decorator_list:
+        target = deco.func if isinstance(deco, ast.Call) else deco
+        name = target.attr if isinstance(target, ast.Attribute) \
+            else getattr(target, "id", "")
+        if name == "benchmark":
+            return True
+    return False
+
+
+@register
+class BenchmarkDeclaresWork(FileRule):
+    id = "C401"
+    name = "benchmark-declares-work"
+    summary = ("@benchmark factory returns a Workload without items= or "
+               "counters= — declare the work the timed region performs")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)) \
+                    or not _decorated_with_benchmark(node):
+                continue
+            for sub in ast.walk(node):
+                if isinstance(sub, ast.Call) and isinstance(
+                        sub.func, ast.Name) and sub.func.id == "Workload":
+                    kwargs = {kw.arg for kw in sub.keywords}
+                    if not {"items", "counters"} & kwargs \
+                            and len(sub.args) < 2:
+                        yield self.finding(
+                            ctx, sub.lineno, sub.col_offset,
+                            "Workload without items= or counters=: a "
+                            "benchmark must declare its work, not just "
+                            "its seconds", sub)
+
+
+@register
+class DocFlagExists(ProjectRule):
+    id = "C402"
+    name = "doc-flag-exists"
+    summary = ("doc references a `--flag` no add_argument call defines")
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        config = project.config
+        defined: Set[str] = set(config.external_flags)
+        for pattern in config.flag_source_globs:
+            for path in sorted(config.root.glob(pattern)):
+                try:
+                    tree = ast.parse(path.read_text())
+                except (SyntaxError, UnicodeDecodeError, OSError):
+                    continue
+                for node in ast.walk(tree):
+                    if isinstance(node, ast.Call) and isinstance(
+                            node.func, ast.Attribute) \
+                            and node.func.attr == "add_argument":
+                        for arg in node.args:
+                            if isinstance(arg, ast.Constant) \
+                                    and isinstance(arg.value, str) \
+                                    and arg.value.startswith("--"):
+                                defined.add(arg.value)
+        for pattern in config.doc_globs:
+            for path in sorted(config.root.glob(pattern)):
+                rel = path.relative_to(config.root).as_posix()
+                for lineno, line in enumerate(
+                        path.read_text().splitlines(), 1):
+                    for match in _DOC_FLAG.finditer(line):
+                        flag = match.group(1)
+                        if flag not in defined:
+                            yield Finding(
+                                rule=self.id, path=rel, line=lineno,
+                                col=match.start(),
+                                message=f"doc references {flag!r} but no "
+                                        f"add_argument call defines it "
+                                        f"(renamed? add it to "
+                                        f"external_flags if it belongs "
+                                        f"to another tool)",
+                                source_line=line.strip())

@@ -337,12 +337,18 @@ def mse_loss(pred: Tensor, target: Tensor) -> Tensor:
     return (diff * diff).mean()
 
 
+# Shared fallback stream for callers that pass no generator: seeded, so
+# an un-threaded training loop is still run-to-run reproducible, and
+# shared, so successive dropout() calls draw different masks.
+_FALLBACK_RNG = np.random.default_rng(0)
+
+
 def dropout(x: Tensor, p: float, training: bool,
             rng: Optional[np.random.Generator] = None) -> Tensor:
     """Inverted dropout; identity when not training or ``p == 0``."""
     if not training or p <= 0.0:
         return x
-    generator = rng if rng is not None else np.random.default_rng()
+    generator = rng if rng is not None else _FALLBACK_RNG
     mask = (generator.random(x.shape) >= p) / (1.0 - p)
     mask = mask.astype(x.dtype)
     return Tensor._make(x.data * mask, (x,), lambda g: (g * mask,))

@@ -508,8 +508,14 @@ def ones(*shape, requires_grad: bool = False, dtype=np.float32) -> Tensor:
     return Tensor(np.ones(shape, dtype=dtype), requires_grad=requires_grad)
 
 
+# Shared fallback stream for callers that pass no generator: seeded, so
+# a process that never threads an rng is still run-to-run reproducible,
+# and shared, so successive randn() calls draw different values.
+_FALLBACK_RNG = np.random.default_rng(0)
+
+
 def randn(*shape, requires_grad: bool = False, dtype=np.float32,
           rng: Optional[np.random.Generator] = None) -> Tensor:
-    generator = rng if rng is not None else np.random.default_rng()
+    generator = rng if rng is not None else _FALLBACK_RNG
     return Tensor(generator.standard_normal(shape).astype(dtype),
                   requires_grad=requires_grad)

@@ -475,6 +475,7 @@ def evaluate_assignment(grid: CandidateGrid, genome: Sequence[Candidate],
                       energy_mj=dynamic_pj / 1e9 + static_mj)
 
 
+# reprolint: hot-loop -- vectorized evaluator (14-23x over scalar, PR 3)
 def evaluate_population(matrices: GridMatrices, genomes: np.ndarray,
                         lut: ComponentLUT = DEFAULT_LUT) -> PopulationEval:
     """Score a ``(P, L)`` index-array population in one pass.

@@ -128,6 +128,7 @@ class MicroBatchScheduler:
         return (self._seq,)
 
     # ------------------------------------------------------------------
+    # reprolint: hot-loop -- one call per offered request
     def submit(self, request: Request) -> bool:
         """Enqueue a request; False when the bounded queue sheds it."""
         self.num_submitted += 1
@@ -141,6 +142,7 @@ class MicroBatchScheduler:
         return True
 
     # ------------------------------------------------------------------
+    # reprolint: hot-loop -- two-heap drain path (20k-deep queue, PR 3)
     def oldest_arrival_ms(self) -> Optional[float]:
         """Arrival time of the oldest queued request (window anchor)."""
         while self._arrival_heap and self._arrival_heap[0][1] not in self._live:
@@ -170,6 +172,7 @@ class MicroBatchScheduler:
             return True
         return now_ms >= self.next_timeout_ms()
 
+    # reprolint: hot-loop -- one call per formed micro-batch
     def next_batch(self, now_ms: float, force: bool = False
                    ) -> Optional[Batch]:
         """Release the next micro-batch, or None if nothing is ready.

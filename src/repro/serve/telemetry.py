@@ -90,7 +90,7 @@ class TelemetryCollector:
     def drop_records(self, records: List[RequestRecord]) -> None:
         """Retract completion records for requests that were in flight
         on a failed replica — their images never made it out."""
-        doomed = set(id(r) for r in records)
+        doomed = {id(r) for r in records}
         self.records = [r for r in self.records if id(r) not in doomed]
 
     def record_queue_depth(self, now_ms: float, depth: int) -> None:

@@ -1,0 +1,407 @@
+"""Per-rule behaviour: seeded fixture violations per rule family.
+
+Every rule gets at least one fixture that *must* fire (the gate
+catches the violation) and one that must stay silent (no false
+positive on the sanctioned idiom).
+"""
+
+import textwrap
+
+import pytest
+
+from repro.lint import LintConfig, run_lint
+from repro.lint.manifest import MetricsManifest
+
+
+def lint_source(tmp_path, source, relpath="src/pkg/serve/mod.py",
+                manifest=None, **config_kw):
+    path = tmp_path / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source))
+    if manifest is not None:
+        manifest.write(tmp_path / "docs/metrics-manifest.json")
+    config = LintConfig(root=tmp_path, paths=("src",),
+                        baseline_path=None, **config_kw)
+    return run_lint(config)
+
+
+def rules_of(result):
+    return [f.rule for f in result.findings]
+
+
+# ---------------------------------------------------------------------
+# D-rules
+# ---------------------------------------------------------------------
+
+def test_d101_flags_np_random_free_function(tmp_path):
+    result = lint_source(tmp_path, """
+        import numpy as np
+        def jitter(n):
+            return np.random.rand(n)
+    """, select=("D",))
+    assert rules_of(result) == ["D101"]
+    assert "np.random.rand" in result.findings[0].message
+    assert result.findings[0].symbol == "jitter"
+
+
+def test_d101_flags_stdlib_random_and_from_import(tmp_path):
+    result = lint_source(tmp_path, """
+        import random
+        from random import choice
+        def pick(items):
+            random.shuffle(items)
+            return choice(items)
+    """, select=("D",))
+    assert rules_of(result) == ["D101", "D101"]
+
+
+def test_d101_allows_explicit_generator(tmp_path):
+    result = lint_source(tmp_path, """
+        import numpy as np
+        def sample(rng: np.random.Generator, n):
+            return rng.random(n)
+        def seeded():
+            return np.random.default_rng(7).random(3)
+    """, select=("D",))
+    assert result.findings == []
+
+
+def test_d102_flags_unseeded_default_rng_any_import_form(tmp_path):
+    result = lint_source(tmp_path, """
+        import numpy as np
+        from numpy.random import default_rng
+        a = np.random.default_rng()
+        b = default_rng()
+        c = default_rng(42)
+    """, select=("D",))
+    assert rules_of(result) == ["D102", "D102"]
+
+
+def test_d103_flags_wall_clock_only_in_deterministic_dirs(tmp_path):
+    source = """
+        import time, os
+        from datetime import datetime
+        def stamp():
+            return time.time(), datetime.now(), os.urandom(8)
+    """
+    hot = lint_source(tmp_path / "a", source, relpath="src/pkg/pim/sim.py",
+                      select=("D103",))
+    assert rules_of(hot) == ["D103", "D103", "D103"]
+    cold = lint_source(tmp_path / "b", source,
+                       relpath="src/pkg/analysis/rep.py", select=("D103",))
+    assert cold.findings == []
+
+
+def test_d103_allows_perf_counter(tmp_path):
+    result = lint_source(tmp_path, """
+        import time
+        def measure():
+            return time.perf_counter()
+    """, relpath="src/pkg/search/grid.py", select=("D103",))
+    assert result.findings == []
+
+
+def test_d104_flags_set_iteration_feeding_output(tmp_path):
+    result = lint_source(tmp_path, """
+        def dump(items):
+            out = []
+            for name in set(items):
+                out.append(name)
+            dedup = list({x for x in items})
+            return out, dedup
+    """, select=("D104",))
+    assert rules_of(result) == ["D104", "D104"]
+
+
+def test_d104_allows_sorted_set(tmp_path):
+    result = lint_source(tmp_path, """
+        def dump(items):
+            return [name for name in sorted(set(items))]
+    """, select=("D104",))
+    assert result.findings == []
+
+
+# ---------------------------------------------------------------------
+# M-rules
+# ---------------------------------------------------------------------
+
+MANIFEST = MetricsManifest(metrics=["serve.engine.latency_ms",
+                                    "serve.engine.chips"],
+                           wildcards=["pim.simulator.*"],
+                           span_categories=["search.evolve"])
+
+
+def test_m201_flags_bad_grammar(tmp_path):
+    result = lint_source(tmp_path, """
+        def publish(registry):
+            registry.counter("serve.engine.CamelCase").inc()
+            registry.gauge("frontend.engine.chips").set(1)
+            registry.counter("serve.only_two").inc()
+    """, manifest=MANIFEST, select=("M201",))
+    assert rules_of(result) == ["M201", "M201", "M201"]
+
+
+def test_m202_flags_name_missing_from_manifest(tmp_path):
+    result = lint_source(tmp_path, """
+        def publish(registry):
+            registry.histogram("serve.engine.latency_ms").observe(1)
+            registry.counter("serve.engine.latencyy_ms").inc()
+    """, manifest=MANIFEST, select=("M202",))
+    assert rules_of(result) == ["M202"]
+    assert "latencyy" in result.findings[0].message
+
+
+def test_m202_folds_local_constant_fstrings(tmp_path):
+    result = lint_source(tmp_path, """
+        def publish(registry):
+            eng = "serve.engine"
+            registry.gauge(f"{eng}.chips").set(2)
+            registry.gauge(f"{eng}.chipz").set(2)
+    """, manifest=MANIFEST, select=("M202",))
+    assert rules_of(result) == ["M202"]
+    assert "chipz" in result.findings[0].message
+
+
+def test_m202_checks_span_categories(tmp_path):
+    result = lint_source(tmp_path, """
+        def trace(tracer):
+            with tracer.span("generation[0]", "search.evolve"):
+                pass
+            tracer.record("gen", "search.evolvee", 0.0, 1.0)
+    """, manifest=MANIFEST, select=("M202",))
+    assert rules_of(result) == ["M202"]
+    assert "evolvee" in result.findings[0].message
+
+
+def test_m203_dynamic_name_needs_wildcard_cover(tmp_path):
+    result = lint_source(tmp_path, """
+        def publish(registry, fields):
+            for name in fields:
+                registry.gauge(f"pim.simulator.{name}").set(1)
+                registry.gauge(f"pim.mystery.{name}").set(1)
+    """, manifest=MANIFEST, select=("M203",))
+    assert rules_of(result) == ["M203"]
+    assert "pim.mystery." in result.findings[0].message
+
+
+def test_m205_missing_and_stale_manifest(tmp_path):
+    missing = lint_source(tmp_path, """
+        def publish(registry):
+            registry.counter("serve.engine.chips").inc()
+    """, select=("M205",))
+    assert rules_of(missing) == ["M205"]
+    stale = lint_source(tmp_path, """
+        def publish(registry):
+            registry.counter("serve.engine.chips").inc()
+    """, manifest=MANIFEST, select=("M205",))
+    assert {f.rule for f in stale.findings} == {"M205"}
+    messages = " ".join(f.message for f in stale.findings)
+    assert "latency_ms" in messages          # manifest-only -> stale
+
+
+def test_m204_docs_drift_both_directions(tmp_path):
+    (tmp_path / "docs").mkdir()
+    (tmp_path / "docs/observability.md").write_text(
+        "| `serve.engine.latency_ms` | histogram |\n"
+        "| `serve.engine.ghost_metric` | counter |\n")
+    result = lint_source(tmp_path, """
+        def publish(registry):
+            registry.histogram("serve.engine.latency_ms").observe(1)
+            registry.gauge("serve.engine.chips").set(1)
+    """, manifest=MetricsManifest(
+        metrics=["serve.engine.latency_ms", "serve.engine.chips"]),
+        select=("M204",))
+    messages = " ".join(f.message for f in result.findings)
+    assert "serve.engine.chips" in messages       # undocumented
+    assert "ghost_metric" in messages             # doc-only
+
+
+def test_m204_relative_doc_tokens_expand(tmp_path):
+    (tmp_path / "docs").mkdir()
+    (tmp_path / "docs/observability.md").write_text(
+        "| `serve.faults.chip_kills` / `.stragglers` | counter |\n")
+    result = lint_source(tmp_path, """
+        def publish(registry):
+            registry.counter("serve.faults.chip_kills").inc()
+            registry.counter("serve.faults.stragglers").inc()
+    """, manifest=MetricsManifest(
+        metrics=["serve.faults.chip_kills", "serve.faults.stragglers"]),
+        select=("M204",))
+    assert result.findings == []
+
+
+# ---------------------------------------------------------------------
+# H-rules
+# ---------------------------------------------------------------------
+
+def test_h301_flags_loop_allocation_in_hot_region(tmp_path):
+    result = lint_source(tmp_path, """
+        import numpy as np
+        # reprolint: hot-loop
+        def dispatch(events):
+            for event in events:
+                buf = np.zeros(64)
+                scratch = list(event)
+            tail = np.zeros(8)      # outside the loop: fine
+            return tail
+    """, select=("H",))
+    assert rules_of(result) == ["H301", "H301"]
+
+
+def test_h301_ignores_unmarked_function(tmp_path):
+    result = lint_source(tmp_path, """
+        import numpy as np
+        def dispatch(events):
+            for event in events:
+                buf = np.zeros(64)
+            return buf
+    """, select=("H",))
+    assert result.findings == []
+
+
+def test_h301_for_iter_is_not_per_iteration(tmp_path):
+    result = lint_source(tmp_path, """
+        # reprolint: hot-loop
+        def dispatch(events):
+            for event in list(events):
+                pass
+    """, select=("H301",))
+    assert result.findings == []
+
+
+def test_h302_flags_per_event_observability(tmp_path):
+    result = lint_source(tmp_path, """
+        # reprolint: hot-loop
+        def dispatch(events, registry, tracer):
+            for event in events:
+                registry.counter("serve.engine.x").inc()
+                hist.observe(event.latency)
+                tracer.record("req", "serve.request", 0, 1)
+            hist.observe_many(latencies)    # bulk: sanctioned
+    """, select=("H302",))
+    assert rules_of(result) == ["H302", "H302", "H302"]
+
+
+def test_h303_flags_fstring_logging(tmp_path):
+    result = lint_source(tmp_path, """
+        # reprolint: hot-loop
+        def dispatch(events, log):
+            for event in events:
+                print(f"handling {event}")
+                log.debug("state %s" % event)
+            print("done")               # constant: fine
+    """, select=("H303",))
+    assert rules_of(result) == ["H303", "H303"]
+
+
+def test_h304_dangling_marker(tmp_path):
+    result = lint_source(tmp_path, """
+        x = 1
+        # reprolint: hot-loop
+        y = 2
+    """, select=("H304",))
+    assert rules_of(result) == ["H304"]
+
+
+def test_hot_loop_marker_on_loop_statement(tmp_path):
+    result = lint_source(tmp_path, """
+        import numpy as np
+        def dispatch(events):
+            # reprolint: hot-loop
+            for event in events:
+                buf = np.empty(4)
+            for event in events:
+                other = np.empty(4)     # unmarked loop: fine
+    """, select=("H301",))
+    assert rules_of(result) == ["H301"]
+
+
+# ---------------------------------------------------------------------
+# C-rules
+# ---------------------------------------------------------------------
+
+def test_c401_benchmark_must_declare_work(tmp_path):
+    result = lint_source(tmp_path, """
+        from repro.bench.registry import Workload, benchmark
+
+        @benchmark("suite.lazy", suite="suite")
+        def bench_lazy(fast):
+            return Workload(fn=lambda: None)
+
+        @benchmark("suite.good", suite="suite")
+        def bench_good(fast):
+            return Workload(fn=lambda: None, items=4.0, unit="ops")
+
+        @benchmark("suite.counted", suite="suite")
+        def bench_counted(fast):
+            return Workload(fn=lambda: None, counters=lambda: {"n": 1})
+    """, select=("C401",))
+    assert rules_of(result) == ["C401"]
+    assert result.findings[0].symbol == "bench_lazy"
+
+
+def test_c402_doc_flag_must_exist(tmp_path):
+    (tmp_path / "docs").mkdir()
+    (tmp_path / "docs/usage.md").write_text(
+        "Run with `--num-requests 5` or `--ghost-flag`.\n"
+        "External `--cov` is allowlisted.\n")
+    result = lint_source(tmp_path, """
+        import argparse
+        def build():
+            p = argparse.ArgumentParser()
+            p.add_argument("--num-requests", type=int)
+            return p
+    """, select=("C402",))
+    assert rules_of(result) == ["C402"]
+    assert "--ghost-flag" in result.findings[0].message
+    assert result.findings[0].path == "docs/usage.md"
+
+
+# ---------------------------------------------------------------------
+# cross-cutting
+# ---------------------------------------------------------------------
+
+def test_findings_report_locations_and_fingerprints(tmp_path):
+    result = lint_source(tmp_path, """
+        import numpy as np
+        def jitter(n):
+            return np.random.rand(n)
+    """, select=("D101",))
+    finding, = result.findings
+    assert finding.path == "src/pkg/serve/mod.py"
+    assert finding.line == 4
+    assert len(finding.fingerprint) == 16
+
+
+def test_select_and_ignore_are_prefix_matched(tmp_path):
+    source = """
+        import numpy as np
+        unseeded = np.random.default_rng()
+        noisy = np.random.rand(3)
+    """
+    only_d102 = lint_source(tmp_path, source, select=("D102",))
+    assert rules_of(only_d102) == ["D102"]
+    no_d = lint_source(tmp_path, source, select=("D",), ignore=("D101",))
+    assert rules_of(no_d) == ["D102"]
+
+
+@pytest.mark.parametrize("directive", ["disable=D101", "disable=all"])
+def test_inline_suppression(tmp_path, directive):
+    result = lint_source(tmp_path, f"""
+        import numpy as np
+        def jitter(n):
+            return np.random.rand(n)   # reprolint: {directive}
+    """, select=("D101",))
+    assert result.findings == []
+    assert result.suppressed == 1
+
+
+def test_file_level_suppression(tmp_path):
+    result = lint_source(tmp_path, """
+        # reprolint: disable-file=D101
+        import numpy as np
+        a = np.random.rand(3)
+        b = np.random.rand(3)
+        c = np.random.default_rng()
+    """, select=("D",))
+    assert rules_of(result) == ["D102"]

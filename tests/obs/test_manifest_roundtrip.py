@@ -1,0 +1,116 @@
+"""The metrics manifest is exact: a serve+search smoke run publishes
+every metric the static analyzer recorded in
+``docs/metrics-manifest.json`` — and nothing else.
+
+This closes the loop from the other side of ``python -m repro lint``:
+M202/M205 prove code-vs-manifest statically; this proves the manifest
+against the *runtime* registry, so a name that only exists when the
+code actually runs (conditional publication, dead instrumentation)
+cannot drift either way unnoticed.
+"""
+
+import pytest
+
+from repro.lint.manifest import MetricsManifest
+from repro.models.specs import resnet18_spec
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.runtime import use_metrics, use_tracer
+from repro.obs.tracer import Tracer
+from repro.pim.simulator import sim_counters
+from repro.search import (
+    EvoSearchConfig,
+    build_candidate_grid,
+    evolution_search,
+    pareto_search,
+)
+from repro.serve.cache import DeploymentCache
+from repro.serve.engine import ServingConfig, ServingEngine
+from repro.serve.scheduler import SchedulerConfig
+from repro.serve.trace import synthetic_trace
+
+from tests.lint.test_engine import REPO_ROOT
+
+MANIFEST_PATH = REPO_ROOT / "docs" / "metrics-manifest.json"
+
+
+@pytest.fixture(scope="module")
+def smoke():
+    """One serve+search+pim smoke run capturing every publication."""
+    registry = MetricsRegistry()
+    tracer = Tracer()
+    with use_tracer(tracer), use_metrics(registry):
+        # serve: a faulted run publishes serve.engine.*,
+        # serve.scheduler.* and the full serve.faults.* family.
+        engine = ServingEngine.from_spec(
+            "resnet18", ServingConfig(
+                num_chips=2, scheduler=SchedulerConfig(max_batch_size=4)))
+        trace = synthetic_trace(
+            40, rate_rps=0.8 * engine.plan.throughput_fps, seed=3)
+        engine.serve(trace, metrics=registry,
+                     faults="straggler@t=0.2:factor=3:until=0.8")
+        # serve.cache.*: two misses into a capacity-1 cache forces an
+        # eviction; a repeat is a hit.
+        cache = DeploymentCache(capacity=1)
+        cache.get_or_build("a", dict)
+        cache.get_or_build("a", dict)
+        cache.get_or_build("b", dict)
+        # search: grid build publishes search.gridcache.*, the two
+        # searches publish search.evolve.* / search.pareto.* plus their
+        # per-generation tracer spans.
+        grid = build_candidate_grid(resnet18_spec(), weight_bits=9,
+                                    activation_bits=9)
+        config = EvoSearchConfig(population_size=8, iterations=3,
+                                 restarts=1, seed=0)
+        evolution_search(grid, crossbar_budget=4000, search=config)
+        pareto_search(grid, crossbar_budget=4000, search=config)
+        # pim: simulator work counters mirror in as gauges.
+        sim_counters().publish(registry)
+    return registry, tracer
+
+
+@pytest.fixture(scope="module")
+def manifest():
+    return MetricsManifest.load(MANIFEST_PATH)
+
+
+def test_every_runtime_metric_is_in_the_manifest(smoke, manifest):
+    registry, _ = smoke
+    unsanctioned = [name for name in registry.names()
+                    if not manifest.covers_metric(name)]
+    assert unsanctioned == []
+
+
+def test_every_manifest_metric_is_published_at_runtime(smoke, manifest):
+    registry, _ = smoke
+    published = set(registry.names())
+    unpublished = [name for name in manifest.metrics
+                   if name not in published]
+    assert unpublished == []
+
+
+def test_every_manifest_wildcard_has_runtime_members(smoke, manifest):
+    registry, _ = smoke
+    published = registry.names()
+    for family in manifest.wildcards:
+        prefix = family[:-1]                 # "pim.simulator.*" -> prefix
+        members = [n for n in published if n.startswith(prefix)]
+        assert members, f"wildcard {family} matched nothing at runtime"
+
+
+def test_manifest_span_categories_are_emitted(smoke, manifest):
+    _, tracer = smoke
+    observed = {span.category for span in tracer.spans}
+    missing = [cat for cat in manifest.span_categories
+               if cat not in observed]
+    assert missing == []
+
+
+def test_smoke_exercised_every_family(smoke):
+    """Guard the fixture itself: if a subsystem stops publishing, the
+    subset assertions above would pass vacuously."""
+    registry, _ = smoke
+    roots = {name.split(".", 2)[0] + "." + name.split(".", 2)[1]
+             for name in registry.names()}
+    assert {"serve.engine", "serve.scheduler", "serve.faults",
+            "serve.cache", "search.gridcache", "search.evolve",
+            "search.pareto", "pim.simulator"} <= roots

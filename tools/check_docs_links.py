@@ -7,6 +7,10 @@ deletion leaves a dangling reference. External (http/https/mailto)
 links are out of scope — only repo-relative paths are checked, resolved
 against the file that contains the link.
 
+Also fails on *orphans*: every docs/*.md must be reachable — linked
+from README.md or from another doc — so new documentation cannot land
+invisible.
+
 Usage: python tools/check_docs_links.py   (exit 1 on any broken link)
 """
 
@@ -30,18 +34,28 @@ def iter_sources():
 def main() -> int:
     broken = []
     checked = 0
+    linked = set()
     for source in iter_sources():
         for match in LINK.finditer(source.read_text()):
             target = match.group(1)
             if target.startswith(SKIP_PREFIXES):
                 continue
             checked += 1
-            if not (source.parent / target).exists():
+            resolved = (source.parent / target)
+            if resolved.exists():
+                linked.add(resolved.resolve())
+            else:
                 broken.append(f"{source.relative_to(REPO)}: "
                               f"broken link -> {target}")
+    orphans = [doc for doc in sorted((REPO / "docs").glob("*.md"))
+               if doc.resolve() not in linked]
+    for doc in orphans:
+        broken.append(f"{doc.relative_to(REPO)}: orphan — not linked "
+                      f"from README.md or any other doc")
     for line in broken:
         print(line, file=sys.stderr)
-    print(f"{checked} local links checked, {len(broken)} broken")
+    print(f"{checked} local links checked, {len(broken)} problems "
+          f"({len(orphans)} orphans)")
     return 1 if broken else 0
 
 
