@@ -29,6 +29,7 @@ from ...obs.runtime import use_metrics
 from ...serve import (
     FaultPlan,
     MicroBatchScheduler,
+    ResilienceConfig,
     SchedulerConfig,
     ServingConfig,
     ServingEngine,
@@ -42,6 +43,7 @@ from ..registry import Workload, benchmark
 __all__ = [
     "CHIP_COUNTS",
     "LOAD_FACTORS",
+    "RESILIENCE_OVERHEAD_BUDGET_PCT",
     "SCENARIO_OVERHEAD_BUDGET_PCT",
     "build_engine",
     "run_sweep",
@@ -51,7 +53,9 @@ __all__ = [
     "scheduler_deep_queue_factory",
     "ab_operating_points_factory",
     "scenario_replay_factory",
+    "overload_resilience_factory",
     "measure_scenario_overhead",
+    "measure_resilience_overhead",
     "synthetic_search_payload",
     "check_ab_structure",
 ]
@@ -312,13 +316,17 @@ def scenario_replay_factory(fast: bool) -> Workload:
     measured: Dict[str, float] = {}
 
     def fn():
-        # Same retry discipline as obs.overhead: a shared-machine noise
-        # spike can exceed the budget on its own; a real regression
-        # fails all three attempts.
-        for _attempt in range(3):
-            result = measure_scenario_overhead(num_requests, passes)
+        # Retry discipline as in serve.overload_resilience: a noise
+        # epoch can inflate one whole measurement past the budget, so
+        # gate on the best of up to three attempts — a real regression
+        # inflates all of them alike.
+        result = measure_scenario_overhead(num_requests, passes)
+        for _attempt in range(2):
             if result["overhead_pct"] < SCENARIO_OVERHEAD_BUDGET_PCT:
                 break
+            retry = measure_scenario_overhead(num_requests, passes)
+            if retry["overhead_pct"] < result["overhead_pct"]:
+                result = retry
         assert result["overhead_pct"] < SCENARIO_OVERHEAD_BUDGET_PCT, (
             f"fault-free scenario replay costs "
             f"{result['overhead_pct']:.2f}% over plain Poisson — budget "
@@ -330,6 +338,131 @@ def scenario_replay_factory(fast: bool) -> Workload:
 
     # Each timed call replays every cell twice (plain + scenario) per pass.
     return Workload(fn=fn, items=float(num_requests * cells * 2 * passes),
+                    unit="requests", counters=lambda: dict(measured))
+
+
+# Arming the resilience runtime (admission controller, retry budget,
+# breakers, brownout tracker — docs/resilience.md) must be close to free
+# when the fleet is healthy: same traces, at most this much slower.
+RESILIENCE_OVERHEAD_BUDGET_PCT = 5.0
+
+# Below the CoDel delay target and the token-bucket rate, so the armed
+# run admits everything and both modes complete identical work — the
+# ratio then isolates the resilience bookkeeping, not shed traffic.
+_RESILIENCE_LOAD_FACTORS = (0.5, 0.9)
+
+
+def measure_resilience_overhead(num_requests: int,
+                                passes: int) -> Dict[str, float]:
+    """Armed-vs-disarmed overhead as the median of paired ABBA ratios.
+
+    An untimed verification pass first asserts both modes complete the
+    same request count on every cell (loads sit under the admission
+    controller's shed threshold), so the armed replay cannot "win" by
+    quietly doing less work.
+
+    Each sample replays one cell plain-armed-armed-plain back to back
+    and takes ``armed / plain`` within that window, so slow machine
+    drift (frequency scaling, noisy-neighbor stalls spanning the whole
+    window) cancels out of the ratio; the median across ``passes`` x
+    cells samples rejects the one-sided spikes that land inside a
+    single replay.  Min-of-sweeps — the ``measure_scenario_overhead``
+    discipline — is unstable here: the two modes' minima come from
+    *different* fast windows, which on a shared machine swings the
+    ratio by more than the whole budget.
+    """
+    armed = ResilienceConfig(seed=0)
+    jobs = []
+    for chips in _SCENARIO_CHIP_COUNTS:
+        engine = build_engine(chips)
+        for factor in _RESILIENCE_LOAD_FACTORS:
+            offered = factor * engine.plan.throughput_fps
+            jobs.append((engine,
+                         synthetic_trace(num_requests, rate_rps=offered,
+                                         seed=31)))
+    for engine, trace in jobs:
+        with use_metrics(MetricsRegistry()):
+            plain = engine.serve(trace)
+        with use_metrics(MetricsRegistry()):
+            resilient = engine.serve(trace, resilience=armed)
+        assert plain.num_completed == resilient.num_completed, (
+            f"armed run completed {resilient.num_completed} of "
+            f"{plain.num_completed} — overhead ratio would compare "
+            "different work")
+
+    def replay(engine, trace, config) -> None:
+        with use_metrics(MetricsRegistry()):
+            engine.serve(trace, resilience=config)
+
+    ratios = []
+    plain_s = armed_s = 0.0
+    gc.collect()
+    gc.disable()
+    try:
+        for _ in range(passes):
+            for engine, trace in jobs:
+                t0 = time.perf_counter()
+                replay(engine, trace, None)
+                t1 = time.perf_counter()
+                replay(engine, trace, armed)
+                t2 = time.perf_counter()
+                replay(engine, trace, armed)
+                t3 = time.perf_counter()
+                replay(engine, trace, None)
+                t4 = time.perf_counter()
+                plain_pair = (t1 - t0) + (t4 - t3)
+                armed_pair = t3 - t1
+                ratios.append(armed_pair / plain_pair)
+                plain_s += plain_pair
+                armed_s += armed_pair
+    finally:
+        gc.enable()
+    ratios.sort()
+    mid = len(ratios) // 2
+    median = (ratios[mid] if len(ratios) % 2
+              else 0.5 * (ratios[mid - 1] + ratios[mid]))
+    return {"plain_s": plain_s, "armed_s": armed_s,
+            "overhead_pct": (median - 1.0) * 100.0}
+
+
+@benchmark("serve.overload_resilience", suite="serve",
+           description="resilience-armed replay (admission, retry budget, "
+                       "breakers, brownout) vs disarmed",
+           warmup=0, repeats=2, min_sample_ms=0.0)
+def overload_resilience_factory(fast: bool) -> Workload:
+    # Longer traces than the scenario benchmark: the armed runtime has
+    # small per-run constants (controller construction, 15-metric
+    # publication) that a 150-request replay would overweight.
+    num_requests = 600
+    passes = 6 if fast else 10
+    cells = len(_SCENARIO_CHIP_COUNTS) * len(_RESILIENCE_LOAD_FACTORS)
+    measured: Dict[str, float] = {}
+
+    def fn():
+        # A noise epoch (frequency scaling, a noisy neighbor pinning the
+        # core for seconds) inflates every ABBA block inside one
+        # measurement, so even the median can't reject it — but epochs
+        # rarely straddle three separate measurements.  Gate on the best
+        # attempt: it is the least-contaminated estimate of the true
+        # ratio, and a real regression inflates all three alike.
+        result = measure_resilience_overhead(num_requests, passes)
+        for _attempt in range(2):
+            if result["overhead_pct"] < RESILIENCE_OVERHEAD_BUDGET_PCT:
+                break
+            retry = measure_resilience_overhead(num_requests, passes)
+            if retry["overhead_pct"] < result["overhead_pct"]:
+                result = retry
+        assert result["overhead_pct"] < RESILIENCE_OVERHEAD_BUDGET_PCT, (
+            f"arming resilience costs {result['overhead_pct']:.2f}% over "
+            f"a disarmed replay — budget is "
+            f"{RESILIENCE_OVERHEAD_BUDGET_PCT}% (plain "
+            f"{result['plain_s'] * 1e3:.2f} ms, armed "
+            f"{result['armed_s'] * 1e3:.2f} ms)")
+        measured.update(result)
+        return result
+
+    # Each timed ABBA block replays its cell four times (2 per mode).
+    return Workload(fn=fn, items=float(num_requests * cells * 4 * passes),
                     unit="requests", counters=lambda: dict(measured))
 
 

@@ -13,7 +13,9 @@ Three formats, each validated structurally (not just "is it JSON"):
   must have non-decreasing cumulative buckets, a ``+Inf`` bucket, and a
   ``_count`` equal to it.  When the ``serve_faults_*`` family is present
   (a fault-injected serve run, docs/scenarios.md) the per-kind counters
-  must sum to ``serve_faults_injected``.
+  must sum to ``serve_faults_injected``; when ``serve_resilience_*`` is
+  present (a resilience-armed run, docs/resilience.md) breaker episode
+  and retry-budget accounting must balance too.
 - **JSONL** (``--metrics-out m.jsonl``, span JSONL): every non-empty
   line must be individually ``json.loads``-able.
 
@@ -141,7 +143,17 @@ def validate_prometheus(text: str) -> List[str]:
             problems.append(f"histogram {name}: _count {counts[0]} != "
                             f"+Inf bucket {values[-1]}")
     problems.extend(_faults_consistency(families))
+    problems.extend(_resilience_consistency(families))
     return problems
+
+
+def _family_total(families: Dict, metric: str):
+    """Sum of a family's plain samples, or None when it is absent."""
+    family = families.get(metric)
+    if family is None:
+        return None
+    return sum(sample[2] for sample in family["samples"]
+               if sample[0] == metric)
 
 
 def _faults_consistency(families: Dict) -> List[str]:
@@ -149,11 +161,7 @@ def _faults_consistency(families: Dict) -> List[str]:
     ``serve_faults_*`` counters partition ``serve_faults_injected``."""
 
     def total(metric: str):
-        family = families.get(metric)
-        if family is None:
-            return None
-        return sum(sample[2] for sample in family["samples"]
-                   if sample[0] == metric)
+        return _family_total(families, metric)
 
     injected = total("serve_faults_injected")
     if injected is None:
@@ -180,6 +188,51 @@ def _faults_consistency(families: Dict) -> List[str]:
             f"serve_faults_failovers ({failovers:g}) exceeds "
             f"serve_faults_chip_kills ({kills:g}) — a failover without "
             "a kill")
+    return problems
+
+
+def _resilience_consistency(families: Dict) -> List[str]:
+    """Cross-family invariants of resilience-armed serve runs (the
+    ``serve_resilience_*`` family, docs/resilience.md): breaker episode
+    accounting must balance, retries must fit their budget, and the
+    faults-side retry counter must agree with the resilience side."""
+
+    def total(metric: str):
+        return _family_total(families, metric)
+
+    opens = total("serve_resilience_breaker_opens")
+    if opens is None:
+        return []
+    problems: List[str] = []
+    probes = total("serve_resilience_breaker_probes")
+    closes = total("serve_resilience_breaker_closes")
+    if probes is not None and probes > opens:
+        problems.append(
+            f"serve_resilience_breaker_probes ({probes:g}) exceeds "
+            f"breaker_opens ({opens:g}) — a probe without an open episode")
+    if closes is not None and probes is not None and closes > probes:
+        problems.append(
+            f"serve_resilience_breaker_closes ({closes:g}) exceeds "
+            f"breaker_probes ({probes:g}) — a close without a probe")
+    scheduled = total("serve_resilience_retries_scheduled")
+    budget = total("serve_resilience_retry_budget")
+    if scheduled is not None and budget is not None and scheduled > budget:
+        problems.append(
+            f"serve_resilience_retries_scheduled ({scheduled:g}) exceeds "
+            f"the run retry_budget ({budget:g})")
+    fault_retries = _family_total(families, "serve_faults_retries")
+    if scheduled is not None and fault_retries is not None \
+            and fault_retries != scheduled:
+        problems.append(
+            f"serve_faults_retries ({fault_retries:g}) != "
+            f"serve_resilience_retries_scheduled ({scheduled:g}) — the "
+            "failover and budget books disagree")
+    entries = total("serve_resilience_brownout_entries")
+    exits = total("serve_resilience_brownout_exits")
+    if entries is not None and exits is not None and exits > entries:
+        problems.append(
+            f"serve_resilience_brownout_exits ({exits:g}) exceeds "
+            f"brownout_entries ({entries:g}) — an exit without an entry")
     return problems
 
 

@@ -18,6 +18,9 @@ endpoint that answers request traffic:
 - :mod:`repro.serve.scenarios` — named load scenarios (diurnal, flash
   crowd, bursty MMPP, multi-model mix) and the fault-injection layer
   (chip kills with replicated-shard failover, stragglers, cache wipes);
+- :mod:`repro.serve.resilience` — adaptive admission control, failover
+  retry budgets, per-replica circuit breakers, brownout down-shifts to
+  a degraded Pareto point, and the seeded chaos harness;
 - :mod:`repro.serve.telemetry` — latency percentiles, queue depth, chip
   utilization, rolling throughput, fault/failover accounting;
 - :mod:`repro.serve.cli` — ``python -m repro serve`` trace replay.
@@ -37,11 +40,20 @@ from .deploy import (
     OperatingPoint,
     SearchResultError,
     ab_offered_load_sweep,
+    brownout_plan_from_search,
     engine_from_search,
     load_search_result,
     manifest_from_point,
     render_ab,
     report_from_point,
+)
+from .resilience import (
+    AdmissionPolicy,
+    BreakerPolicy,
+    BrownoutPlan,
+    BrownoutPolicy,
+    ResilienceConfig,
+    RetryPolicy,
 )
 from .scenarios import (
     FaultPlan,
@@ -95,9 +107,16 @@ __all__ = [
     "OperatingPoint",
     "SearchResultError",
     "ab_offered_load_sweep",
+    "brownout_plan_from_search",
     "engine_from_search",
     "load_search_result",
     "manifest_from_point",
     "render_ab",
     "report_from_point",
+    "ResilienceConfig",
+    "AdmissionPolicy",
+    "RetryPolicy",
+    "BreakerPolicy",
+    "BrownoutPolicy",
+    "BrownoutPlan",
 ]

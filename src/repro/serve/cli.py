@@ -68,13 +68,34 @@ def add_serve_parser(subparsers) -> argparse.ArgumentParser:
     p = subparsers.add_parser(
         "serve", help="replay a request trace against a deployed network")
     serve_sub = p.add_subparsers(dest="serve_command",
-                                 metavar="{scenarios}")
+                                 metavar="{scenarios,chaos}")
     scenarios = serve_sub.add_parser(
         "scenarios", help="inspect the load-scenario registry")
     scenarios_sub = scenarios.add_subparsers(dest="scenarios_command",
                                              required=True)
     scenarios_sub.add_parser("list",
                              help="list registered load scenarios")
+    chaos = serve_sub.add_parser(
+        "chaos", help="seeded chaos drill: replay a composed scenario x "
+                      "fault plan against resilience-on and -off fleets "
+                      "(docs/resilience.md)")
+    chaos.add_argument("--seed", type=int, action="append",
+                       dest="chaos_seeds", metavar="N",
+                       help="drill seed (repeatable; default: 3 and 7)")
+    chaos.add_argument("--num-requests", type=int, default=500,
+                       dest="chaos_num_requests",
+                       help="requests per drill trace")
+    chaos.add_argument("--num-chips", type=int, default=None,
+                       dest="chaos_num_chips",
+                       help="fleet size (default: derived for 2 replica "
+                            "groups of the primary point)")
+    chaos.add_argument("--availability-floor", type=float, default=0.25,
+                       metavar="FRAC",
+                       help="minimum availability the resilience-on fleet "
+                            "must hold on every seed")
+    chaos.add_argument("--json", action="store_true", dest="chaos_json",
+                       help="also print the drill rows as JSON (stable "
+                            "key order; byte-identical per seed)")
     src = p.add_argument_group("deployment source")
     src.add_argument("--manifest", default=None,
                      help="format-2 deployment manifest JSON to serve")
@@ -140,6 +161,20 @@ def add_serve_parser(subparsers) -> argparse.ArgumentParser:
                            "(grammar: docs/scenarios.md)")
     load.add_argument("--save-trace", default=None, metavar="PATH",
                       help="write the (synthetic) trace before replaying")
+
+    res = p.add_argument_group("resilience")
+    res.add_argument("--resilience", action="store_true",
+                     help="arm adaptive admission control, failover retry "
+                          "budgets, circuit breakers and brownout "
+                          "(docs/resilience.md)")
+    res.add_argument("--resilience-seed", type=int, default=0, metavar="N",
+                     help="retry-jitter seed for the resilience runtime")
+    res.add_argument("--brownout-policy", default=None,
+                     choices=POLICY_CHOICES, metavar="POLICY",
+                     help="derive the brownout degraded operating point "
+                          "from this second front policy (needs "
+                          "--from-search and --resilience; without it "
+                          "brownout uses the policy fallback scales)")
 
     obs = p.add_argument_group("observability")
     obs.add_argument("--trace-out", default=None, metavar="PATH",
@@ -209,13 +244,23 @@ def _scheduler_config(args) -> SchedulerConfig:
     )
 
 
-def _build_engine(args) -> ServingEngine:
+def _resilience_config(args):
+    from .resilience import ResilienceConfig
+
+    if not args.resilience:
+        return None
+    return ResilienceConfig(seed=args.resilience_seed)
+
+
+def _build_engine(args, resilience=None) -> ServingEngine:
     if args.from_search is not None:
         result = load_search_result(args.from_search)
         engine = engine_from_search(
             result, policy=args.policy, index=args.point_index,
             num_chips=args.num_chips, mode=args.mode,
-            scheduler=_scheduler_config(args))
+            scheduler=_scheduler_config(args),
+            resilience=resilience,
+            brownout_policy=args.brownout_policy)
         if args.export_manifest is not None:
             # engine_from_search already compiled this manifest; write
             # the retained copy rather than recompiling the deployment.
@@ -226,7 +271,8 @@ def _build_engine(args) -> ServingEngine:
         num_chips=(args.num_chips if args.num_chips is not None
                    else DEFAULT_NUM_CHIPS),
         mode=args.mode,
-        scheduler=_scheduler_config(args))
+        scheduler=_scheduler_config(args),
+        resilience=resilience)
     if args.manifest is not None:
         return ServingEngine.from_manifest(args.manifest, serving)
 
@@ -287,7 +333,8 @@ def _run_ab(args, fault_plan=None) -> int:
                                      priority_levels=args.priority_levels,
                                      slo=slo,
                                      scenario=args.scenario,
-                                     faults=fault_plan)
+                                     faults=fault_plan,
+                                     resilience=_resilience_config(args))
     print(render_ab(rows, title=f"A/B {args.policy} vs {args.ab_policy} — "
                                 f"{result.model}"))
     _write_obs_artifacts(args, tracer, registry)
@@ -297,10 +344,32 @@ def _run_ab(args, fault_plan=None) -> int:
     return 0
 
 
+def _run_chaos_cli(args) -> int:
+    """``serve chaos``: seeded drills against resilience-on/-off fleets."""
+    # Imported lazily: the harness pulls in the search bench builder,
+    # which plain trace-replay runs never need.
+    from .resilience.chaos import chaos_json, render_chaos, run_chaos
+
+    seeds = args.chaos_seeds if args.chaos_seeds else [3, 7]
+    rows, problems = run_chaos(seeds,
+                               num_requests=args.chaos_num_requests,
+                               num_chips=args.chaos_num_chips,
+                               availability_floor=args.availability_floor)
+    print(render_chaos(rows))
+    for problem in problems:
+        print(f"INVARIANT VIOLATED: {problem}", file=sys.stderr)
+    if args.chaos_json:
+        print()
+        print(chaos_json(rows, problems))
+    return 1 if problems else 0
+
+
 def _run_serve(args) -> int:
     if getattr(args, "serve_command", None) == "scenarios":
         print(scenario_table())
         return 0
+    if getattr(args, "serve_command", None) == "chaos":
+        return _run_chaos_cli(args)
     if args.from_search is not None and args.manifest is not None:
         raise ValueError("--from-search and --manifest are both deployment "
                          "sources; pass exactly one")
@@ -312,6 +381,17 @@ def _run_serve(args) -> int:
     # in milliseconds, not after a deployment build.
     fault_plan = (parse_faults(args.faults)
                   if args.faults is not None else None)
+    if args.brownout_policy is not None:
+        if args.from_search is None:
+            raise ValueError("--brownout-policy selects a degraded point "
+                             "off a search front; it needs --from-search")
+        if not args.resilience:
+            raise ValueError("--brownout-policy is a resilience feature; "
+                             "also pass --resilience to arm the runtime")
+        if args.ab_policy is not None:
+            raise ValueError("--brownout-policy is ambiguous in A/B mode "
+                             "(two primary points); run a single-fleet "
+                             "--from-search deployment")
     if args.ab_policy is not None:
         if args.from_search is None:
             raise ValueError("--ab-policy needs --from-search "
@@ -329,7 +409,7 @@ def _run_serve(args) -> int:
                              "(two operating points); export from a "
                              "single-fleet --from-search run")
         return _run_ab(args, fault_plan=fault_plan)
-    engine = _build_engine(args)
+    engine = _build_engine(args, resilience=_resilience_config(args))
     print(engine.describe())
     print()
 

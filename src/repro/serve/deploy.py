@@ -59,6 +59,7 @@ __all__ = [
     "manifest_from_point",
     "report_from_point",
     "engine_from_search",
+    "brownout_plan_from_search",
     "ab_offered_load_sweep",
     "render_ab",
 ]
@@ -298,7 +299,10 @@ def engine_from_search(source: Union[str, Path, Mapping, LoadedSearchResult],
                        mode: str = "auto",
                        scheduler: Optional[SchedulerConfig] = None,
                        config: HardwareConfig = DEFAULT_CONFIG,
-                       lut: ComponentLUT = DEFAULT_LUT
+                       lut: ComponentLUT = DEFAULT_LUT,
+                       resilience=None,
+                       brownout_policy: Optional[str] = None,
+                       brownout_index: Optional[int] = None
                        ) -> ServingEngine:
     """A :class:`ServingEngine` serving one operating point of a search.
 
@@ -309,6 +313,16 @@ def engine_from_search(source: Union[str, Path, Mapping, LoadedSearchResult],
     The selected point and its compiled manifest are attached to the
     engine as ``engine.operating_point`` / ``engine.deployment_manifest``
     (telemetry labelling; exporting without recompiling).
+
+    ``resilience`` (a :class:`~repro.serve.resilience.ResilienceConfig`)
+    arms the resilience runtime for every serve() call on the engine.
+    ``brownout_policy`` selects a *second* point off the same front as
+    the degraded brownout plan (usually ``energy-opt`` against a
+    ``latency-opt`` primary): its timing is simulated at the engine's
+    fleet size and attached via :meth:`ServingEngine.attach_brownout`,
+    so brownout serves real search-front physics — a shorter sustained
+    image interval bought with a slower pipeline fill — instead of the
+    policy's fallback scales (see docs/resilience.md).
     """
     result = (source if isinstance(source, LoadedSearchResult)
               else load_search_result(source))
@@ -318,11 +332,60 @@ def engine_from_search(source: Union[str, Path, Mapping, LoadedSearchResult],
     if num_chips is None:
         num_chips = recommended_chips(report, config, replicas=replicas)
     serving = ServingConfig(num_chips=num_chips, mode=mode,
-                            scheduler=scheduler or SchedulerConfig())
+                            scheduler=scheduler or SchedulerConfig(),
+                            resilience=resilience)
     engine = ServingEngine(report, serving, config, lut)
     engine.operating_point = point
     engine.deployment_manifest = manifest
+    if brownout_policy is not None:
+        engine.attach_brownout(brownout_plan_from_search(
+            result, engine, policy=brownout_policy, index=brownout_index,
+            config=config, lut=lut))
     return engine
+
+
+def brownout_plan_from_search(result: LoadedSearchResult,
+                              engine: ServingEngine,
+                              policy: str = "energy-opt",
+                              index: Optional[int] = None,
+                              config: HardwareConfig = DEFAULT_CONFIG,
+                              lut: ComponentLUT = DEFAULT_LUT):
+    """Derive a degraded :class:`~repro.serve.resilience.BrownoutPlan`
+    from a second operating point of the search front.
+
+    The degraded point is compiled and shard-planned at the *engine's*
+    fleet size, so the scales compare like with like: ``interval_scale``
+    is the ratio of sustained image intervals (how much more throughput
+    the fleet holds browned out — typically < 1 because a smaller-epitome
+    point packs more replica groups onto the same chips) and
+    ``fill_scale`` the ratio of pipeline fills (the latency price).
+    Raises :class:`SearchResultError` when the policy lands on the
+    engine's own operating point — a brownout that changes nothing is a
+    configuration error, not a degraded mode.
+    """
+    from .resilience import BrownoutPlan
+    from .sharding import plan_sharding
+
+    degraded = result.select(policy, index)
+    primary = engine.operating_point
+    if primary is not None and degraded.label == primary.label:
+        raise SearchResultError(
+            f"brownout policy {policy!r} selects the engine's own "
+            f"operating point ({degraded.label}); pick a policy that "
+            "lands on a different front point — a degraded mode must "
+            "actually degrade")
+    degraded_report = report_from_point(result, degraded, config, lut)
+    degraded_plan = plan_sharding(degraded_report, engine.config.num_chips,
+                                  mode=engine.config.mode, config=config,
+                                  lut=lut)
+    interval_scale = (engine.plan.throughput_fps
+                      / degraded_plan.throughput_fps)
+    fill_scale = (degraded_plan.per_image_latency_ms
+                  / engine.plan.per_image_latency_ms)
+    return BrownoutPlan(interval_scale=interval_scale,
+                        fill_scale=fill_scale,
+                        label=f"{result.model}@{degraded.label} ({policy})",
+                        point=degraded)
 
 
 # ----------------------------------------------------------------------
@@ -350,7 +413,8 @@ def ab_offered_load_sweep(engines: Mapping[str, ServingEngine],
                           priority_levels: int = 1,
                           slo: Optional[SLO] = None,
                           scenario=None,
-                          faults=None) -> List[Dict]:
+                          faults=None,
+                          resilience=None) -> List[Dict]:
     """Serve identical traces against several deployed operating points.
 
     ``engines`` maps a label (usually the selection policy) to a deployed
@@ -378,7 +442,8 @@ def ab_offered_load_sweep(engines: Mapping[str, ServingEngine],
     With ``slo`` given, every row also gains the flat ``slo_*``
     attainment keys of :meth:`repro.obs.slo.SLOReport.as_dict`, so the
     A/B answers "which operating point still meets the SLO at this
-    load" directly.
+    load" directly.  ``resilience`` arms the resilience runtime for
+    every replay (same config across fleets, so the A/B stays fair).
     """
     if not engines:
         raise ValueError("ab_offered_load_sweep needs at least one engine")
@@ -410,7 +475,8 @@ def ab_offered_load_sweep(engines: Mapping[str, ServingEngine],
     rows: List[Dict] = []
     for rate, requests in jobs:
         for label, engine in engines.items():
-            telemetry = engine.serve(requests, faults=faults)
+            telemetry = engine.serve(requests, faults=faults,
+                                     resilience=resilience)
             row = {
                 "point": label,
                 "offered_fps": rate,

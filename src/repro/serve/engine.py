@@ -35,6 +35,7 @@ from ..pim.config import DEFAULT_CONFIG, HardwareConfig
 from ..pim.lut import DEFAULT_LUT, ComponentLUT
 from ..pim.simulator import NetworkReport, simulate_network
 from .cache import DeploymentCache, compile_deployment
+from .resilience import BrownoutPlan, ResilienceConfig, ResilienceRuntime
 from .scenarios.faults import FaultPlan, ResolvedFault, parse_faults
 from .scheduler import Batch, MicroBatchScheduler, SchedulerConfig
 from .sharding import ShardPlan, plan_sharding
@@ -58,6 +59,10 @@ class ServingConfig:
     num_chips: int = 1
     mode: str = "auto"                  # auto | replica | layer
     scheduler: SchedulerConfig = field(default_factory=SchedulerConfig)
+    # Arms the resilience runtime (admission control, retry budgets,
+    # circuit breakers, brownout) for every serve() call on the engine;
+    # None keeps the plain fast path byte-identical to prior releases.
+    resilience: Optional[ResilienceConfig] = None
 
     def __post_init__(self):
         if self.num_chips < 1:
@@ -100,7 +105,8 @@ class _Executor:
 
 
 def _span_events(records: List[RequestRecord], tracks,
-                 fault_events: Sequence[dict] = ()) -> List[tuple]:
+                 fault_events: Sequence[dict] = (),
+                 resilience_events: Sequence[dict] = ()) -> List[tuple]:
     """Synthesize the serve span set from completed-request records.
 
     Lazy tracer source (see :meth:`repro.obs.tracer.Tracer.add_source`):
@@ -115,6 +121,12 @@ def _span_events(records: List[RequestRecord], tracks,
     span runs from a chip kill to the last requeued request's eventual
     finish, a ``straggler`` span covers its degradation window, and a
     ``cache-wipe`` marks the wipe instant (zero duration).
+
+    Resilience episodes share the ``faults`` track (they are responses
+    to the same adversity): breaker-open/close transition pairs become
+    per-replica ``breaker`` spans and brownout enter/exit pairs become
+    ``brownout`` spans.  An episode still open when the run ends extends
+    to the run's last known instant.
     """
     events: List[tuple] = [
         ("request", "serve.request", r.arrival_ms, r.finish_ms,
@@ -164,6 +176,44 @@ def _span_events(records: List[RequestRecord], tracks,
                     "cache-wipe", "serve.fault", start, start, "faults",
                     {"stall_ms": event.get("stall_ms"),
                      "outcome": event.get("outcome", "")}))
+    if resilience_events:
+        run_end = max(
+            [r.finish_ms for r in records]
+            + [float(e.get("at_ms", 0.0)) for e in resilience_events]
+            or [0.0])
+        open_breakers: dict = {}    # replica -> episode start
+        brownout_start = None
+        brownout_plan = ""
+        for event in resilience_events:
+            at = float(event.get("at_ms", 0.0))
+            kind = event.get("kind")
+            if kind == "breaker-open":
+                open_breakers.setdefault(event.get("replica"), at)
+            elif kind == "breaker-close":
+                replica = event.get("replica")
+                start = open_breakers.pop(replica, at)
+                events.append((
+                    "breaker", "serve.breaker", start, at, "faults",
+                    {"replica": replica, "outcome": "closed by probe"}))
+            elif kind == "brownout-enter":
+                brownout_start = at
+                brownout_plan = event.get("plan", "")
+            elif kind == "brownout-exit" and brownout_start is not None:
+                events.append((
+                    "brownout", "serve.brownout", brownout_start, at,
+                    "faults", {"plan": event.get("plan", ""),
+                               "outcome": "recovered"}))
+                brownout_start = None
+        for replica, start in sorted(open_breakers.items(),
+                                     key=lambda kv: (kv[1], str(kv[0]))):
+            events.append((
+                "breaker", "serve.breaker", start, run_end, "faults",
+                {"replica": replica, "outcome": "open at end of run"}))
+        if brownout_start is not None:
+            events.append((
+                "brownout", "serve.brownout", brownout_start, run_end,
+                "faults", {"plan": brownout_plan,
+                           "outcome": "browned out at end of run"}))
     return events
 
 
@@ -193,6 +243,10 @@ class ServingEngine:
         # manifest is kept so exporting the deployment needs no recompile.
         self.operating_point = None
         self.deployment_manifest = None
+        # Degraded operating point for brownout mode; attached by
+        # repro.serve.deploy from the search front (attach_brownout) or
+        # synthesized from BrownoutPolicy fallback scales at serve time.
+        self.brownout_plan: Optional[BrownoutPlan] = None
         self.executors: List[_Executor] = [
             _Executor(index=replica, chip_ids=ids, plan=self.plan,
                       track=f"replica{replica}")
@@ -260,6 +314,14 @@ class ServingEngine:
 
         return engine_from_search(source, policy=policy, **kwargs)
 
+    def attach_brownout(self, plan: BrownoutPlan) -> None:
+        """Install the degraded operating point brownout mode serves
+        from (see :mod:`repro.serve.resilience.brownout`).  Scales must
+        describe the degraded point *relative to this engine's primary
+        plan*: ``interval_scale < 1`` means the degraded point sustains
+        more throughput, ``fill_scale > 1`` means it fills slower."""
+        self.brownout_plan = plan
+
     # ------------------------------------------------------------------
     # Serving
     # ------------------------------------------------------------------
@@ -270,7 +332,8 @@ class ServingEngine:
     def serve(self, requests: Sequence[Request],
               tracer: Optional[Tracer] = None,
               metrics: Optional[MetricsRegistry] = None,
-              faults: Union[FaultPlan, str, None] = None
+              faults: Union[FaultPlan, str, None] = None,
+              resilience: Optional[ResilienceConfig] = None
               ) -> TelemetryCollector:
         """Replay a trace through the scheduler/executors; returns the
         telemetry of the whole run (simulated time).
@@ -279,10 +342,18 @@ class ServingEngine:
         :class:`~repro.serve.scenarios.faults.FaultPlan` or a spec string
         like ``"chip-kill@t=0.5"`` (see :mod:`repro.serve.scenarios.faults`
         for the grammar).  A killed chip takes its whole replica group
-        down; in-flight requests on it are retried once on the surviving
+        down; in-flight requests on it are retried on the surviving
         replicas (failover), and requests that cannot be recovered count
         against availability.  With ``faults=None`` the fast path is
         numerically identical to previous releases.
+
+        ``resilience`` (or ``config.resilience``; the call-site argument
+        wins) arms the resilience runtime — adaptive admission control in
+        front of the scheduler, budgeted failover retries with seeded
+        backoff instead of retry-once, per-replica circuit breakers, and
+        brownout down-shifts to the attached degraded plan.  See
+        :mod:`repro.serve.resilience` and docs/resilience.md.  Disarmed,
+        none of its branches execute.
 
         Observability: spans go to ``tracer`` (default: the installed
         :func:`repro.obs.runtime.get_tracer`, a no-op unless a run
@@ -298,6 +369,8 @@ class ServingEngine:
         metrics = metrics if metrics is not None else get_metrics()
         if isinstance(faults, str):
             faults = parse_faults(faults)
+        if resilience is None:
+            resilience = self.config.resilience
         trace = sorted(requests,
                        key=lambda r: (r.arrival_ms, r.request_id))
         scheduler = MicroBatchScheduler(self.config.scheduler)
@@ -315,76 +388,222 @@ class ServingEngine:
             fault_queue = faults.resolve(trace[0].arrival_ms,
                                          trace[-1].arrival_ms)
         fault_idx = 0
-        retried_ids: set = set()    # retry-once budget across the run
+        retried_ids: set = set()    # retry-once budget (disarmed path)
+        runtime: Optional[ResilienceRuntime] = None
+        if resilience is not None:
+            # All control thresholds scale off the service quantum (one
+            # pipeline fill plus one batching window), so a single
+            # ResilienceConfig transfers across deployments.
+            runtime = ResilienceRuntime(
+                resilience,
+                base_ms=(self.plan.per_image_latency_ms
+                         + self.config.scheduler.window_ms),
+                capacity_fps=self.plan.throughput_fps,
+                offered=n,
+                num_replicas=len(self.executors),
+                brownout_plan=self.brownout_plan)
+        # Pre-bound hot-path handles: the armed loop touches these once or
+        # twice per event, and the lookup chain (runtime -> controller ->
+        # method) is measurable against the <5% arming budget enforced by
+        # the serve.overload_resilience benchmark.
+        retry_heap = runtime.retry_heap if runtime is not None else None
+        admission = runtime.admission if runtime is not None else None
+        admission_admit = admission.admit if admission is not None else None
+        if admission is not None:
+            adm_target_ms = admission.target_ms
+            adm_rate_per_ms = admission.rate_per_ms
+            adm_burst = admission.burst
+            # The bucket's mutable fast-path state lives in loop locals
+            # (written back before finalize); nothing else reads the
+            # controller mid-run, and per-arrival attribute traffic is
+            # the single biggest slice of the <5% arming budget.
+            adm_tokens = admission.tokens
+            adm_last_refill = admission.last_refill_ms
+            adm_admitted = admission.admitted
+            adm_refilled = admission._refilled
+            # True while the CoDel side holds armed state that a healthy
+            # sample must clear (first_above set, or actively dropping).
+            adm_codel_armed = (admission.dropping
+                               or admission.first_above_ms >= 0.0)
+        brownout_ctl = runtime.brownout if runtime is not None else None
+        brownout_enter_ms = (brownout_ctl.enter_ms
+                             if brownout_ctl is not None else 0.0)
+        # True whenever the brownout controller holds non-idle state
+        # (active, or an entry clock running); while False, arrivals
+        # under the entry threshold skip update() entirely.
+        brownout_watch = False
+        oldest_arrival = scheduler.oldest_arrival_ms
         max_finish_ms = now         # latest completion dispatched so far
 
         # Faults with firing times past the last queue event still apply
         # while dispatched work is in flight (a kill during drain must
         # retract those completions), hence the third loop condition.
-        while i < n or len(scheduler) or (
-                fault_idx < len(fault_queue)
-                and fault_queue[fault_idx].at_ms <= max_finish_ms + _EPS):
+        while i < n or len(scheduler) or retry_heap \
+                or (fault_idx < len(fault_queue)
+                    and fault_queue[fault_idx].at_ms <= max_finish_ms + _EPS):
             if fault_idx < len(fault_queue):
                 while (fault_idx < len(fault_queue)
                        and fault_queue[fault_idx].at_ms <= now + _EPS):
                     fault = fault_queue[fault_idx]
                     fault_idx += 1
                     if self._apply_fault(fault, scheduler, telemetry,
-                                         retried_ids):
+                                         retried_ids, runtime):
                         # Total outage: no replica left to serve anything.
-                        # Queued and still-arriving requests are lost.
+                        # Queued, backing-off, and still-arriving requests
+                        # are lost.
                         while len(scheduler):
                             batch = scheduler.next_batch(now, force=True)
                             for request in batch.requests:
                                 telemetry.record_failure(request.request_id)
+                        while retry_heap:
+                            telemetry.record_failure(
+                                runtime.pop_retry().request_id)
                         for request in trace[i:]:
                             telemetry.record_failure(request.request_id)
                         i = n
                         fault_idx = len(fault_queue)
                         break
-                if i >= n and not len(scheduler):
+                if i >= n and not len(scheduler) and not retry_heap:
                     break
 
+            # Backed-off retries whose deadline has come re-enter the
+            # queue ahead of this event's fresh arrivals (failover work
+            # is older).  A still-full queue burns another budget slot
+            # for a later attempt or fails the request for good.
+            while retry_heap and retry_heap[0][0] <= now + _EPS:
+                request = runtime.pop_retry()
+                if not scheduler.submit(request):
+                    if runtime.try_schedule_retry(request, now):
+                        telemetry.record_retry(request.request_id)
+                    else:
+                        telemetry.record_failure(request.request_id)
+
             while i < n and trace[i].arrival_ms <= now + _EPS:
-                if not scheduler.submit(trace[i]):
-                    telemetry.record_rejection(trace[i].request_id)
+                request = trace[i]
                 i += 1
+                if runtime is not None:
+                    # Inline read of the scheduler's window-anchor cache
+                    # (oldest_arrival_ms's fast path) — one arrival-rate
+                    # call saved against the <5% arming budget.
+                    oldest = (oldest_arrival() if scheduler._oldest_dirty
+                              else scheduler._oldest_cache)
+                    delay = now - oldest if oldest is not None else 0.0
+                    # The brownout controller is clocked by the same
+                    # arrival-time sojourn sample admission uses (CoDel
+                    # style); quiet stretches defer its exit until
+                    # traffic resumes or finalize() settles the books.
+                    # While the controller is idle and the delay is under
+                    # the entry threshold, update() is provably a no-op.
+                    if brownout_watch \
+                            or delay >= brownout_enter_ms - 1e-9:
+                        transition = brownout_ctl.update(now, delay)
+                        if transition:
+                            runtime.note_brownout_transition(
+                                transition, now, telemetry)
+                        brownout_watch = (
+                            brownout_ctl.active
+                            or brownout_ctl._over_since_ms >= 0.0)
+                    # Inline of AdmissionController.admit()'s healthy
+                    # exit (refill, two compares, decrement) on the
+                    # loop-local bucket state: the method call plus its
+                    # attribute traffic is a measurable slice of the <5%
+                    # arming budget.  Any other case syncs the state
+                    # back and takes the full decision path.
+                    if adm_refilled:
+                        adm_tokens += (now - adm_last_refill) \
+                            * adm_rate_per_ms
+                        if adm_tokens > adm_burst:
+                            adm_tokens = adm_burst
+                    else:
+                        adm_refilled = True
+                    adm_last_refill = now
+                    if delay < adm_target_ms and adm_tokens >= 1.0:
+                        if adm_codel_armed:
+                            admission.first_above_ms = -1.0
+                            admission.dropping = False
+                            adm_codel_armed = False
+                        adm_tokens -= 1.0
+                        adm_admitted += 1
+                    else:
+                        admission.tokens = adm_tokens
+                        admission.last_refill_ms = adm_last_refill
+                        admission.admitted = adm_admitted
+                        admission._refilled = adm_refilled
+                        verdict = admission_admit(now, delay,
+                                                  request.priority)
+                        adm_tokens = admission.tokens
+                        adm_admitted = admission.admitted
+                        adm_codel_armed = (admission.dropping
+                                           or admission.first_above_ms
+                                           >= 0.0)
+                        if not verdict:
+                            telemetry.record_rejection(request.request_id)
+                            continue
+                if not scheduler.submit(request):
+                    telemetry.record_rejection(request.request_id)
 
             while scheduler.has_ready_batch(now):
                 free = [ex for ex in self.executors
                         if ex.alive and ex.free_at_ms <= now + _EPS]
                 if not free:
                     break
+                if runtime is not None and runtime.open_episodes:
+                    gated = [ex for ex in free
+                             if runtime.breakers[ex.index].allows(now)]
+                    if gated:
+                        free = gated
+                    elif runtime.open_episodes \
+                            >= sum(1 for e in self.executors if e.alive):
+                        # Every live replica is tripped: serving through
+                        # an open breaker beats serving nothing.
+                        runtime.fail_open_batches += 1
+                    else:
+                        # Healthy capacity exists but is busy or cooling
+                        # down; wait for it rather than feed a tripped
+                        # replica (its open_until_ms is a candidate).
+                        break
                 ex = min(free, key=lambda e: (e.free_at_ms, e.index))
                 batch = scheduler.next_batch(now)
-                last_finish = self._execute(ex, batch, now, telemetry)
+                last_finish = self._execute(ex, batch, now, telemetry,
+                                            runtime)
                 if last_finish > max_finish_ms:
                     max_finish_ms = last_finish
             # Exactly one depth sample per event (the settled post-dispatch
             # state) — asymmetric sampling would bias the mean.
             telemetry.record_queue_depth(now, len(scheduler))
-
             candidates = []
             if i < n:
                 candidates.append(trace[i].arrival_ms)
+            if retry_heap:
+                candidates.append(retry_heap[0][0])
             if len(scheduler):
                 timeout = scheduler.next_timeout_ms()
                 if timeout is not None:
                     candidates.append(timeout)
                 candidates.extend(ex.free_at_ms for ex in self.executors
                                   if ex.alive and ex.free_at_ms > now + _EPS)
+                if runtime is not None and runtime.open_episodes:
+                    candidates.extend(b.open_until_ms
+                                      for b in runtime.breakers if b.is_open)
             if (fault_idx < len(fault_queue)
                     and fault_queue[fault_idx].at_ms <= max_finish_ms + _EPS):
                 candidates.append(fault_queue[fault_idx].at_ms)
             candidates = [c for c in candidates if c > now + _EPS]
             if not candidates:
-                if i >= n and not len(scheduler):
+                if i >= n and not len(scheduler) and not retry_heap:
                     break
                 # Ready work with an expired window but nothing to wait
                 # for would be a scheduling bug; advance minimally.
                 now += _EPS
                 continue
             now = min(candidates)
+        if runtime is not None:
+            if admission is not None:
+                admission.tokens = adm_tokens
+                admission.last_refill_ms = adm_last_refill
+                admission.admitted = adm_admitted
+                admission._refilled = adm_refilled
+            runtime.finalize(now, telemetry)
         # Tracing costs the replay loop nothing: the telemetry records
         # already hold every request's full lifecycle, so an enabled
         # tracer gets one lazy closure that synthesizes the request and
@@ -395,13 +614,16 @@ class ServingEngine:
                       for ex in self.executors}
             tracer.add_source(
                 lambda: _span_events(telemetry.records, tracks,
-                                     telemetry.fault_events))
+                                     telemetry.fault_events,
+                                     telemetry.resilience_events))
         self._publish_metrics(telemetry, scheduler, metrics,
-                              faults_active=faults is not None)
+                              faults_active=faults is not None,
+                              resilience=telemetry.resilience)
         return telemetry
 
     def _execute(self, executor: _Executor, batch: Batch, now: float,
-                 telemetry: TelemetryCollector) -> float:
+                 telemetry: TelemetryCollector,
+                 runtime: Optional[ResilienceRuntime] = None) -> float:
         """Dispatch ``batch`` on ``executor``; returns the finish time of
         the batch's last image (the engine's in-flight horizon)."""
         size = batch.size
@@ -410,11 +632,34 @@ class ServingEngine:
         executor.pending_stall_ms = 0.0
         interval = self.plan.image_interval_ms * factor
         fill = self.plan.per_image_latency_ms * factor + stall
+        occupancy_scale = 1.0
+        if runtime is not None:
+            breaker = runtime.breakers[executor.index]
+            # Inline of on_dispatch()'s closed-and-healthy branch; the
+            # state machine only runs on a slow dispatch or open episode.
+            if breaker._state or factor >= breaker.slow_factor - 1e-12:
+                delta = breaker.on_dispatch(now, factor)
+                if delta:
+                    runtime.note_breaker_transition(executor.index, delta,
+                                                    now, telemetry)
+            else:
+                breaker.slow_streak = 0
+            if runtime.degraded:
+                # Brownout: serve this batch at the degraded operating
+                # point — denser packing sustains a shorter image
+                # interval at the price of a slower pipeline fill.
+                plan = runtime.brownout_plan
+                occupancy_scale = plan.interval_scale
+                interval *= plan.interval_scale
+                fill = (self.plan.per_image_latency_ms * factor
+                        * plan.fill_scale + stall)
+                runtime.degraded_completions += size
         executor.free_at_ms = now + stall + size * interval
         telemetry.record_batch(size)
         for chip_id, shard in zip(executor.chip_ids, self.plan.shards):
             telemetry.record_chip_busy(
-                chip_id, stall + size * shard.image_interval_ms * factor)
+                chip_id, stall + size * shard.image_interval_ms * factor
+                * occupancy_scale)
         for j, request in enumerate(batch.requests):
             finish = now + fill + j * interval
             telemetry.record_completion(RequestRecord(
@@ -441,12 +686,13 @@ class ServingEngine:
     def _apply_fault(self, fault: ResolvedFault,
                      scheduler: MicroBatchScheduler,
                      telemetry: TelemetryCollector,
-                     retried_ids: set) -> bool:
+                     retried_ids: set,
+                     runtime: Optional[ResilienceRuntime] = None) -> bool:
         """Apply one resolved fault; returns True when the whole fleet is
         down afterwards (total outage — the caller fails everything)."""
         if fault.kind == "chip-kill":
             return self._apply_chip_kill(fault, scheduler, telemetry,
-                                         retried_ids)
+                                         retried_ids, runtime)
         if fault.kind == "straggler":
             ex = self._executor_for_chip(fault.chip)
             event = {"kind": "straggler", "at_ms": fault.at_ms,
@@ -483,9 +729,12 @@ class ServingEngine:
     def _apply_chip_kill(self, fault: ResolvedFault,
                          scheduler: MicroBatchScheduler,
                          telemetry: TelemetryCollector,
-                         retried_ids: set) -> bool:
+                         retried_ids: set,
+                         runtime: Optional[ResilienceRuntime] = None) -> bool:
         """Kill the replica group owning ``fault.chip``; fail over its
-        in-flight requests (retry once on survivors)."""
+        in-flight requests.  With the resilience runtime armed each
+        retraction draws on the run's retry budget and backs off before
+        resubmitting; disarmed, the legacy retry-once set applies."""
         ex = self._executor_for_chip(fault.chip)
         event = {"kind": "chip-kill", "at_ms": fault.at_ms,
                  "chip": fault.chip,
@@ -508,6 +757,20 @@ class ServingEngine:
         requeued_ids = []
         for rec in sorted(inflight,
                           key=lambda r: (r.arrival_ms, r.request_id)):
+            if runtime is not None:
+                if survivors and runtime.try_schedule_retry(
+                        Request(request_id=rec.request_id,
+                                arrival_ms=rec.arrival_ms,
+                                priority=rec.priority,
+                                model=rec.model),
+                        fault.at_ms):
+                    telemetry.record_retry(rec.request_id)
+                    requeued += 1
+                    requeued_ids.append(rec.request_id)
+                else:
+                    telemetry.record_failure(rec.request_id)
+                    lost += 1
+                continue
             can_retry = survivors and rec.request_id not in retried_ids
             if can_retry:
                 retried_ids.add(rec.request_id)
@@ -535,7 +798,8 @@ class ServingEngine:
     def _publish_metrics(self, telemetry: TelemetryCollector,
                          scheduler: MicroBatchScheduler,
                          registry: MetricsRegistry,
-                         faults_active: bool = False) -> None:
+                         faults_active: bool = False,
+                         resilience: Optional[dict] = None) -> None:
         """Bulk post-run publication under ``serve.engine.*`` /
         ``serve.scheduler.*`` — plus ``serve.faults.*`` when a fault plan
         was supplied (docs/observability.md).  Deliberately not
@@ -618,6 +882,57 @@ class ServingEngine:
                            ).set(sum(len(ex.chip_ids)
                                      for ex in self.executors
                                      if not ex.alive))
+        if resilience is not None:
+            res = "serve.resilience"
+            registry.counter(f"{res}.admitted",
+                             help="arrivals admitted past the gate"
+                             ).inc(resilience["admitted"])
+            registry.counter(f"{res}.admission_shed",
+                             help="arrivals shed by admission control"
+                             ).inc(resilience["admission_shed"])
+            registry.counter(f"{res}.shed_queue_delay",
+                             help="sheds by the CoDel delay controller"
+                             ).inc(resilience["shed_queue_delay"])
+            registry.counter(f"{res}.shed_token_bucket",
+                             help="sheds by the rate token bucket"
+                             ).inc(resilience["shed_token_bucket"])
+            registry.gauge(f"{res}.retry_budget",
+                           help="failover retry slots granted to the run"
+                           ).set(resilience["retry_budget"])
+            registry.counter(f"{res}.retries_scheduled",
+                             help="budgeted failover retries scheduled"
+                             ).inc(resilience["retries_scheduled"])
+            registry.counter(f"{res}.retry_exhausted",
+                             help="retry requests denied by the budget "
+                                  "or attempt cap"
+                             ).inc(resilience["retry_exhausted"])
+            registry.counter(f"{res}.breaker_opens",
+                             help="circuit-breaker open transitions"
+                             ).inc(resilience["breaker_opens"])
+            registry.counter(f"{res}.breaker_probes",
+                             help="half-open probe dispatches"
+                             ).inc(resilience["breaker_probes"])
+            registry.counter(f"{res}.breaker_closes",
+                             help="breaker episodes closed by a healthy "
+                                  "probe"
+                             ).inc(resilience["breaker_closes"])
+            registry.counter(f"{res}.fail_open_batches",
+                             help="batches served through open breakers "
+                                  "because no live replica was healthy"
+                             ).inc(resilience["fail_open_batches"])
+            registry.counter(f"{res}.brownout_entries",
+                             help="down-shifts to the degraded plan"
+                             ).inc(resilience["brownout_entries"])
+            registry.counter(f"{res}.brownout_exits",
+                             help="recoveries back to the primary plan"
+                             ).inc(resilience["brownout_exits"])
+            registry.gauge(f"{res}.brownout_ms",
+                           help="simulated ms spent browned out"
+                           ).set(resilience["brownout_ms"])
+            registry.counter(f"{res}.degraded_completions",
+                             help="requests served at the degraded "
+                                  "operating point"
+                             ).inc(resilience["degraded_completions"])
         scheduler.publish_metrics(registry)
 
     # ------------------------------------------------------------------
@@ -631,6 +946,11 @@ class ServingEngine:
                 f"operating point: {p.label} ({len(p.assignment)} epitome "
                 f"layers; search eval {p.crossbars} XBs, "
                 f"{p.latency_ms:.3f} ms, {p.energy_mj:.4f} mJ)")
+        if self.brownout_plan is not None:
+            b = self.brownout_plan
+            header.append(
+                f"brownout plan: {b.label} (interval x{b.interval_scale:.3f},"
+                f" fill x{b.fill_scale:.3f})")
         return "\n".join(header + [
             f"deployment: {len(r.layers)} layers, {r.num_crossbars} "
             f"crossbars, fill latency {r.latency_ms:.3f} ms, "

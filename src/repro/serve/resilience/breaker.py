@@ -1,0 +1,102 @@
+"""Per-replica-group circuit breakers (closed -> open -> half-open).
+
+The engine observes each replica's service factor at dispatch time (the
+straggler machinery already computes it); the breaker turns that signal
+into a routing decision.  ``trip_after`` consecutive slow dispatches
+open the breaker — the replica stops receiving batches for a cooldown —
+then exactly one probe batch is let through (half-open).  A healthy
+probe closes the breaker; a slow one re-opens it for another cooldown,
+so a replica inside a long straggler window is probed once per cooldown
+instead of poisoning every batch's tail.
+
+The engine fails open when every live replica is breaker-blocked: the
+breaker trades *where* work runs, never *whether* it runs.
+"""
+
+from __future__ import annotations
+
+from .config import BreakerPolicy
+
+__all__ = ["CircuitBreaker", "CLOSED", "OPEN", "HALF_OPEN"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+_CLOSED, _OPEN, _HALF_OPEN = 0, 1, 2
+_STATE_NAMES = (CLOSED, OPEN, HALF_OPEN)
+
+
+class CircuitBreaker:
+    """Breaker state machine for one replica group (simulated ms)."""
+
+    def __init__(self, policy: BreakerPolicy, base_ms: float):
+        self.slow_factor = policy.slow_factor
+        self.trip_after = policy.trip_after
+        self.cooldown_ms = policy.cooldown_factor * base_ms
+        self._state = _CLOSED
+        self.slow_streak = 0
+        self.open_until_ms = 0.0
+        self.opens = 0
+        self.probes = 0
+        self.closes = 0
+
+    @property
+    def state(self) -> str:
+        return _STATE_NAMES[self._state]
+
+    @property
+    def is_open(self) -> bool:
+        """In an open episode (open or awaiting its probe's verdict)."""
+        return self._state != _CLOSED
+
+    def allows(self, now_ms: float) -> bool:
+        """May the engine dispatch to this replica at ``now_ms``?
+
+        Called from the hot loop's executor filter.  An expired cooldown
+        transitions open -> half-open as a side effect, so the very call
+        that re-admits the replica marks its next dispatch as the probe.
+        """
+        if self._state == _CLOSED:
+            return True
+        if self._state == _OPEN:
+            if now_ms >= self.open_until_ms - 1e-9:
+                self._state = _HALF_OPEN
+                return True
+            return False
+        return True     # half-open: the probe dispatch may proceed
+
+    def on_dispatch(self, now_ms: float, service_factor: float) -> int:
+        """Feed one dispatch's observed service factor.
+
+        Returns +1 when this dispatch *opened* a new breaker episode,
+        -1 when it closed one (healthy probe), 0 otherwise — the engine
+        uses the transitions to record breaker span events.  A dispatch
+        that reaches an OPEN breaker (the engine's fail-open path when
+        every live replica is blocked) is ignored: the cooldown clock
+        keeps running toward the probe.
+        """
+        slow = service_factor >= self.slow_factor - 1e-12
+        if self._state == _HALF_OPEN:
+            self.probes += 1
+            if slow:
+                self.opens += 1
+                self._state = _OPEN
+                self.open_until_ms = now_ms + self.cooldown_ms
+                return 0        # episode continues
+            self._state = _CLOSED
+            self.slow_streak = 0
+            self.closes += 1
+            return -1
+        if self._state == _OPEN:
+            return 0
+        if slow:
+            self.slow_streak += 1
+            if self.slow_streak >= self.trip_after:
+                self.opens += 1
+                self._state = _OPEN
+                self.open_until_ms = now_ms + self.cooldown_ms
+                return 1
+        else:
+            self.slow_streak = 0
+        return 0

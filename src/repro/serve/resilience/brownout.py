@@ -1,0 +1,75 @@
+"""Brownout: hysteresis controller for the Pareto down-shift.
+
+Decides *when* the engine operates on its degraded
+:class:`~repro.serve.resilience.config.BrownoutPlan`; the plan itself
+(what the degraded mode costs and buys) is attached by
+:func:`repro.serve.deploy.engine_from_search` from a deployed search
+front, or synthesized from the policy's fallback scales.
+
+The controller watches the same queue-sojourn signal as admission
+control.  Entry requires the delay to *sustain* above ``enter_factor``
+quanta for ``enter_hold_factor`` quanta; exit requires it to sustain
+below ``exit_factor`` for ``exit_hold_factor``.  The dead band between
+the two thresholds plus the asymmetric holds (enter fast, exit slow)
+keep a bursty arrival process from flapping the operating point — every
+flap is a real-world recompile/re-route.
+"""
+
+from __future__ import annotations
+
+from .config import BrownoutPolicy
+
+__all__ = ["BrownoutController"]
+
+
+class BrownoutController:
+    """Enter/exit state machine for degraded-mode serving."""
+
+    def __init__(self, policy: BrownoutPolicy, base_ms: float):
+        self.enter_ms = policy.enter_factor * base_ms
+        self.exit_ms = policy.exit_factor * base_ms
+        self.enter_hold_ms = policy.enter_hold_factor * base_ms
+        self.exit_hold_ms = policy.exit_hold_factor * base_ms
+        self.active = False
+        self._over_since_ms = -1.0      # -1.0 = not currently over
+        self._under_since_ms = -1.0
+        self._entered_at_ms = 0.0
+        self.entries = 0
+        self.exits = 0
+        self.degraded_ms = 0.0
+
+    def update(self, now_ms: float, delay_ms: float) -> int:
+        """Feed one engine event; returns +1 on entry, -1 on exit, 0."""
+        if not self.active:
+            if delay_ms >= self.enter_ms - 1e-9:
+                if self._over_since_ms < 0.0:
+                    self._over_since_ms = now_ms
+                if now_ms - self._over_since_ms >= self.enter_hold_ms - 1e-9:
+                    self.active = True
+                    self.entries += 1
+                    self._entered_at_ms = now_ms
+                    self._under_since_ms = -1.0
+                    return 1
+            else:
+                self._over_since_ms = -1.0
+            return 0
+        if delay_ms <= self.exit_ms + 1e-9:
+            if self._under_since_ms < 0.0:
+                self._under_since_ms = now_ms
+            if now_ms - self._under_since_ms >= self.exit_hold_ms - 1e-9:
+                self.active = False
+                self.exits += 1
+                self.degraded_ms += now_ms - self._entered_at_ms
+                self._over_since_ms = -1.0
+                return -1
+        else:
+            self._under_since_ms = -1.0
+        return 0
+
+    def finalize(self, now_ms: float) -> None:
+        """Close the books at end of run: a still-active brownout counts
+        its elapsed window into ``degraded_ms`` (no exit is recorded —
+        the run simply ended browned out)."""
+        if self.active:
+            self.degraded_ms += max(0.0, now_ms - self._entered_at_ms)
+            self._entered_at_ms = now_ms

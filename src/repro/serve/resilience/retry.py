@@ -1,0 +1,76 @@
+"""Retry budgets with seeded exponential backoff.
+
+Replaces the engine's retry-once failover set: a chip kill retracts the
+victim replica's in-flight requests, and each retraction asks the budget
+for a retry slot.  Granted slots reschedule the request at ``now +
+backoff`` instead of resubmitting into the (usually spiking) post-fault
+queue immediately; denied slots fail the request, preserving the
+``completed + rejected + failed == offered`` conservation invariant.
+
+The budget is global per run (``ceil(budget_fraction x offered)``) with
+a per-request attempt cap, so a retry storm can never amplify offered
+load unboundedly — the classic retry-budget argument.  Backoff jitter is
+the subsystem's only randomness and comes from the caller's seeded
+generator, keeping whole runs byte-identical per seed.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+import numpy as np
+
+from .config import RetryPolicy
+
+__all__ = ["RetryBudget"]
+
+
+class RetryBudget:
+    """Per-run failover retry accounting (see module docstring)."""
+
+    def __init__(self, policy: RetryPolicy, offered: int, base_ms: float,
+                 seed: int):
+        self.policy = policy
+        self.budget = int(math.ceil(policy.budget_fraction * offered)) \
+            if offered > 0 else 0
+        self.base_ms = policy.base_factor * base_ms
+        self.cap_ms = policy.cap_factor * base_ms
+        # The generator is built on first use: fault-free runs never pay
+        # for PRNG construction (it is a measurable slice of the <5%
+        # arming budget on short traces).
+        self._seed = seed
+        self._rng: np.random.Generator = None
+        self.spent = 0
+        self.exhausted = 0
+        self.attempts: Dict[int, int] = {}
+
+    @property
+    def remaining(self) -> int:
+        return self.budget - self.spent
+
+    def try_reserve(self, request_id: int) -> int:
+        """Reserve one retry slot for ``request_id``.
+
+        Returns the attempt number (1-based) on success, 0 when the run
+        budget is spent or the request hit its attempt cap — the caller
+        must then record the request as failed.
+        """
+        attempt = self.attempts.get(request_id, 0) + 1
+        if self.spent >= self.budget or attempt > self.policy.max_attempts:
+            self.exhausted += 1
+            return 0
+        self.attempts[request_id] = attempt
+        self.spent += 1
+        return attempt
+
+    def backoff_ms(self, attempt: int) -> float:
+        """Jittered exponential backoff for the ``attempt``-th retry:
+        ``min(base x 2^(attempt-1), cap) x U[1, 1+jitter)``."""
+        if self._rng is None:
+            self._rng = np.random.default_rng(
+                np.random.SeedSequence([self._seed]))
+        raw = self.base_ms * (2.0 ** (attempt - 1))
+        if raw > self.cap_ms:
+            raw = self.cap_ms
+        return raw * (1.0 + self.policy.jitter * float(self._rng.random()))

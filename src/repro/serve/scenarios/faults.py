@@ -92,8 +92,37 @@ class FaultEvent:
         if self.until is not None and self.until_ms is not None:
             raise FaultSpecError(
                 "straggler: until and until_ms are exclusive")
+        # An until that cannot come after t is rejected at declaration
+        # time when both share a base; mixed bases (until_ms against a
+        # fractional t) are only comparable after resolve() pins them.
+        if self.until is not None and self.at is not None \
+                and self.until <= self.at:
+            raise FaultSpecError(
+                f"straggler: until ({self.until:g}) must come after "
+                f"t ({self.at:g})")
+        if self.until_ms is not None and self.at_ms is not None \
+                and self.until_ms <= self.at_ms:
+            raise FaultSpecError(
+                f"straggler: until_ms ({self.until_ms:g}) must come "
+                f"after t_ms ({self.at_ms:g})")
         if self.stall_ms is not None and self.stall_ms <= 0:
             raise FaultSpecError("cache-wipe: stall_ms must be > 0")
+
+    def window(self) -> Optional[Tuple[str, float, float]]:
+        """The straggler's ``(base, start, end)`` degradation window when
+        start and end live on the same base (``"frac"`` fractions or
+        ``"ms"`` absolute); None for non-stragglers and mixed-base events
+        (those are only comparable once :meth:`FaultPlan.resolve` pins
+        them).  An open-ended window runs to +inf."""
+        if self.kind != "straggler":
+            return None
+        if self.at is not None and self.until_ms is None:
+            return ("frac", self.at,
+                    self.until if self.until is not None else float("inf"))
+        if self.at_ms is not None and self.until is None:
+            return ("ms", self.at_ms, self.until_ms
+                    if self.until_ms is not None else float("inf"))
+        return None
 
     def describe(self) -> str:
         when = (f"t={self.at:g}" if self.at is not None
@@ -128,6 +157,28 @@ class FaultPlan:
 
     def __init__(self, events: Sequence[FaultEvent] = ()):
         self.events: Tuple[FaultEvent, ...] = tuple(events)
+        # Overlapping straggler windows on one chip would silently
+        # clobber each other's factor/until in the engine; reject them
+        # here for same-base declarations (mixed fraction/ms pairs are
+        # re-checked in resolve() once pinned to a trace span).
+        by_chip: Dict[Tuple[int, str], List[Tuple[float, float,
+                                                  FaultEvent]]] = {}
+        for event in self.events:
+            win = event.window()
+            if win is not None:
+                base, start, end = win
+                by_chip.setdefault((event.chip, base), []).append(
+                    (start, end, event))
+        for (chip, _), windows in by_chip.items():
+            windows.sort(key=lambda w: w[0])
+            for (s1, e1, ev1), (s2, e2, ev2) in zip(windows, windows[1:]):
+                if s2 < e1:
+                    raise FaultSpecError(
+                        f"overlapping straggler windows on chip {chip}: "
+                        f"{ev1.describe()!r} is still active when "
+                        f"{ev2.describe()!r} fires — the second would "
+                        "silently clobber the first; stagger the windows "
+                        "or use different chips")
 
     def __len__(self) -> int:
         return len(self.events)
@@ -166,7 +217,26 @@ class FaultPlan:
                 kind=event.kind, at_ms=at_ms, chip=event.chip,
                 factor=event.factor, until_ms=until_ms,
                 stall_ms=event.stall_ms))
-        return sorted(resolved, key=lambda f: f.at_ms)
+        ordered = sorted(resolved, key=lambda f: f.at_ms)
+        # Same overlap rule as __init__, now that every window is pinned
+        # to absolute ms — this is what catches mixed-base declarations
+        # (and fraction windows a degenerate span collapses together).
+        last_end: Dict[int, Tuple[float, ResolvedFault]] = {}
+        for fault in ordered:
+            if fault.kind != "straggler":
+                continue
+            prev = last_end.get(fault.chip)
+            if prev is not None and fault.at_ms < prev[0]:
+                raise FaultSpecError(
+                    f"overlapping straggler windows on chip {fault.chip}: "
+                    f"one is still active at {fault.at_ms:g} ms when the "
+                    "next fires — the second would silently clobber the "
+                    "first; stagger the windows or use different chips")
+            end = (fault.until_ms if fault.until_ms is not None
+                   else float("inf"))
+            if prev is None or end > prev[0]:
+                last_end[fault.chip] = (end, fault)
+        return ordered
 
     def describe(self) -> str:
         if not self.events:

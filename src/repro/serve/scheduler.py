@@ -110,6 +110,8 @@ class MicroBatchScheduler:
         self._release_heap: List[Tuple[Tuple, Request]] = []
         self._arrival_heap: List[Tuple[float, int]] = []
         self._live: dict = {}       # seq still queued -> arrival_ms
+        self._oldest_cache: Optional[float] = None   # valid iff not dirty
+        self._oldest_dirty = False
         self._seq = 0
         self.num_submitted = 0
         self.num_rejected = 0
@@ -139,12 +141,25 @@ class MicroBatchScheduler:
         heapq.heappush(self._arrival_heap, (request.arrival_ms, self._seq))
         self._live[self._seq] = request.arrival_ms
         self._seq += 1
+        # A fresh arrival only moves the cached window anchor when it is
+        # older than the current head (a failover re-submission) or the
+        # queue was empty; in-order traffic keeps the cache warm.
+        if self._oldest_cache is None or request.arrival_ms < self._oldest_cache:
+            self._oldest_cache = request.arrival_ms
         return True
 
     # ------------------------------------------------------------------
     # reprolint: hot-loop -- two-heap drain path (20k-deep queue, PR 3)
     def oldest_arrival_ms(self) -> Optional[float]:
-        """Arrival time of the oldest queued request (window anchor)."""
+        """Arrival time of the oldest queued request (window anchor).
+
+        Cached between queue mutations: the engine reads this several
+        times per event (batching window, admission delay, brownout
+        signal) against an unchanged queue, so only the first read after
+        a release pays for heap maintenance.
+        """
+        if not self._oldest_dirty:
+            return self._oldest_cache
         while self._arrival_heap and self._arrival_heap[0][1] not in self._live:
             heapq.heappop(self._arrival_heap)       # evict released entries
         if len(self._arrival_heap) > 2 * len(self._live) + 16:
@@ -153,9 +168,12 @@ class MicroBatchScheduler:
             self._arrival_heap = [(arrival, seq)
                                   for seq, arrival in self._live.items()]
             heapq.heapify(self._arrival_heap)
+        self._oldest_dirty = False
         if not self._arrival_heap:
-            return None
-        return self._arrival_heap[0][0]
+            self._oldest_cache = None
+        else:
+            self._oldest_cache = self._arrival_heap[0][0]
+        return self._oldest_cache
 
     def next_timeout_ms(self) -> Optional[float]:
         """When the batching window expires for the current queue head."""
@@ -193,6 +211,7 @@ class MicroBatchScheduler:
             self._live.pop(key[-1], None)   # keys end with the seq number
             released.append(request)
         self.num_batches += 1
+        self._oldest_dirty = True
         return Batch(requests=tuple(released), formed_ms=now_ms)
 
     # ------------------------------------------------------------------

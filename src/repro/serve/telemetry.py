@@ -59,6 +59,12 @@ class TelemetryCollector:
         self.failed: List[int] = []
         self.retried: List[int] = []
         self.fault_events: List[Dict] = []
+        # Resilience bookkeeping: transition events (breaker open/close,
+        # brownout enter/exit) for span synthesis, and the run's stats
+        # dict attached by the engine when a ResilienceConfig was armed
+        # (None otherwise, so summaries of plain runs are unchanged).
+        self.resilience_events: List[Dict] = []
+        self.resilience: Optional[Dict] = None
         self.queue_samples: List[Tuple[float, int]] = []
         self.chip_busy_ms: Dict[int, float] = {c: 0.0 for c in range(num_chips)}
         self.batch_sizes: List[int] = []
@@ -86,6 +92,13 @@ class TelemetryCollector:
         """One applied fault event (kind, firing time, and its failover
         outcome — see :meth:`repro.serve.engine.ServingEngine.serve`)."""
         self.fault_events.append(event)
+
+    def record_resilience(self, event: Dict) -> None:
+        """One resilience state transition (``breaker-open`` /
+        ``breaker-close`` / ``brownout-enter`` / ``brownout-exit``) —
+        kept apart from ``fault_events`` so injected-fault accounting
+        and the ``serve.faults.*`` cross-checks stay untouched."""
+        self.resilience_events.append(event)
 
     def drop_records(self, records: List[RequestRecord]) -> None:
         """Retract completion records for requests that were in flight
@@ -172,11 +185,15 @@ class TelemetryCollector:
 
     def availability(self) -> float:
         """Fraction of offered requests that completed (shed *and*
-        fault-lost requests count against it); NaN when the run saw no
-        traffic."""
+        fault-lost requests count against it).
+
+        An empty run is vacuously available (1.0): zero offered requests
+        means zero were denied, and a NaN here would leak through
+        ``summary()`` into SLO reports as a spurious miss (the SLO layer
+        treats NaN observations as failed targets)."""
         offered = self.num_completed + self.num_rejected + self.num_failed
         if offered == 0:
-            return float("nan")
+            return 1.0
         return self.num_completed / offered
 
     def throughput_fps(self) -> float:
@@ -297,6 +314,12 @@ class TelemetryCollector:
         }
         for chip, util in self.chip_utilization().items():
             out[f"chip{chip}_utilization"] = util
+        if self.resilience is not None:
+            # Only resilience-armed runs carry these keys — plain runs'
+            # summaries stay byte-identical to previous releases (the
+            # CI scenario matrix depends on that).
+            for key, value in self.resilience.items():
+                out[f"resilience_{key}"] = value
         if slo is not None:
             out.update(self.slo_attainment(slo).as_dict())
         return {key: None if isinstance(value, float) and np.isnan(value)
@@ -342,6 +365,17 @@ class TelemetryCollector:
                                event.get("label", event.get("kind", "?")),
                                event.get("outcome", ""))
             sections.append(faults.render())
+        if self.resilience is not None:
+            res = Table(["metric", "value"], title="resilience")
+            res.add_row("admission shed", self.resilience["admission_shed"])
+            res.add_row("retry budget",
+                        f"{self.resilience['retries_scheduled']:g} / "
+                        f"{self.resilience['retry_budget']:g} used")
+            res.add_row("breaker opens", self.resilience["breaker_opens"])
+            res.add_row("brownout time (ms)", self.resilience["brownout_ms"])
+            res.add_row("degraded completions",
+                        self.resilience["degraded_completions"])
+            sections.append(res.render())
         saturated = self.saturated_chips()
         if saturated:
             sections.append(

@@ -25,6 +25,7 @@ from repro.search import (
 )
 from repro.serve.cache import DeploymentCache
 from repro.serve.engine import ServingConfig, ServingEngine
+from repro.serve.resilience import ResilienceConfig
 from repro.serve.scheduler import SchedulerConfig
 from repro.serve.trace import synthetic_trace
 
@@ -48,6 +49,10 @@ def smoke():
             40, rate_rps=0.8 * engine.plan.throughput_fps, seed=3)
         engine.serve(trace, metrics=registry,
                      faults="straggler@t=0.2:factor=3:until=0.8")
+        # serve.resilience.*: an armed replay publishes the whole
+        # family (controllers that never fire still publish zeros).
+        engine.serve(trace, metrics=registry,
+                     resilience=ResilienceConfig(seed=3))
         # serve.cache.*: two misses into a capacity-1 cache forces an
         # eviction; a repeat is a hit.
         cache = DeploymentCache(capacity=1)

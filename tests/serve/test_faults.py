@@ -82,6 +82,9 @@ class TestParsing:
         ("chip-kill@t=0.5:t_ms=10", "exactly one of t / t_ms"),
         ("straggler@t=0.2:factor=0.5", "factor must be > 1"),
         ("straggler@t=0.2:until=0.2:until_ms=5", "exclusive"),
+        ("straggler@t=0.5:until=0.5", "must come after"),
+        ("straggler@t=0.5:until=0.3", "must come after"),
+        ("straggler@t_ms=100:until_ms=100", "must come after"),
         ("cache-wipe@t=0.2:stall_ms=0", "stall_ms must be > 0"),
         ("chip-kill@t=0.5:chip=1:chip=2", "duplicate option"),
     ])
@@ -115,6 +118,38 @@ class TestParsing:
     def test_describe_round_trips_spec(self):
         spec = "chip-kill@t=0.5 chip=1"
         assert parse_faults("chip-kill@t=0.5:chip=1").describe() == spec
+
+    def test_rejects_overlapping_straggler_windows_on_one_chip(self):
+        with pytest.raises(FaultSpecError, match="overlapping straggler"):
+            parse_faults("straggler@t=0.2:chip=1:until=0.6,"
+                         "straggler@t=0.4:chip=1:until=0.8")
+
+    def test_disjoint_windows_on_one_chip_are_legal(self):
+        plan = parse_faults("straggler@t=0.2:chip=1:until=0.4,"
+                            "straggler@t=0.4:chip=1:until=0.8")
+        assert len(plan) == 2
+
+    def test_overlapping_windows_on_different_chips_are_legal(self):
+        plan = parse_faults("straggler@t=0.2:chip=0:until=0.8,"
+                            "straggler@t=0.3:chip=1:until=0.7")
+        assert len(plan) == 2
+
+    def test_resolve_catches_mixed_base_overlap(self):
+        # One window in fractions, one in absolute ms: declaration time
+        # cannot compare them, resolve() against a real span must.
+        plan = parse_faults("straggler@t=0.2:chip=1:until=0.8,"
+                            "straggler@t_ms=500:chip=1:until_ms=900")
+        with pytest.raises(FaultSpecError, match="overlapping straggler"):
+            plan.resolve(0.0, 1000.0)
+        # The same pair is fine on a span where the windows clear.
+        disjoint = parse_faults("straggler@t=0.1:chip=1:until=0.2,"
+                                "straggler@t_ms=500:chip=1:until_ms=900")
+        assert len(disjoint.resolve(0.0, 1000.0)) == 2
+
+    def test_open_ended_window_overlaps_any_later_start(self):
+        with pytest.raises(FaultSpecError, match="overlapping straggler"):
+            parse_faults("straggler@t=0.2:chip=1,"
+                         "straggler@t=0.9:chip=1:until=0.95")
 
 
 class TestFailover:
