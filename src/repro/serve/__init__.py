@@ -12,6 +12,8 @@ endpoint that answers request traffic:
 - :mod:`repro.serve.cache` — LRU cache of compiled deployments keyed by
   (model spec, hardware config) fingerprints;
 - :mod:`repro.serve.engine` — the discrete-event serving loop;
+- :mod:`repro.serve.vectorized` — the whole-trace array replay engine
+  (byte-identical summaries at web scale, docs/vectorized-replay.md);
 - :mod:`repro.serve.deploy` — deploy ``repro search --json`` results:
   operating-point selection off a Pareto front (latency-opt / energy-opt /
   knee / index) and the A/B offered-load sweep;
@@ -33,7 +35,7 @@ from .cache import (
     hardware_fingerprint,
     spec_fingerprint,
 )
-from .engine import ServingConfig, ServingEngine
+from .engine import ENGINES, ServingConfig, ServingEngine
 from .deploy import (
     AB_LOAD_FACTORS,
     LoadedSearchResult,
@@ -72,11 +74,25 @@ from .sharding import (
     recommended_chips,
 )
 from .telemetry import RequestRecord, TelemetryCollector
-from .trace import Request, load_trace, save_trace, synthetic_trace
+from .trace import (
+    Request,
+    TraceArrays,
+    arrays_from_requests,
+    load_trace,
+    save_trace,
+    synthetic_trace,
+    synthetic_trace_arrays,
+)
+from .vectorized import replay_vectorized
 
 __all__ = [
     "Request",
+    "TraceArrays",
+    "arrays_from_requests",
     "synthetic_trace",
+    "synthetic_trace_arrays",
+    "replay_vectorized",
+    "ENGINES",
     "save_trace",
     "load_trace",
     "SchedulerConfig",

@@ -128,6 +128,13 @@ def add_serve_parser(subparsers) -> argparse.ArgumentParser:
     fleet.add_argument("--mode", default="auto",
                        choices=["auto", "replica", "layer"],
                        help="sharding mode across chips")
+    fleet.add_argument("--engine", default="auto",
+                       choices=["auto", "scalar", "vectorized"],
+                       help="replay engine: the scalar event loop, the "
+                            "whole-trace vectorized engine, or auto "
+                            "(vectorized unless faults/resilience/non-FIFO "
+                            "need the scalar loop — "
+                            "docs/vectorized-replay.md)")
 
     sched = p.add_argument_group("scheduler")
     sched.add_argument("--max-batch", type=int, default=8,
@@ -260,7 +267,8 @@ def _build_engine(args, resilience=None) -> ServingEngine:
             num_chips=args.num_chips, mode=args.mode,
             scheduler=_scheduler_config(args),
             resilience=resilience,
-            brownout_policy=args.brownout_policy)
+            brownout_policy=args.brownout_policy,
+            engine=args.engine)
         if args.export_manifest is not None:
             # engine_from_search already compiled this manifest; write
             # the retained copy rather than recompiling the deployment.
@@ -272,7 +280,8 @@ def _build_engine(args, resilience=None) -> ServingEngine:
                    else DEFAULT_NUM_CHIPS),
         mode=args.mode,
         scheduler=_scheduler_config(args),
-        resilience=resilience)
+        resilience=resilience,
+        engine=args.engine)
     if args.manifest is not None:
         return ServingEngine.from_manifest(args.manifest, serving)
 
@@ -309,7 +318,8 @@ def _run_ab(args, fault_plan=None) -> int:
         policy: engine_from_search(
             result, policy=policy, index=args.point_index,
             num_chips=args.num_chips, mode=args.mode,
-            scheduler=_scheduler_config(args))
+            scheduler=_scheduler_config(args),
+            engine=args.engine)
         for policy in (args.policy, args.ab_policy)}
     for policy, engine in engines.items():
         print(f"[{policy}]")
@@ -446,6 +456,11 @@ def _run_serve(args) -> int:
     registry = MetricsRegistry()
     with use_tracer(tracer), use_metrics(registry):
         telemetry = engine.serve(trace, faults=fault_plan)
+    used = f"replay engine: {engine.last_engine}"
+    if engine.engine_fallback_reason:
+        used += f" (auto fell back to scalar: {engine.engine_fallback_reason})"
+    print(used)
+    print()
     print(telemetry.report(slo=slo))
     _write_obs_artifacts(args, tracer, registry)
     if args.json:

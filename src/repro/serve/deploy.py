@@ -302,7 +302,8 @@ def engine_from_search(source: Union[str, Path, Mapping, LoadedSearchResult],
                        lut: ComponentLUT = DEFAULT_LUT,
                        resilience=None,
                        brownout_policy: Optional[str] = None,
-                       brownout_index: Optional[int] = None
+                       brownout_index: Optional[int] = None,
+                       engine: str = "auto"
                        ) -> ServingEngine:
     """A :class:`ServingEngine` serving one operating point of a search.
 
@@ -316,6 +317,8 @@ def engine_from_search(source: Union[str, Path, Mapping, LoadedSearchResult],
 
     ``resilience`` (a :class:`~repro.serve.resilience.ResilienceConfig`)
     arms the resilience runtime for every serve() call on the engine.
+    ``engine`` picks the replay engine (``auto``/``scalar``/
+    ``vectorized``, see docs/vectorized-replay.md).
     ``brownout_policy`` selects a *second* point off the same front as
     the degraded brownout plan (usually ``energy-opt`` against a
     ``latency-opt`` primary): its timing is simulated at the engine's
@@ -333,15 +336,15 @@ def engine_from_search(source: Union[str, Path, Mapping, LoadedSearchResult],
         num_chips = recommended_chips(report, config, replicas=replicas)
     serving = ServingConfig(num_chips=num_chips, mode=mode,
                             scheduler=scheduler or SchedulerConfig(),
-                            resilience=resilience)
-    engine = ServingEngine(report, serving, config, lut)
-    engine.operating_point = point
-    engine.deployment_manifest = manifest
+                            resilience=resilience, engine=engine)
+    served = ServingEngine(report, serving, config, lut)
+    served.operating_point = point
+    served.deployment_manifest = manifest
     if brownout_policy is not None:
-        engine.attach_brownout(brownout_plan_from_search(
-            result, engine, policy=brownout_policy, index=brownout_index,
+        served.attach_brownout(brownout_plan_from_search(
+            result, served, policy=brownout_policy, index=brownout_index,
             config=config, lut=lut))
-    return engine
+    return served
 
 
 def brownout_plan_from_search(result: LoadedSearchResult,

@@ -40,11 +40,19 @@ from .scenarios.faults import FaultPlan, ResolvedFault, parse_faults
 from .scheduler import Batch, MicroBatchScheduler, SchedulerConfig
 from .sharding import ShardPlan, plan_sharding
 from .telemetry import RequestRecord, TelemetryCollector
-from .trace import Request
+from .trace import Request, TraceArrays
+from .vectorized import replay_vectorized
 
-__all__ = ["ServingConfig", "ServingEngine", "DEFAULT_WIPE_STALL_FACTOR"]
+__all__ = ["ServingConfig", "ServingEngine", "DEFAULT_WIPE_STALL_FACTOR",
+           "ENGINES"]
 
 _EPS = 1e-9
+
+# Replay engine choices: "scalar" is the per-request event loop below
+# (the permanent oracle), "vectorized" the whole-trace array engine in
+# repro.serve.vectorized, and "auto" picks vectorized whenever nothing
+# armed needs per-request control flow (docs/vectorized-replay.md).
+ENGINES = ("auto", "scalar", "vectorized")
 
 # A cache wipe stalls each replica's next dispatch for a recompile,
 # priced as this multiple of the deployment's pipeline fill latency
@@ -63,10 +71,16 @@ class ServingConfig:
     # circuit breakers, brownout) for every serve() call on the engine;
     # None keeps the plain fast path byte-identical to prior releases.
     resilience: Optional[ResilienceConfig] = None
+    # Replay engine: one of ENGINES.  "auto" runs the vectorized engine
+    # when the run arms nothing it cannot express and falls back to the
+    # scalar loop otherwise (recording engine_fallback_reason).
+    engine: str = "auto"
 
     def __post_init__(self):
         if self.num_chips < 1:
             raise ValueError("num_chips must be >= 1")
+        if self.engine not in ENGINES:
+            raise ValueError(f"engine must be one of {ENGINES}")
 
 
 @dataclass
@@ -251,6 +265,11 @@ class ServingEngine:
             _Executor(index=replica, chip_ids=ids, plan=self.plan,
                       track=f"replica{replica}")
             for replica, ids in enumerate(self.plan.replica_groups())]
+        # Which replay engine the last serve() actually used, and why
+        # auto fell back to scalar (None on a vectorized or explicit
+        # run) — surfaced by describe() and the serve CLI.
+        self.last_engine: Optional[str] = None
+        self.engine_fallback_reason: Optional[str] = None
 
     # ------------------------------------------------------------------
     # Construction paths
@@ -329,11 +348,12 @@ class ServingEngine:
     # obs.overhead benchmark gates enabled-mode overhead <5%) and no
     # per-iteration allocator calls — enforced by the H-rules.
     # reprolint: hot-loop
-    def serve(self, requests: Sequence[Request],
+    def serve(self, requests: Union[Sequence[Request], TraceArrays],
               tracer: Optional[Tracer] = None,
               metrics: Optional[MetricsRegistry] = None,
               faults: Union[FaultPlan, str, None] = None,
-              resilience: Optional[ResilienceConfig] = None
+              resilience: Optional[ResilienceConfig] = None,
+              engine: Optional[str] = None
               ) -> TelemetryCollector:
         """Replay a trace through the scheduler/executors; returns the
         telemetry of the whole run (simulated time).
@@ -364,6 +384,19 @@ class ServingEngine:
         nothing either way: an enabled tracer receives one lazy closure
         per run that expands the telemetry records into spans at export
         time — see the ``obs.overhead`` benchmark.
+
+        ``engine`` overrides ``config.engine`` for this call: ``"scalar"``
+        forces the event loop below, ``"vectorized"`` the whole-trace
+        array engine (:mod:`repro.serve.vectorized` — byte-identical
+        summaries, held to that by tests/serve/test_engine_equivalence),
+        and ``"auto"`` picks vectorized unless the run arms per-request
+        control flow it cannot express (a fault plan, the resilience
+        runtime, a non-FIFO scheduler policy) — then it falls back to
+        scalar and records :attr:`engine_fallback_reason`.  Requesting
+        ``"vectorized"`` with such a blocker armed raises ``ValueError``
+        rather than silently changing results.  ``requests`` may be a
+        :class:`~repro.serve.trace.TraceArrays` column trace; the scalar
+        path materializes it, the vectorized path consumes it directly.
         """
         tracer = tracer if tracer is not None else get_tracer()
         metrics = metrics if metrics is not None else get_metrics()
@@ -371,6 +404,49 @@ class ServingEngine:
             faults = parse_faults(faults)
         if resilience is None:
             resilience = self.config.resilience
+
+        choice = engine if engine is not None else self.config.engine
+        if choice not in ENGINES:
+            raise ValueError(f"engine must be one of {ENGINES}")
+        blockers = []
+        if faults is not None:
+            blockers.append("fault plan armed")
+        if resilience is not None:
+            blockers.append("resilience runtime armed")
+        blockers.extend(self.config.scheduler.vectorization_blockers())
+        if choice == "vectorized" and blockers:
+            raise ValueError(
+                "vectorized engine cannot express: " + "; ".join(blockers)
+                + " — use engine='scalar' or 'auto'")
+        use_vectorized = (choice == "vectorized"
+                          or (choice == "auto" and not blockers))
+        self.last_engine = "vectorized" if use_vectorized else "scalar"
+        self.engine_fallback_reason = (blockers[0]
+                                       if choice == "auto" and blockers
+                                       else None)
+        if use_vectorized:
+            telemetry = replay_vectorized(self, requests)
+            if not (telemetry.num_completed or telemetry.num_rejected):
+                return telemetry
+            # Stand-in for the scheduler the scalar loop would have run:
+            # on this path every offered request was either accepted and
+            # dispatched or shed by the bounded queue, so the lifetime
+            # counters _publish_metrics folds in are fully determined.
+            scheduler = MicroBatchScheduler(self.config.scheduler)
+            scheduler.num_submitted = (telemetry.num_completed
+                                       + telemetry.num_rejected)
+            scheduler.num_rejected = telemetry.num_rejected
+            scheduler.num_batches = telemetry.num_batches
+            if tracer.enabled:
+                tracks = {ex.chip_ids: (ex.index, ex.track)
+                          for ex in self.executors}
+                tracer.add_source(
+                    lambda: _span_events(telemetry.records, tracks))
+            self._publish_metrics(telemetry, scheduler, metrics)
+            return telemetry
+
+        if isinstance(requests, TraceArrays):
+            requests = requests.materialize()
         trace = sorted(requests,
                        key=lambda r: (r.arrival_ms, r.request_id))
         scheduler = MicroBatchScheduler(self.config.scheduler)
@@ -814,17 +890,16 @@ class ServingEngine:
                          ).inc(telemetry.num_rejected)
         registry.counter(f"{eng}.batches_dispatched",
                          help="micro-batches executed"
-                         ).inc(len(telemetry.batch_sizes))
+                         ).inc(telemetry.num_batches)
         registry.gauge(f"{eng}.chips",
                        help="chips provisioned by the shard plan"
                        ).set(self.config.num_chips)
         registry.gauge(f"{eng}.throughput_fps",
                        help="achieved completions/s of the last run"
                        ).set(telemetry.throughput_fps())
-        if telemetry.records:
-            records = telemetry.records
-            latency = np.array([r.latency_ms for r in records])
-            wait = np.array([r.wait_ms for r in records])
+        if telemetry.num_completed:
+            latency = telemetry.latency_values()
+            wait = telemetry.wait_values()
             registry.histogram(f"{eng}.latency_ms",
                                help="end-to-end request latency (ms)"
                                ).observe_many(latency)
@@ -834,19 +909,19 @@ class ServingEngine:
             registry.histogram(f"{eng}.service_ms",
                                help="chip service time (ms)"
                                ).observe_many(latency - wait)
-        if telemetry.batch_sizes:
+        if telemetry.num_batches:
             registry.histogram(
                 f"{eng}.batch_size",
                 buckets=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0),
                 help="formed micro-batch sizes"
-                ).observe_many(telemetry.batch_sizes)
-        if telemetry.queue_samples:
+                ).observe_many(telemetry.batch_size_values())
+        if telemetry.num_queue_samples:
             registry.histogram(
                 f"{eng}.queue_depth",
                 buckets=(0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0,
                          128.0, 256.0),
                 help="queue depth at engine events"
-                ).observe_many([d for _, d in telemetry.queue_samples])
+                ).observe_many(telemetry.queue_depth_values())
         if faults_active:
             flt = "serve.faults"
             by_kind = {"chip-kill": 0, "straggler": 0, "cache-wipe": 0}
@@ -951,6 +1026,11 @@ class ServingEngine:
             header.append(
                 f"brownout plan: {b.label} (interval x{b.interval_scale:.3f},"
                 f" fill x{b.fill_scale:.3f})")
+        engine_line = f"engine: {self.config.engine}"
+        if self.last_engine is not None:
+            engine_line += f"; last run: {self.last_engine}"
+            if self.engine_fallback_reason:
+                engine_line += f" (fallback: {self.engine_fallback_reason})"
         return "\n".join(header + [
             f"deployment: {len(r.layers)} layers, {r.num_crossbars} "
             f"crossbars, fill latency {r.latency_ms:.3f} ms, "
@@ -960,4 +1040,5 @@ class ServingEngine:
             f"window={self.config.scheduler.window_ms} ms "
             f"queue_depth={self.config.scheduler.queue_depth} "
             f"policy={self.config.scheduler.policy}",
+            engine_line,
         ])

@@ -29,7 +29,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from ..trace import Request
+from ..trace import Request, TraceArrays, arrays_from_requests
 
 __all__ = ["Scenario", "ProfileScenario", "PROFILE_GRID", "RATE_FLOOR"]
 
@@ -55,6 +55,20 @@ class Scenario:
         """Generate a reproducible trace at a mean offered load of
         ``rate_rps`` requests/second."""
         raise NotImplementedError
+
+    def to_trace_arrays(self, num_requests: int, rate_rps: float,
+                        seed: int = 0, start_ms: float = 0.0) -> TraceArrays:
+        """Columnar form of the same trace (no per-request objects).
+
+        The default converts the object trace, so every registered
+        scenario supports array output; :class:`ProfileScenario`
+        overrides it to build the columns natively and derives
+        ``to_trace`` *from them* — the array path is the source of
+        truth, not a parallel implementation that could drift.
+        """
+        return arrays_from_requests(
+            self.to_trace(num_requests, rate_rps, seed=seed,
+                          start_ms=start_ms))
 
     def describe(self) -> str:
         return f"{self.name}: {self.description}"
@@ -100,8 +114,15 @@ class ProfileScenario(Scenario):
         """
         return np.zeros(num_requests, dtype=int), None
 
-    def to_trace(self, num_requests: int, rate_rps: float, seed: int = 0,
-                 start_ms: float = 0.0) -> List[Request]:
+    def to_trace_arrays(self, num_requests: int, rate_rps: float,
+                        seed: int = 0, start_ms: float = 0.0) -> TraceArrays:
+        """Invert the cumulative intensity straight into columns.
+
+        This is the native generation path: ``to_trace`` materializes
+        these arrays, so the object and column forms of one
+        ``(scenario, n, rate, seed)`` cell are identical floats by
+        construction (the property tests assert it anyway).
+        """
         if num_requests < 1:
             raise ValueError("num_requests must be >= 1")
         if rate_rps <= 0:
@@ -124,10 +145,13 @@ class ProfileScenario(Scenario):
         arrivals = start_ms + np.interp(tau, cum, t_grid)
 
         priorities, models = self.annotate(num_requests, rng)
-        if models is None:
-            return [Request(request_id=i, arrival_ms=float(arrivals[i]),
-                            priority=int(priorities[i]))
-                    for i in range(num_requests)]
-        return [Request(request_id=i, arrival_ms=float(arrivals[i]),
-                        priority=int(priorities[i]), model=models[i])
-                for i in range(num_requests)]
+        return TraceArrays(
+            arrival_ms=arrivals,
+            request_id=np.arange(num_requests, dtype=np.int64),
+            priority=np.asarray(priorities, dtype=np.int64),
+            model=tuple(models) if models is not None else None)
+
+    def to_trace(self, num_requests: int, rate_rps: float, seed: int = 0,
+                 start_ms: float = 0.0) -> List[Request]:
+        return self.to_trace_arrays(num_requests, rate_rps, seed=seed,
+                                    start_ms=start_ms).materialize()

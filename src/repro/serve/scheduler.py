@@ -63,6 +63,16 @@ class SchedulerConfig:
         if self.policy not in POLICIES:
             raise ValueError(f"policy must be one of {POLICIES}")
 
+    def vectorization_blockers(self) -> List[str]:
+        """Reasons the vectorized replay engine cannot honor this
+        config (empty when it can).  FIFO collapses batch formation to a
+        head pointer over the accepted-arrival order; any other policy
+        reorders per request, which only the scalar loop expresses."""
+        if self.policy != "fifo":
+            return [f"scheduler policy {self.policy!r} reorders "
+                    "per-request"]
+        return []
+
 
 @dataclass(frozen=True)
 class Batch:

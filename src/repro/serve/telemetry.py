@@ -7,12 +7,27 @@ milliseconds, and it reduces them into the metrics a serving operator
 watches (p50/p95/p99 latency, achieved vs offered throughput, utilization).
 ``report()`` renders everything with :class:`repro.analysis.tables.Table`
 so serving output visually matches the paper-artefact tables.
+
+Two ingestion modes share one set of reductions:
+
+- *record mode* — the scalar engine appends one :class:`RequestRecord`
+  per completion and one ``(t, depth)`` tuple per event;
+- *column mode* — the vectorized engine hands over whole NumPy columns
+  at once (:meth:`TelemetryCollector.ingest_columns`), and the familiar
+  ``records`` / ``queue_samples`` / ``batch_sizes`` views materialize
+  lazily on first access.
+
+Every reduction (``summary()``, percentiles, utilization) routes through
+the same value accessors in both modes, performing the identical
+floating-point operations on identical arrays — which is what lets the
+engine-equivalence harness demand *byte-identical* summaries from the
+two replay engines rather than "close enough" ones.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -54,7 +69,7 @@ class TelemetryCollector:
 
     def __init__(self, num_chips: int = 1):
         self.num_chips = num_chips
-        self.records: List[RequestRecord] = []
+        self._records: Optional[List[RequestRecord]] = []
         self.rejected: List[int] = []
         self.failed: List[int] = []
         self.retried: List[int] = []
@@ -65,13 +80,114 @@ class TelemetryCollector:
         # (None otherwise, so summaries of plain runs are unchanged).
         self.resilience_events: List[Dict] = []
         self.resilience: Optional[Dict] = None
-        self.queue_samples: List[Tuple[float, int]] = []
+        self._queue_samples: Optional[List[Tuple[float, int]]] = []
         self.chip_busy_ms: Dict[int, float] = {c: 0.0 for c in range(num_chips)}
-        self.batch_sizes: List[int] = []
+        self._batch_sizes: Optional[List[int]] = []
+        # Column mode (ingest_columns): completion columns keyed by
+        # field, plus event-time/queue-depth and batch-size columns.
+        # None in record mode; the list views above are None exactly
+        # when their columnar twin is the source of truth.
+        self._completed: Optional[Dict] = None
+        self._queue_cols: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        self._batch_col: Optional[np.ndarray] = None
+
+    # ---- record/column views -----------------------------------------
+    @property
+    def records(self) -> List[RequestRecord]:
+        """Completed-request records (materialized on demand from the
+        completion columns after a vectorized replay)."""
+        if self._records is None:
+            self._records = self._materialize_records()
+        return self._records
+
+    @records.setter
+    def records(self, value: List[RequestRecord]) -> None:
+        # An external overwrite (drop_records retracting in-flight work)
+        # makes the record list the only truth — drop the column backing
+        # rather than let reductions read stale columns.
+        self._records = list(value)
+        self._completed = None
+
+    @property
+    def queue_samples(self) -> List[Tuple[float, int]]:
+        if self._queue_samples is None:
+            times, depths = self._queue_cols
+            self._queue_samples = list(zip(times.tolist(), depths.tolist()))
+        return self._queue_samples
+
+    @property
+    def batch_sizes(self) -> List[int]:
+        if self._batch_sizes is None:
+            self._batch_sizes = self._batch_col.tolist()
+        return self._batch_sizes
+
+    def _materialize_records(self) -> List[RequestRecord]:
+        cols = self._completed
+        if cols is None:
+            return []
+        groups: Tuple[Tuple[int, ...], ...] = cols["executor_chip_ids"]
+        ids = cols["request_id"].tolist()
+        arrivals = cols["arrival_ms"].tolist()
+        starts = cols["start_ms"].tolist()
+        finishes = cols["finish_ms"].tolist()
+        sizes = cols["batch_size"].tolist()
+        executors = cols["executor_index"].tolist()
+        priorities = cols["priority"].tolist()
+        models = cols["model"]
+        return [RequestRecord(
+                    request_id=ids[k], arrival_ms=arrivals[k],
+                    start_ms=starts[k], finish_ms=finishes[k],
+                    chip_ids=groups[executors[k]], batch_size=sizes[k],
+                    priority=priorities[k],
+                    model=models[k] if models is not None else "")
+                for k in range(len(ids))]
 
     # ---- event ingestion ---------------------------------------------
     def record_completion(self, record: RequestRecord) -> None:
-        self.records.append(record)
+        self._records.append(record)
+
+    def ingest_columns(self, *,
+                       arrival_ms: np.ndarray,
+                       start_ms: np.ndarray,
+                       finish_ms: np.ndarray,
+                       request_id: np.ndarray,
+                       priority: np.ndarray,
+                       batch_size: np.ndarray,
+                       executor_index: np.ndarray,
+                       executor_chip_ids: Tuple[Tuple[int, ...], ...],
+                       model: Optional[Tuple[str, ...]] = None,
+                       rejected_ids: Sequence[int] = (),
+                       queue_times: Optional[np.ndarray] = None,
+                       queue_depths: Optional[np.ndarray] = None,
+                       batch_sizes: Optional[np.ndarray] = None,
+                       chip_busy_ms: Optional[Dict[int, float]] = None
+                       ) -> None:
+        """Bulk ingestion of a whole replay (the vectorized engine's
+        single call): completion columns ordered by dispatch, the
+        per-event queue-depth series, per-batch sizes, and per-chip busy
+        totals.  The ``records`` / ``queue_samples`` / ``batch_sizes``
+        views materialize lazily from these columns, so a million-request
+        replay only ever builds objects a consumer actually reads.
+        """
+        self._completed = {
+            "arrival_ms": arrival_ms, "start_ms": start_ms,
+            "finish_ms": finish_ms, "request_id": request_id,
+            "priority": priority, "batch_size": batch_size,
+            "executor_index": executor_index,
+            "executor_chip_ids": executor_chip_ids, "model": model,
+        }
+        self._records = None
+        self.rejected.extend(rejected_ids)
+        if queue_times is not None:
+            self._queue_cols = (queue_times, queue_depths)
+            self._queue_samples = None
+        if batch_sizes is not None:
+            self._batch_col = batch_sizes
+            self._batch_sizes = None
+        if chip_busy_ms:
+            for chip, busy in chip_busy_ms.items():
+                self.chip_busy_ms[chip] = \
+                    self.chip_busy_ms.get(chip, 0.0) + busy
 
     def record_rejection(self, request_id: int) -> None:
         """A request shed because the bounded queue was full."""
@@ -107,19 +223,70 @@ class TelemetryCollector:
         self.records = [r for r in self.records if id(r) not in doomed]
 
     def record_queue_depth(self, now_ms: float, depth: int) -> None:
-        self.queue_samples.append((now_ms, depth))
+        self._queue_samples.append((now_ms, depth))
 
     def record_chip_busy(self, chip_id: int, busy_ms: float) -> None:
         self.chip_busy_ms[chip_id] = \
             self.chip_busy_ms.get(chip_id, 0.0) + busy_ms
 
     def record_batch(self, batch_size: int) -> None:
-        self.batch_sizes.append(batch_size)
+        self._batch_sizes.append(batch_size)
+
+    # ---- value accessors ----------------------------------------------
+    # Both ingestion modes answer through these, performing the same
+    # floating-point operations on the same float64 values in the same
+    # order — the bit-for-bit contract the equivalence harness pins.
+    def latency_values(self) -> np.ndarray:
+        """End-to-end latency per completed request (dispatch order)."""
+        if self._completed is not None:
+            return self._completed["finish_ms"] - self._completed["arrival_ms"]
+        return np.array([r.latency_ms for r in self._records])
+
+    def wait_values(self) -> np.ndarray:
+        """Queueing delay per completed request (dispatch order)."""
+        if self._completed is not None:
+            return self._completed["start_ms"] - self._completed["arrival_ms"]
+        return np.array([r.wait_ms for r in self._records])
+
+    def service_values(self) -> np.ndarray:
+        """Chip service time per completed request (dispatch order)."""
+        if self._completed is not None:
+            return self._completed["finish_ms"] - self._completed["start_ms"]
+        return np.array([r.service_ms for r in self._records])
+
+    def finish_values(self) -> np.ndarray:
+        if self._completed is not None:
+            return self._completed["finish_ms"]
+        return np.array([r.finish_ms for r in self._records])
+
+    def queue_depth_values(self) -> np.ndarray:
+        if self._queue_samples is None:
+            return self._queue_cols[1]
+        return np.array([d for _, d in self._queue_samples], dtype=np.int64)
+
+    def batch_size_values(self) -> np.ndarray:
+        if self._batch_sizes is None:
+            return self._batch_col
+        return np.array(self._batch_sizes, dtype=np.int64)
+
+    @property
+    def num_batches(self) -> int:
+        if self._batch_sizes is None:
+            return int(self._batch_col.shape[0])
+        return len(self._batch_sizes)
+
+    @property
+    def num_queue_samples(self) -> int:
+        if self._queue_samples is None:
+            return int(self._queue_cols[0].shape[0])
+        return len(self._queue_samples)
 
     # ---- reductions ---------------------------------------------------
     @property
     def num_completed(self) -> int:
-        return len(self.records)
+        if self._records is not None:
+            return len(self._records)
+        return int(self._completed["finish_ms"].shape[0])
 
     @property
     def num_rejected(self) -> int:
@@ -142,18 +309,21 @@ class TelemetryCollector:
     @property
     def makespan_ms(self) -> float:
         """First arrival to last completion."""
-        if not self.records:
+        if not self.num_completed:
             return 0.0
-        first = min(r.arrival_ms for r in self.records)
-        last = max(r.finish_ms for r in self.records)
+        if self._completed is not None:
+            first = float(self._completed["arrival_ms"].min())
+            last = float(self._completed["finish_ms"].max())
+        else:
+            first = min(r.arrival_ms for r in self._records)
+            last = max(r.finish_ms for r in self._records)
         return last - first
 
     def latency_percentile(self, q: float) -> float:
         """Latency percentile over completed requests (q in [0, 100])."""
-        if not self.records:
+        if not self.num_completed:
             return float("nan")
-        latencies = np.array([r.latency_ms for r in self.records])
-        return float(np.percentile(latencies, q))
+        return float(np.percentile(self.latency_values(), q))
 
     def latency_percentiles(self) -> Dict[str, float]:
         return {"p50": self.latency_percentile(50.0),
@@ -162,10 +332,11 @@ class TelemetryCollector:
 
     def _component_percentiles(self, attr: str) -> Dict[str, float]:
         """p50/p95/p99/mean over one latency component (wait or service)."""
-        if not self.records:
+        if not self.num_completed:
             nan = float("nan")
             return {"p50": nan, "p95": nan, "p99": nan, "mean": nan}
-        values = np.array([getattr(r, attr) for r in self.records])
+        values = (self.wait_values() if attr == "wait_ms"
+                  else self.service_values())
         p50, p95, p99 = np.percentile(values, [50.0, 95.0, 99.0])
         return {"p50": float(p50), "p95": float(p95), "p99": float(p99),
                 "mean": float(np.mean(values))}
@@ -179,9 +350,9 @@ class TelemetryCollector:
         return self._component_percentiles("service_ms")
 
     def mean_latency_ms(self) -> float:
-        if not self.records:
+        if not self.num_completed:
             return float("nan")
-        return float(np.mean([r.latency_ms for r in self.records]))
+        return float(np.mean(self.latency_values()))
 
     def availability(self) -> float:
         """Fraction of offered requests that completed (shed *and*
@@ -213,10 +384,13 @@ class TelemetryCollector:
         *ending* there, and the series stops at the bucket containing the
         last finish — no trailing all-zero bucket.
         """
-        if not self.records or window_ms <= 0:
+        if not self.num_completed or window_ms <= 0:
             return []
-        finishes = np.array([r.finish_ms for r in self.records])
-        start = min(r.arrival_ms for r in self.records)
+        finishes = self.finish_values()
+        if self._completed is not None:
+            start = float(self._completed["arrival_ms"].min())
+        else:
+            start = min(r.arrival_ms for r in self._records)
         # Bucket k covers (start + k*w, start + (k+1)*w]; ceil maps an
         # exact-edge finish into the bucket that ends there, and finishes
         # at (or numerically before) `start` clamp into bucket 0.
@@ -248,19 +422,19 @@ class TelemetryCollector:
                 if util > 1.0 + tolerance]
 
     def mean_queue_depth(self) -> float:
-        if not self.queue_samples:
+        if not self.num_queue_samples:
             return 0.0
-        return float(np.mean([d for _, d in self.queue_samples]))
+        return float(np.mean(self.queue_depth_values()))
 
     def max_queue_depth(self) -> int:
-        if not self.queue_samples:
+        if not self.num_queue_samples:
             return 0
-        return max(d for _, d in self.queue_samples)
+        return int(self.queue_depth_values().max())
 
     def mean_batch_size(self) -> float:
-        if not self.batch_sizes:
+        if not self.num_batches:
             return 0.0
-        return float(np.mean(self.batch_sizes))
+        return float(np.mean(self.batch_size_values()))
 
     def slo_attainment(self, slo: SLO) -> SLOReport:
         """Evaluate an :class:`~repro.obs.slo.SLO` against this run

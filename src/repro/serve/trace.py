@@ -6,6 +6,15 @@ use Poisson arrivals (exponential inter-arrival gaps at a configured
 offered load), the standard open-loop model for serving benchmarks; traces
 round-trip through JSON so a run is exactly reproducible from a file
 (``python -m repro serve --requests trace.json``).
+
+Web-scale traces additionally exist in *columnar* form:
+:class:`TraceArrays` holds the same workload as parallel NumPy columns so
+a million-request trace never materializes a million ``Request`` objects.
+:meth:`TraceArrays.materialize` produces the exact object trace the
+column form describes (bit-identical arrival floats), which is the
+contract the engine-equivalence test harness pins: every generator
+builds the arrays first and derives the object trace *from them*, so the
+two forms cannot drift.
 """
 
 from __future__ import annotations
@@ -13,11 +22,13 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-__all__ = ["Request", "synthetic_trace", "save_trace", "load_trace"]
+__all__ = ["Request", "TraceArrays", "arrays_from_requests",
+           "synthetic_trace", "synthetic_trace_arrays",
+           "save_trace", "load_trace"]
 
 
 @dataclass(frozen=True)
@@ -51,14 +62,78 @@ class Request:
             raise ValueError("arrival_ms must be >= 0")
 
 
-def synthetic_trace(num_requests: int, rate_rps: float, seed: int = 0,
-                    priority_levels: int = 1,
-                    start_ms: float = 0.0) -> List[Request]:
-    """Poisson arrival trace at an offered load of ``rate_rps`` req/s.
+@dataclass(frozen=True)
+class TraceArrays:
+    """A request trace as parallel columns (no per-request objects).
 
-    ``priority_levels > 1`` draws each request's priority uniformly from
-    ``0..priority_levels-1`` (higher is more urgent).
+    The columnar twin of a ``List[Request]``: ``arrival_ms[k]``,
+    ``request_id[k]`` and ``priority[k]`` describe request ``k``;
+    ``model`` is ``None`` for single-model traces (every request serves
+    the deployment's one network) or a per-request tag tuple for mixes.
+    Rows are ordered by ``(arrival_ms, request_id)`` — the replay order
+    both engines use — when produced by the in-repo generators;
+    :func:`arrays_from_requests` enforces it for arbitrary input.
+
+    The vectorized replay engine consumes this form directly; the scalar
+    engine (and anything else wanting objects) goes through
+    :meth:`materialize`, which yields exactly the ``Request`` list the
+    object-based generators used to build — same floats, same ints.
     """
+
+    arrival_ms: np.ndarray              # float64, nondecreasing
+    request_id: np.ndarray              # int64, unique within the trace
+    priority: np.ndarray                # int64
+    model: Optional[Tuple[str, ...]] = None
+
+    def __post_init__(self):
+        n = self.arrival_ms.shape[0]
+        if self.request_id.shape[0] != n or self.priority.shape[0] != n:
+            raise ValueError("trace columns must share one length")
+        if self.model is not None and len(self.model) != n:
+            raise ValueError("model column must match the trace length")
+
+    def __len__(self) -> int:
+        return int(self.arrival_ms.shape[0])
+
+    def materialize(self) -> List[Request]:
+        """Expand the columns into the equivalent ``Request`` list.
+
+        Bit-identical to the object path by construction: each field
+        goes through the same ``float()``/``int()`` conversion the
+        object-based generators applied element-wise.
+        """
+        ids = self.request_id.tolist()
+        arrivals = self.arrival_ms.tolist()
+        priorities = self.priority.tolist()
+        if self.model is None:
+            return [Request(request_id=ids[k], arrival_ms=arrivals[k],
+                            priority=priorities[k])
+                    for k in range(len(ids))]
+        return [Request(request_id=ids[k], arrival_ms=arrivals[k],
+                        priority=priorities[k], model=self.model[k])
+                for k in range(len(ids))]
+
+
+def arrays_from_requests(requests: Sequence[Request]) -> TraceArrays:
+    """Column form of an existing object trace, sorted by
+    ``(arrival_ms, request_id)`` — the replay order the engine imposes,
+    so replaying the arrays is replaying the list."""
+    ordered = sorted(requests, key=lambda r: (r.arrival_ms, r.request_id))
+    arrival = np.array([r.arrival_ms for r in ordered], dtype=np.float64)
+    ids = np.array([r.request_id for r in ordered], dtype=np.int64)
+    priority = np.array([r.priority for r in ordered], dtype=np.int64)
+    model: Optional[Tuple[str, ...]] = None
+    if any(r.model for r in ordered):
+        model = tuple(r.model for r in ordered)
+    return TraceArrays(arrival_ms=arrival, request_id=ids,
+                       priority=priority, model=model)
+
+
+def synthetic_trace_arrays(num_requests: int, rate_rps: float, seed: int = 0,
+                           priority_levels: int = 1,
+                           start_ms: float = 0.0) -> TraceArrays:
+    """Columnar Poisson trace — :func:`synthetic_trace` without the
+    per-request objects (same RNG stream, same floats)."""
     if num_requests < 1:
         raise ValueError("num_requests must be >= 1")
     if rate_rps <= 0:
@@ -72,9 +147,24 @@ def synthetic_trace(num_requests: int, rate_rps: float, seed: int = 0,
         priorities = rng.integers(0, priority_levels, size=num_requests)
     else:
         priorities = np.zeros(num_requests, dtype=int)
-    return [Request(request_id=i, arrival_ms=float(arrivals[i]),
-                    priority=int(priorities[i]))
-            for i in range(num_requests)]
+    return TraceArrays(arrival_ms=arrivals,
+                       request_id=np.arange(num_requests, dtype=np.int64),
+                       priority=priorities.astype(np.int64))
+
+
+def synthetic_trace(num_requests: int, rate_rps: float, seed: int = 0,
+                    priority_levels: int = 1,
+                    start_ms: float = 0.0) -> List[Request]:
+    """Poisson arrival trace at an offered load of ``rate_rps`` req/s.
+
+    ``priority_levels > 1`` draws each request's priority uniformly from
+    ``0..priority_levels-1`` (higher is more urgent).  Materialized from
+    :func:`synthetic_trace_arrays`, so the object and column forms of
+    the same ``(n, rate, seed)`` tuple are identical by construction.
+    """
+    return synthetic_trace_arrays(
+        num_requests, rate_rps, seed=seed,
+        priority_levels=priority_levels, start_ms=start_ms).materialize()
 
 
 def save_trace(requests: Sequence[Request], path: Union[str, Path]) -> None:

@@ -15,6 +15,19 @@ from repro import nn
 from tests.helpers import assert_grad_close, gradcheck, numerical_gradient  # noqa: F401
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens", action="store_true", default=False,
+        help="rewrite golden fixtures (tests/baselines/serve_summaries) "
+             "instead of comparing against them")
+
+
+@pytest.fixture
+def update_goldens(request):
+    """True when the run should rewrite golden fixtures in place."""
+    return request.config.getoption("--update-goldens")
+
+
 @pytest.fixture(autouse=True)
 def _hermetic_grid_cache(tmp_path, monkeypatch):
     """Keep the persistent grid cache out of the user's home during tests.

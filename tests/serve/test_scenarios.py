@@ -59,6 +59,16 @@ class TestScenarioContract:
         b = scenario.to_trace(150, rate_rps=120.0, seed=seed)
         assert a == b
 
+    def test_array_generation_matches_object_generation(self, name, seed):
+        # to_trace_arrays is the native path and to_trace materializes
+        # from it — the two forms of a scenario trace must be the same
+        # requests float for float, or the vectorized engine replays a
+        # different day than the scalar one
+        scenario = get_scenario(name)
+        arrays = scenario.to_trace_arrays(200, rate_rps=180.0, seed=seed)
+        assert arrays.materialize() == scenario.to_trace(
+            200, rate_rps=180.0, seed=seed)
+
     def test_round_trips_through_trace_file(self, name, seed, tmp_path):
         trace = get_scenario(name).to_trace(120, rate_rps=150.0, seed=seed)
         path = tmp_path / "trace.json"

@@ -1,8 +1,17 @@
 """Tests for request traces (repro.serve.trace)."""
 
+import numpy as np
 import pytest
 
-from repro.serve.trace import Request, load_trace, save_trace, synthetic_trace
+from repro.serve.trace import (
+    Request,
+    TraceArrays,
+    arrays_from_requests,
+    load_trace,
+    save_trace,
+    synthetic_trace,
+    synthetic_trace_arrays,
+)
 
 
 class TestSyntheticTrace:
@@ -48,3 +57,65 @@ class TestTraceRoundTrip:
         path = tmp_path / "traces" / "t.json"
         save_trace(trace, path)
         assert load_trace(path) == trace
+
+
+class TestTraceArrays:
+    """Property tests for the column-form trace (the vectorized engine's
+    input).  The array generator is not a second generator: it must emit
+    the same floats as the object path, request for request."""
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_array_and_object_generation_identical(self, seed):
+        n = 400
+        arrays = synthetic_trace_arrays(n, rate_rps=180.0, seed=seed,
+                                        priority_levels=3)
+        objects = synthetic_trace(n, rate_rps=180.0, seed=seed,
+                                  priority_levels=3)
+        assert arrays.materialize() == objects
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_arrivals_monotone_and_positive(self, seed):
+        arrays = synthetic_trace_arrays(1000, rate_rps=500.0, seed=seed)
+        assert np.all(np.diff(arrays.arrival_ms) >= 0)
+        assert arrays.arrival_ms[0] > 0
+        assert arrays.request_id.tolist() == list(range(1000))
+
+    def test_mean_rate_honest_at_scale(self):
+        # the law of large numbers tightens the measured mean rate to
+        # ~1/sqrt(n); at n=200k a 1% tolerance has ~9 sigma of slack,
+        # so this catches any constant-factor normalization bug without
+        # flaking
+        n = 200_000
+        arrays = synthetic_trace_arrays(n, rate_rps=1000.0, seed=5)
+        span_s = (arrays.arrival_ms[-1] - arrays.arrival_ms[0]) / 1000.0
+        measured = (n - 1) / span_s
+        assert measured == pytest.approx(1000.0, rel=0.01)
+
+    def test_materialize_round_trips_through_arrays(self):
+        trace = synthetic_trace(150, 120.0, seed=9, priority_levels=2)
+        arrays = arrays_from_requests(trace)
+        assert arrays.materialize() == sorted(
+            trace, key=lambda r: (r.arrival_ms, r.request_id))
+        again = arrays_from_requests(arrays.materialize())
+        assert np.array_equal(again.arrival_ms, arrays.arrival_ms)
+        assert np.array_equal(again.request_id, arrays.request_id)
+        assert np.array_equal(again.priority, arrays.priority)
+
+    def test_model_column_survives(self):
+        reqs = [Request(request_id=i, arrival_ms=float(i),
+                        model="m{}".format(i % 2)) for i in range(6)]
+        arrays = arrays_from_requests(reqs)
+        assert arrays.model == ("m0", "m1", "m0", "m1", "m0", "m1")
+        assert [r.model for r in arrays.materialize()] == list(arrays.model)
+
+    def test_len_and_validation(self):
+        arrays = synthetic_trace_arrays(25, rate_rps=10.0, seed=0)
+        assert len(arrays) == 25
+        with pytest.raises(ValueError):
+            synthetic_trace_arrays(0, 10.0)
+        with pytest.raises(ValueError):
+            synthetic_trace_arrays(10, 0.0)
+        with pytest.raises(ValueError):
+            TraceArrays(arrival_ms=np.zeros(3),
+                        request_id=np.arange(2, dtype=np.int64),
+                        priority=np.zeros(3, dtype=np.int64))
